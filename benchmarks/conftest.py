@@ -1,0 +1,73 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's evaluation artifacts
+(tables and figures); the expensive optimizer runs are shared as
+session-scoped fixtures, and each benchmark writes its regenerated
+table/series to ``benchmarks/results/`` in addition to stdout.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.baselines.alwani import alwani_design
+from repro.hardware.device import get_device
+from repro.nn import models
+from repro.optimizer.dp import FrontierOptimizer, optimize, optimize_many
+
+MB = 2**20
+
+#: Figure 5 transfer-constraint sweep (MB).
+FIG5_CONSTRAINTS_MB = (2, 4, 8, 16, 32)
+
+#: The paper's AlexNet transfer budget.
+ALEXNET_CONSTRAINT = 340 * 1024
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a regenerated table/series and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def zc706():
+    return get_device("zc706")
+
+
+@pytest.fixture(scope="session")
+def vc707():
+    return get_device("vc707")
+
+
+@pytest.fixture(scope="session")
+def vgg_prefix():
+    return models.vgg_fused_prefix()
+
+
+@pytest.fixture(scope="session")
+def alexnet():
+    return models.alexnet()
+
+
+@pytest.fixture(scope="session")
+def vgg_baseline(vgg_prefix, zc706):
+    return alwani_design(vgg_prefix, zc706)
+
+
+@pytest.fixture(scope="session")
+def vgg_strategies(vgg_prefix, zc706):
+    return optimize_many(
+        vgg_prefix, zc706, [mb * MB for mb in FIG5_CONSTRAINTS_MB]
+    )
+
+
+@pytest.fixture(scope="session")
+def alexnet_strategy(alexnet, zc706):
+    return optimize(alexnet, zc706, ALEXNET_CONSTRAINT)

@@ -1,0 +1,75 @@
+"""Figure 1: roofline motivation on the Virtex-7 485T.
+
+Regenerates the four design points of the paper's motivation figure for
+VGG's second convolutional layer (conv1_2: 64 -> 64 channels, 224x224,
+3x3):
+
+* **A** — conventional algorithm, single layer (compute-bound),
+* **B** — Winograd algorithm, single layer, clipped by the 4.5 GB/s
+  bandwidth roof,
+* **B'** — Winograd's ideal performance without the bandwidth roof,
+* **C** — Winograd with the seven-layer fusion group, whose higher CTC
+  ratio recovers the compute roof.
+
+Paper (OCR-ambiguous) figures: conventional roof ~993 GOPS, Winograd
+roof 3059.7 GOPS at an unstated clock.  We recompute the roofs from the
+datasheet DSP count at 100 MHz (560 / 2240 GOPS) and reproduce the
+*geometry*: A compute-bound, B bandwidth-bound well under B', C at a
+higher CTC recovering the roof.
+"""
+
+from repro.hardware.roofline import make_point, render_ascii
+from repro.reporting import format_table
+
+from conftest import write_result
+
+
+def build_points(vc707, vgg_prefix):
+    from repro.nn import models
+
+    net = models.vgg19()
+    info = net.layer("conv1_2")
+    element_bytes = vc707.element_bytes
+    single_transfer = (info.input_size + info.output_size) * element_bytes
+    conventional_roof = vc707.conventional_roof_gops
+    winograd_roof = vc707.winograd_roof_gops(4.0)
+
+    point_a = make_point("A", info.ops, single_transfer, conventional_roof, vc707)
+    point_b = make_point("B", info.ops, single_transfer, winograd_roof, vc707)
+    point_b_ideal = point_b.computational_roof_gops
+    fused_transfer = vgg_prefix.min_fused_transfer_bytes(element_bytes)
+    point_c = make_point(
+        "C", vgg_prefix.total_ops(), fused_transfer, winograd_roof, vc707
+    )
+    return point_a, point_b, point_b_ideal, point_c
+
+
+def test_fig1_roofline(benchmark, vc707, vgg_prefix):
+    point_a, point_b, point_b_ideal, point_c = benchmark.pedantic(
+        build_points, args=(vc707, vgg_prefix), rounds=3, iterations=1
+    )
+
+    rows = [
+        ["A (conventional)", f"{point_a.ctc:.0f}", f"{point_a.attainable_gops:.1f}",
+         "compute" if not point_a.bandwidth_bound else "bandwidth"],
+        ["B (winograd)", f"{point_b.ctc:.0f}", f"{point_b.attainable_gops:.1f}",
+         "compute" if not point_b.bandwidth_bound else "bandwidth"],
+        ["B' (winograd ideal)", f"{point_b.ctc:.0f}", f"{point_b_ideal:.1f}", "-"],
+        ["C (fused winograd)", f"{point_c.ctc:.0f}", f"{point_c.attainable_gops:.1f}",
+         "compute" if not point_c.bandwidth_bound else "bandwidth"],
+    ]
+    table = format_table(
+        ["design", "CTC (OP/B)", "GOPS", "bound"],
+        rows,
+        title="Figure 1: roofline points, VGG conv2 on Virtex-7 485T @100MHz",
+    )
+    ascii_plot = render_ascii([point_a, point_b, point_c], vc707)
+    write_result("fig1_roofline.txt", table + "\n\n" + ascii_plot)
+
+    # Geometry assertions (the figure's story).
+    assert not point_a.bandwidth_bound
+    assert point_b.bandwidth_bound
+    assert point_b.attainable_gops < point_b_ideal
+    assert point_c.ctc > point_b.ctc
+    assert point_c.attainable_gops > point_b.attainable_gops
+    assert point_b.wasted_compute_gops > 0

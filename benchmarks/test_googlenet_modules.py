@@ -1,0 +1,62 @@
+"""Section 7.1 extension: GoogLeNet with modules as single layers.
+
+"Very deep CNNs such as GoogleNet are usually based on modules and
+highly structured.  To further improve the efficiency of our algorithm,
+we can treat every module as a single layer."  This bench maps the
+GoogLeNet stem plus the first two Inception modules through the full
+optimizer with each module as one macro-layer, and reports the strategy
+and optimizer runtime (the efficiency win of the collapsed search
+space: 9 stages instead of ~40 inner layers).
+"""
+
+import time
+
+from repro.nn import models
+from repro.optimizer.dp import optimize
+from repro.reporting import format_table
+
+from conftest import MB, write_result
+
+CONSTRAINT = 4 * MB
+
+
+def test_googlenet_module_strategy(benchmark, zc706):
+    network = models.googlenet_prefix(2)
+
+    start = time.perf_counter()
+    strategy = benchmark.pedantic(
+        optimize, args=(network, zc706, CONSTRAINT), rounds=1, iterations=1
+    )
+    seconds = time.perf_counter() - start
+
+    rows = []
+    for design in strategy.designs:
+        for impl in design.implementations:
+            rows.append(
+                [
+                    impl.layer_name,
+                    impl.algorithm.value,
+                    impl.parallelism,
+                    impl.resources.bram18k,
+                    impl.resources.dsp,
+                    f"{impl.compute_cycles / 1e6:.2f}",
+                ]
+            )
+    table = format_table(
+        ["layer", "algorithm", "parallelism", "BRAM", "DSP", "Mcycles"],
+        rows,
+        title=(
+            f"GoogLeNet prefix (modules as layers) on ZC706 at 4 MB: "
+            f"{len(strategy.designs)} group(s), "
+            f"{strategy.latency_cycles / 1e6:.2f} Mcycles, "
+            f"{strategy.effective_gops():.0f} GOPS, optimizer {seconds:.1f} s"
+        ),
+    )
+    write_result("googlenet_modules.txt", table)
+
+    # The collapsed chain keeps the optimizer seconds-scale and the
+    # strategy feasible with the module macro-engines.
+    names = [impl.layer_name for d in strategy.designs for impl in d.implementations]
+    assert "inception3a" in names and "inception3b" in names
+    strategy.validate(CONSTRAINT)
+    assert seconds < 60

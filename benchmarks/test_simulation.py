@@ -1,0 +1,57 @@
+"""Simulator cross-check: the cycle-approximate simulator vs the
+analytic cost model the optimizer trusts.
+
+Complements the paper's C/RTL co-simulation step: the optimizer picks a
+strategy from analytic latencies; executing the strategy row by row
+(with functional outputs validated against the numpy reference) should
+land in the same latency regime.
+"""
+
+import numpy as np
+
+from repro.nn import models
+from repro.nn.functional import forward, init_weights
+from repro.optimizer.dp import optimize
+from repro.reporting import format_table
+from repro.sim.simulator import simulate_strategy
+
+from conftest import write_result
+
+
+def test_simulator_vs_analytic(benchmark, zc706):
+    # A reduced VGG-like stack keeps row-level simulation tractable.
+    network = models.vgg19().prefix(4, name="vgg19_prefix4")
+    # Shrink spatially for simulation speed while keeping the structure.
+    from repro.nn.layers import InputSpec
+    from repro.nn.network import Network
+
+    small = Network(
+        "vgg_like_56", InputSpec(3, 56, 56), list(network.layers)
+    )
+    strategy = optimize(small, zc706, small.feature_map_bytes())
+    weights = init_weights(small)
+    data = np.random.default_rng(2).normal(size=small.input_spec.shape)
+
+    result = benchmark.pedantic(
+        simulate_strategy, args=(strategy, data, weights), rounds=1, iterations=1
+    )
+
+    reference = forward(small, data, weights)
+    error = float(np.abs(result.output - reference).max())
+    ratio = result.latency_cycles / strategy.latency_cycles
+
+    rows = [
+        ["analytic latency (cycles)", f"{strategy.latency_cycles:,}"],
+        ["simulated latency (cycles)", f"{result.latency_cycles:,.0f}"],
+        ["simulated / analytic", f"{ratio:.2f}"],
+        ["max |sim - reference|", f"{error:.2e}"],
+    ]
+    table = format_table(
+        ["metric", "value"],
+        rows,
+        title=f"Simulator cross-check on {small.name}",
+    )
+    write_result("simulation_crosscheck.txt", table)
+
+    assert error < 1e-8
+    assert 0.2 < ratio < 3.0

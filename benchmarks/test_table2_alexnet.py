@@ -1,0 +1,86 @@
+"""Table 2: implementation details of AlexNet on the ZC706.
+
+Regenerates the paper's per-layer table under the 340 KB transfer
+constraint (the total size of the network's input and final output
+feature maps): algorithm choice, parallelism, BRAM/DSP/FF/LUT per layer,
+totals, and device utilization.
+
+Paper outcome: all layers fuse into ONE group; conv1 (11x11, stride 4)
+must use the conventional algorithm, several of conv2-conv5 use
+Winograd, "the DSPs saved by Winograd algorithm are exploited by
+conventional convolutional layers"; total BRAM ~767.5, LUT ~149 k.
+"""
+
+from repro.optimizer.dp import optimize
+from repro.perf.implement import Algorithm
+from repro.reporting import format_table
+
+from conftest import ALEXNET_CONSTRAINT, write_result
+
+
+def test_table2_alexnet(benchmark, alexnet, zc706):
+    strategy = benchmark.pedantic(
+        optimize, args=(alexnet, zc706, ALEXNET_CONSTRAINT), rounds=1, iterations=1
+    )
+
+    rows = []
+    total = None
+    for design in strategy.designs:
+        for impl in design.implementations:
+            r = impl.resources
+            rows.append(
+                [
+                    impl.layer_name,
+                    impl.algorithm.value,
+                    impl.parallelism,
+                    r.bram18k,
+                    r.dsp,
+                    r.ff,
+                    r.lut,
+                ]
+            )
+            total = r if total is None else total + r
+    assert total is not None
+    rows.append(
+        ["Total", "", "", total.bram18k, total.dsp, total.ff, total.lut]
+    )
+    avail = zc706.resources
+    rows.append(
+        ["Available", "", "", avail.bram18k, avail.dsp, avail.ff, avail.lut]
+    )
+    util = total.utilization(avail)
+    rows.append(
+        [
+            "Utilization (%)",
+            "",
+            "",
+            f"{util['bram18k'] * 100:.1f}",
+            f"{util['dsp'] * 100:.1f}",
+            f"{util['ff'] * 100:.1f}",
+            f"{util['lut'] * 100:.1f}",
+        ]
+    )
+    table = format_table(
+        ["layer", "algorithm", "parallelism", "BRAM", "DSP", "FF", "LUT"],
+        rows,
+        title=(
+            "Table 2: AlexNet on ZC706, 340 KB transfer constraint — "
+            f"latency {strategy.latency_cycles:,} cycles "
+            f"({strategy.latency_seconds() * 1e3:.2f} ms, "
+            f"{strategy.effective_gops():.0f} GOPS)"
+        ),
+    )
+    write_result("table2_alexnet.txt", table)
+
+    # Paper-shape assertions.
+    assert len(strategy.designs) == 1  # one fused group
+    choices = {c.layer_name: c for c in strategy.choices()}
+    assert choices["conv1"].algorithm == Algorithm.CONVENTIONAL
+    winograd_convs = [
+        name
+        for name, c in choices.items()
+        if c.algorithm == Algorithm.WINOGRAD
+    ]
+    assert len(winograd_convs) >= 2  # a real heterogeneous mix
+    assert total.fits(avail)
+    assert util["dsp"] > 0.8  # Winograd savings reinvested

@@ -1,0 +1,57 @@
+"""Extension bench: per-layer Winograd tile-size exploration.
+
+The paper fixes the uniform F(4x4, 3x3) and notes other tile sizes
+exist (Section 2.1).  This bench quantifies what per-layer m in
+{2, 4, 6} buys on the VGG-E prefix at the tight 2 MB constraint, where
+BRAM pressure is highest and smaller tiles can unlock Winograd on
+layers the uniform configuration prices out.
+"""
+
+from repro.optimizer.dp import optimize
+from repro.perf.implement import Algorithm
+from repro.reporting import format_table
+
+from conftest import MB, write_result
+
+CONSTRAINT = 2 * MB
+
+
+def run_both(network, device):
+    uniform = optimize(network, device, CONSTRAINT)
+    explored = optimize(network, device, CONSTRAINT, explore_tile_sizes=True)
+    return uniform, explored
+
+
+def test_tile_size_exploration(benchmark, vgg_prefix, zc706):
+    uniform, explored = benchmark.pedantic(
+        run_both, args=(vgg_prefix, zc706), rounds=1, iterations=1
+    )
+
+    rows = []
+    for name, strategy in (("uniform F(4x4)", uniform), ("explored m", explored)):
+        winograd = [
+            f"m={impl.winograd_m}"
+            for design in strategy.designs
+            for impl in design.implementations
+            if impl.algorithm == Algorithm.WINOGRAD
+        ]
+        rows.append(
+            [
+                name,
+                f"{strategy.latency_cycles / 1e6:.2f}",
+                f"{strategy.effective_gops():.0f}",
+                " ".join(winograd) or "-",
+            ]
+        )
+    gain = uniform.latency_cycles / explored.latency_cycles
+    table = format_table(
+        ["configuration", "latency (Mcyc)", "GOPS", "winograd tiles"],
+        rows,
+        title=(
+            "Winograd tile-size exploration on the VGG-E prefix at 2 MB "
+            f"(gain {gain:.3f}x)"
+        ),
+    )
+    write_result("tile_exploration.txt", table)
+
+    assert explored.latency_cycles <= uniform.latency_cycles

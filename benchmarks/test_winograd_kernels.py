@@ -1,0 +1,91 @@
+"""Kernel-level benchmark: Winograd vs the other convolution algorithms.
+
+Not a paper table per se, but the quantitative basis of Section 2.1: the
+arithmetic reduction of F(4x4, 3x3) and the relative cost of each
+functional implementation on a VGG-like layer.  Also serves as the
+performance regression guard for the numpy engines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.fft import fft_conv2d
+from repro.algorithms.im2col import im2col_conv2d
+from repro.algorithms.winograd import (
+    multiplication_counts,
+    winograd_conv2d,
+    winograd_transform,
+)
+from repro.nn.functional import conv2d
+from repro.reporting import format_table
+
+from conftest import write_result
+
+CHANNELS, OUT_CHANNELS, SIZE = 32, 32, 56
+
+
+@pytest.fixture(scope="module")
+def tensors():
+    rng = np.random.default_rng(0)
+    data = rng.normal(size=(CHANNELS, SIZE, SIZE))
+    weights = rng.normal(size=(OUT_CHANNELS, CHANNELS, 3, 3))
+    return data, weights
+
+
+def test_mult_reduction_table(benchmark):
+    def build():
+        rows = []
+        for kernel in (3, 5):
+            direct, wino = multiplication_counts(
+                CHANNELS, OUT_CHANNELS, SIZE, SIZE, kernel, m=4
+            )
+            rows.append(
+                [f"{kernel}x{kernel}", f"{direct:,}", f"{wino:,}", f"{direct / wino:.2f}x"]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=5, iterations=1)
+    table = format_table(
+        ["kernel", "direct mults", "winograd mults", "reduction"],
+        rows,
+        title=f"Multiplication reduction, {CHANNELS}->{OUT_CHANNELS} ch {SIZE}x{SIZE}",
+    )
+    write_result("winograd_reduction.txt", table)
+
+
+def test_direct_conv_kernel(benchmark, tensors):
+    data, weights = tensors
+    result = benchmark(conv2d, data, weights, None, 1, 1)
+    assert result.shape == (OUT_CHANNELS, SIZE, SIZE)
+
+
+def test_im2col_conv_kernel(benchmark, tensors):
+    data, weights = tensors
+    result = benchmark(im2col_conv2d, data, weights, None, 1, 1)
+    assert result.shape == (OUT_CHANNELS, SIZE, SIZE)
+
+
+def test_fft_conv_kernel(benchmark, tensors):
+    data, weights = tensors
+    result = benchmark(fft_conv2d, data, weights, None, 1, 1)
+    assert result.shape == (OUT_CHANNELS, SIZE, SIZE)
+
+
+def test_winograd_conv_kernel(benchmark, tensors):
+    data, weights = tensors
+    transform = winograd_transform(4, 3)
+    result = benchmark(
+        winograd_conv2d, data, weights, None, 1, 4, 1, transform
+    )
+    assert result.shape == (OUT_CHANNELS, SIZE, SIZE)
+
+
+def test_transform_generation(benchmark):
+    from repro.algorithms.winograd import _cached_transform
+
+    def generate():
+        _cached_transform.cache_clear()
+        return winograd_transform(4, 3)
+
+    transform = benchmark(generate)
+    assert transform.alpha == 6

@@ -1,0 +1,54 @@
+"""Winograd tile-size numerics: why the paper stops at F(4x4, 3x3).
+
+Regenerates the stability analysis behind the paper's uniform tile
+choice: larger tiles cut multiplications further but their transform
+matrices amplify 16-bit fixed-point error, and past F(4x4) the noise
+outgrows the arithmetic saving.
+"""
+
+from repro.algorithms.fixed_point import Q16
+from repro.algorithms.numerics import stability_table
+from repro.algorithms.winograd import winograd_transform
+from repro.reporting import format_table
+
+from conftest import write_result
+
+CONFIGS = ((2, 3), (4, 3), (6, 3), (8, 3), (4, 5))
+
+
+def test_stability_table(benchmark):
+    rows_raw = benchmark.pedantic(
+        stability_table, args=(CONFIGS, Q16), rounds=1, iterations=1
+    )
+
+    rows = []
+    for metrics, error in rows_raw:
+        transform = winograd_transform(metrics.m, metrics.r)
+        rows.append(
+            [
+                f"F({metrics.m}x{metrics.m},{metrics.r}x{metrics.r})",
+                f"{transform.multiplication_reduction:.2f}x",
+                f"{metrics.amplification:.1f}",
+                f"{metrics.dynamic_range_bits:.1f}",
+                f"{error / Q16.resolution:.1f}",
+            ]
+        )
+    table = format_table(
+        [
+            "config",
+            "mult reduction",
+            "error amplification",
+            "extra range (bits)",
+            "measured err (LSBs @ Q7.8)",
+        ],
+        rows,
+        title="Winograd numerics at 16-bit fixed point",
+    )
+    write_result("winograd_numerics.txt", table)
+
+    # the paper's configuration is on the right side of the cliff
+    by_config = {(m.m, m.r): (m, e) for m, e in rows_raw}
+    paper_metrics, paper_error = by_config[(4, 3)]
+    _, big_error = by_config[(8, 3)]
+    assert paper_error <= big_error
+    assert paper_metrics.amplification < by_config[(8, 3)][0].amplification

@@ -1,0 +1,83 @@
+"""Device design-space exploration and pipeline visualization.
+
+Run:  python examples/device_exploration.py
+
+Two things the analytical substrate makes cheap that a board does not:
+
+1. *what-if device sweeps* — how does the optimal strategy respond to
+   2x the bandwidth, or half the fabric?  (Which resource is the design
+   actually starved in?)
+2. *pipeline visibility* — an ASCII Gantt chart of the simulated fused
+   pipeline, showing the inter-layer overlap of Figure 2c.
+
+Uses the AlexNet-like mixed network on the ZC706 model; finishes in
+around a minute.
+"""
+
+import numpy as np
+
+from repro.hardware.device import get_device
+from repro.hardware.dse import bandwidth_sweep, binding_resource, fabric_sweep
+from repro.nn import models
+from repro.nn.functional import init_weights
+from repro.optimizer.dp import optimize
+from repro.reporting import format_table
+from repro.sim.gantt import render_gantt
+from repro.sim.simulator import simulate_strategy
+
+MB = 2**20
+
+
+def main() -> None:
+    device = get_device("zc706")
+    network = models.alexnet().prefix(6, name="alexnet_prefix6")
+    budget = network.feature_map_bytes()
+
+    print("== bandwidth sensitivity ==")
+    rows = []
+    for point in bandwidth_sweep(network, device, budget, factors=(0.5, 1.0, 2.0, 4.0)):
+        rows.append(
+            [
+                point.label,
+                f"{point.latency_cycles / 1e6:.2f}",
+                f"{point.effective_gops:.0f}",
+                point.winograd_layers,
+                binding_resource(point),
+            ]
+        )
+    print(
+        format_table(
+            ["variant", "latency (Mcyc)", "GOPS", "wino layers", "binding resource"],
+            rows,
+        )
+    )
+    print()
+
+    print("== fabric sensitivity ==")
+    rows = []
+    for point in fabric_sweep(network, device, budget, factors=(0.5, 1.0, 2.0)):
+        rows.append(
+            [
+                point.label,
+                f"{point.latency_cycles / 1e6:.2f}",
+                f"{point.effective_gops:.0f}",
+                binding_resource(point),
+            ]
+        )
+    print(
+        format_table(
+            ["variant", "latency (Mcyc)", "GOPS", "binding resource"], rows
+        )
+    )
+    print()
+
+    print("== simulated pipeline (Gantt) ==")
+    small = models.tiny_cnn(32, 32)
+    strategy = optimize(small, get_device("testchip"), small.min_fused_transfer_bytes())
+    data = np.random.default_rng(0).normal(size=small.input_spec.shape)
+    result = simulate_strategy(strategy, data, init_weights(small))
+    print(render_gantt(result.group_traces))
+
+
+if __name__ == "__main__":
+    main()

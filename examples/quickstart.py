@@ -1,0 +1,66 @@
+"""Quickstart: compile a small CNN to an FPGA strategy, HLS code, and a
+cycle-approximate simulation.
+
+Run:  python examples/quickstart.py
+
+Walks the full tool-flow of the paper (Figure 3) on a three-conv network
+and the small ``testchip`` device so it finishes in seconds:
+
+1. describe the network (equivalently: load a Caffe prototxt),
+2. search the optimal fusion + algorithm + parallelism strategy,
+3. emit the Vivado-HLS project,
+4. simulate the strategy and check it against the numpy reference.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import compile_model
+from repro.nn import models
+from repro.nn.caffe import network_to_prototxt
+from repro.nn.functional import forward, init_weights
+
+
+def main() -> None:
+    network = models.tiny_cnn()
+    print("== network ==")
+    print(network.summary())
+    print()
+
+    # The tool-flow accepts prototxt text/paths too; round-trip to show it.
+    prototxt = network_to_prototxt(network)
+    result = compile_model(
+        prototxt,
+        device="testchip",
+        transfer_constraint_bytes=network.min_fused_transfer_bytes(),
+    )
+
+    print("== optimal strategy ==")
+    print(result.strategy.report())
+    print()
+
+    out_dir = Path(tempfile.mkdtemp(prefix="repro_quickstart_"))
+    result.project.write_to(out_dir)
+    print(f"== HLS project written to {out_dir} ==")
+    for name in result.project.source_names():
+        print(f"  {name}")
+    print()
+
+    weights = init_weights(result.network)
+    data = np.random.default_rng(0).normal(size=result.network.input_spec.shape)
+    sim = result.simulate(data, weights)
+    reference = forward(result.network, data, weights)
+    error = float(np.abs(sim.output - reference).max())
+
+    print("== simulation ==")
+    print(sim.report())
+    print()
+    print(f"max |simulated - reference| = {error:.2e}")
+    assert error < 1e-8, "simulated accelerator diverged from the reference!"
+    print("functional check passed")
+
+
+if __name__ == "__main__":
+    main()

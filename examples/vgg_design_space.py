@@ -1,0 +1,115 @@
+"""Design-space exploration on the VGG-E prefix (the Figure 5 scenario).
+
+Run:  python examples/vgg_design_space.py
+
+Sweeps the feature-map transfer constraint over the Figure 5 range on the
+ZC706 model and compares the heterogeneous fusion strategy against
+
+* the Alwani et al. [MICRO'16] fused-layer baseline ([1] in the paper),
+* homogeneous all-conventional / all-Winograd designs,
+* the completely unfused layer-by-layer design,
+
+then prints the exact transfer/latency Pareto frontier the DP works from.
+Takes a couple of minutes (it runs the real optimizer on the real VGG-E
+prefix).
+"""
+
+from repro.baselines.alwani import alwani_design
+from repro.baselines.homogeneous import homogeneous_optimize, unfused_optimize
+from repro.hardware.device import get_device
+from repro.nn import models
+from repro.optimizer.dp import optimize_many, transfer_latency_frontier
+from repro.perf.implement import Algorithm
+from repro.reporting import format_ratio, format_table
+
+MB = 2**20
+CONSTRAINTS_MB = (2, 4, 8, 16, 32)
+
+
+def main() -> None:
+    device = get_device("zc706")
+    network = models.vgg_fused_prefix()
+    print(network.summary())
+    print()
+
+    baseline = alwani_design(network, device)
+    print(
+        f"[1] Alwani et al. baseline: {baseline.latency_cycles / 1e6:.2f} Mcycles "
+        f"({baseline.effective_gops():.0f} GOPS), resources {baseline.resources}"
+    )
+    print()
+
+    strategies = optimize_many(network, device, [mb * MB for mb in CONSTRAINTS_MB])
+    rows = []
+    for mb, strategy in zip(CONSTRAINTS_MB, strategies):
+        speedup = baseline.latency_cycles / strategy.latency_cycles
+        winograd_layers = sum(
+            1 for c in strategy.choices() if c.algorithm == Algorithm.WINOGRAD
+        )
+        rows.append(
+            [
+                f"{mb} MB",
+                f"{strategy.latency_cycles / 1e6:.2f}",
+                f"{baseline.latency_cycles / 1e6:.2f}",
+                format_ratio(speedup),
+                len(strategy.designs),
+                winograd_layers,
+                f"{strategy.feature_transfer_bytes / MB:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "constraint",
+                "ours (Mcyc)",
+                "[1] (Mcyc)",
+                "speedup",
+                "groups",
+                "wino layers",
+                "transfer (MB)",
+            ],
+            rows,
+            title="Figure 5: latency vs transfer constraint",
+        )
+    )
+    print()
+
+    budget = CONSTRAINTS_MB[-1] * MB
+    conventional = homogeneous_optimize(network, device, budget, Algorithm.CONVENTIONAL)
+    winograd = homogeneous_optimize(network, device, budget, Algorithm.WINOGRAD)
+    unfused = unfused_optimize(network, device)
+    hetero = strategies[-1]
+    print(
+        format_table(
+            ["design", "latency (Mcyc)", "GOPS", "transfer (MB)"],
+            [
+                ["heterogeneous + fusion", f"{hetero.latency_cycles / 1e6:.2f}",
+                 f"{hetero.effective_gops():.0f}",
+                 f"{hetero.feature_transfer_bytes / MB:.1f}"],
+                ["all-conventional", f"{conventional.latency_cycles / 1e6:.2f}",
+                 f"{conventional.effective_gops():.0f}",
+                 f"{conventional.feature_transfer_bytes / MB:.1f}"],
+                ["all-winograd", f"{winograd.latency_cycles / 1e6:.2f}",
+                 f"{winograd.effective_gops():.0f}",
+                 f"{winograd.feature_transfer_bytes / MB:.1f}"],
+                ["unfused (layer by layer)", f"{unfused.latency_cycles / 1e6:.2f}",
+                 f"{unfused.effective_gops():.0f}",
+                 f"{unfused.feature_transfer_bytes / MB:.1f}"],
+            ],
+            title="Ablation at the most relaxed constraint",
+        )
+    )
+    print()
+
+    frontier = transfer_latency_frontier(network, device)
+    print(
+        format_table(
+            ["transfer (MB)", "latency (Mcyc)"],
+            [[f"{t / MB:.2f}", f"{l / 1e6:.2f}"] for t, l in frontier],
+            title="Exact transfer/latency Pareto frontier",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

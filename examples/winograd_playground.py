@@ -1,0 +1,111 @@
+"""Winograd minimal-filtering playground.
+
+Run:  python examples/winograd_playground.py
+
+Generates F(m, r) transform triples with the exact Cook-Toom
+construction, prints the F(2, 3) matrices from the paper's Section 2.1,
+verifies several configurations against direct convolution, and tabulates
+the arithmetic-complexity trade-off (multiplication reduction vs
+transform size) that drives the accelerator's algorithm choice.
+"""
+
+import numpy as np
+
+from repro.algorithms.poly import to_numpy
+from repro.algorithms.winograd import (
+    exact_transform_matrices,
+    winograd_conv2d,
+    winograd_transform,
+)
+from repro.nn.functional import conv2d
+from repro.reporting import format_table
+
+
+def show_f23() -> None:
+    at, g, bt = exact_transform_matrices(2, 3)
+    print("F(2, 3) transform matrices (exact rationals -> floats):")
+    for name, matrix in (("A^T", at), ("G", g), ("B^T", bt)):
+        print(f"  {name} =")
+        for row in to_numpy(matrix):
+            print("    [" + "  ".join(f"{v:6.2f}" for v in row) + "]")
+    print()
+
+
+def verify(m: int, r: int) -> float:
+    rng = np.random.default_rng(m * 100 + r)
+    data = rng.normal(size=(3, 4 * m + r, 4 * m + r))
+    weights = rng.normal(size=(4, 3, r, r))
+    reference = conv2d(data, weights, stride=1, pad=r // 2)
+    wino = winograd_conv2d(data, weights, pad=r // 2, m=m)
+    return float(np.abs(wino - reference).max())
+
+
+def main() -> None:
+    show_f23()
+
+    rows = []
+    for m, r in [(2, 3), (4, 3), (6, 3), (2, 5), (4, 5), (3, 2)]:
+        t = winograd_transform(m, r)
+        error = verify(m, r)
+        rows.append(
+            [
+                f"F({m}x{m}, {r}x{r})",
+                t.alpha,
+                t.multiplications_2d,
+                t.direct_multiplications_2d,
+                f"{t.multiplication_reduction:.2f}x",
+                f"{error:.1e}",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "algorithm",
+                "tile alpha",
+                "mults/tile",
+                "direct mults",
+                "reduction",
+                "max err vs direct",
+            ],
+            rows,
+            title="Arithmetic complexity of Winograd configurations",
+        )
+    )
+    print()
+
+    from repro.algorithms.fixed_point import Q16
+    from repro.algorithms.numerics import stability_table
+
+    numeric_rows = []
+    for metrics, error in stability_table(((2, 3), (4, 3), (6, 3), (8, 3)), Q16):
+        numeric_rows.append(
+            [
+                f"F({metrics.m}x{metrics.m}, 3x3)",
+                f"{metrics.amplification:.0f}",
+                f"{metrics.dynamic_range_bits:.1f}",
+                f"{error:.3f}",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "algorithm",
+                "error amplification",
+                "extra range (bits)",
+                "measured 16-bit error",
+            ],
+            numeric_rows,
+            title="Numerical cost of larger tiles (unscaled transforms, Q7.8)",
+        )
+    )
+    print()
+    print(
+        "The paper uses F(4x4, 3x3): 4x fewer DSP multiplications at the\n"
+        "cost of deeper line buffers, transform logic, 4x the transformed-\n"
+        "kernel footprint, and growing fixed-point error amplification —\n"
+        "the trade-offs the optimizer navigates per layer."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""FFT-based convolution.
+
+The other transform-domain alternative the paper mentions.  Uses real
+2-D FFTs with frequency-domain pointwise products; exact up to floating
+point for any kernel size, stride 1 (strided outputs are obtained by
+subsampling, which is why FFT is unattractive for stride > 1 layers).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+
+
+def fft_conv2d(
+    data: np.ndarray,
+    weights: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    stride: int = 1,
+    pad: int = 0,
+    groups: int = 1,
+) -> np.ndarray:
+    """Convolution via frequency-domain products (cross-correlation form)."""
+    if data.ndim != 3 or weights.ndim != 4:
+        raise AlgorithmError("expects (M,H,W) data and (N,M/g,K,K) weights")
+    out_channels, group_channels, kernel, kernel2 = weights.shape
+    if kernel != kernel2:
+        raise AlgorithmError("only square kernels are supported")
+    in_channels = data.shape[0]
+    if in_channels % groups or out_channels % groups:
+        raise AlgorithmError("channels not divisible by groups")
+    padded = np.pad(data.astype(float), [(0, 0), (pad, pad), (pad, pad)])
+    _, height, width = padded.shape
+    if height < kernel or width < kernel:
+        raise AlgorithmError("kernel larger than padded input")
+    full_h = height
+    full_w = width
+    # Cross-correlation == convolution with a flipped kernel.
+    flipped = weights[:, :, ::-1, ::-1]
+    data_f = np.fft.rfft2(padded, s=(full_h, full_w))
+    group_out = out_channels // groups
+    out_h = height - kernel + 1
+    out_w = width - kernel + 1
+    out = np.empty((out_channels, out_h, out_w))
+    for g in range(groups):
+        w_f = np.fft.rfft2(
+            flipped[g * group_out : (g + 1) * group_out], s=(full_h, full_w)
+        )
+        d_f = data_f[g * group_channels : (g + 1) * group_channels]
+        prod = np.einsum("ncij,cij->nij", w_f, d_f)
+        full = np.fft.irfft2(prod, s=(full_h, full_w))
+        # 'valid' region of the full linear convolution starts at kernel-1.
+        out[g * group_out : (g + 1) * group_out] = full[
+            :, kernel - 1 : kernel - 1 + out_h, kernel - 1 : kernel - 1 + out_w
+        ]
+    if stride > 1:
+        out = out[:, ::stride, ::stride]
+    if bias is not None:
+        out = out + bias.reshape(-1, 1, 1)
+    return out

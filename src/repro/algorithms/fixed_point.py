@@ -1,0 +1,90 @@
+"""16-bit fixed-point datapath model.
+
+The ZC706 implementation "use[s] 16-bit fixed data type" (paper S7.1).
+This module models a signed Q-format quantizer so the functional engines
+can be run with the precision the hardware would see, and so tests can
+bound the Winograd-vs-direct divergence under quantization (the Winograd
+transforms amplify dynamic range, a known fixed-point hazard).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """Signed two's-complement Q(integer_bits, frac_bits) format.
+
+    Total width is ``1 + integer_bits + frac_bits`` (sign included in
+    neither field), e.g. the paper's 16-bit type with 8 fractional bits is
+    ``FixedPointFormat(7, 8)``.
+    """
+
+    integer_bits: int
+    frac_bits: int
+
+    def __post_init__(self) -> None:
+        if self.integer_bits < 0 or self.frac_bits < 0:
+            raise AlgorithmError("bit fields must be non-negative")
+        if self.width > 64:
+            raise AlgorithmError("formats wider than 64 bits are not supported")
+
+    @property
+    def width(self) -> int:
+        """Total bit width including the sign bit."""
+        return 1 + self.integer_bits + self.frac_bits
+
+    @property
+    def scale(self) -> int:
+        """LSB weight denominator: values are integers / scale."""
+        return 1 << self.frac_bits
+
+    @property
+    def max_value(self) -> float:
+        return ((1 << (self.width - 1)) - 1) / self.scale
+
+    @property
+    def min_value(self) -> float:
+        return -(1 << (self.width - 1)) / self.scale
+
+    @property
+    def resolution(self) -> float:
+        return 1.0 / self.scale
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Round to nearest representable value, saturating at the rails."""
+        scaled = np.rint(np.asarray(values, dtype=float) * self.scale)
+        lo = -(1 << (self.width - 1))
+        hi = (1 << (self.width - 1)) - 1
+        return np.clip(scaled, lo, hi) / self.scale
+
+    def to_integers(self, values: np.ndarray) -> np.ndarray:
+        """Raw integer codes (saturating round-to-nearest)."""
+        scaled = np.rint(np.asarray(values, dtype=float) * self.scale)
+        lo = -(1 << (self.width - 1))
+        hi = (1 << (self.width - 1)) - 1
+        return np.clip(scaled, lo, hi).astype(np.int64)
+
+    def from_integers(self, codes: np.ndarray) -> np.ndarray:
+        return np.asarray(codes, dtype=float) / self.scale
+
+    def quantization_error(self, values: np.ndarray) -> float:
+        """Max absolute error introduced by quantizing ``values``."""
+        return float(np.max(np.abs(self.quantize(values) - values), initial=0.0))
+
+
+#: The paper's datapath format: 16-bit fixed, Q7.8.
+Q16 = FixedPointFormat(integer_bits=7, frac_bits=8)
+
+
+def quantize_model_weights(weights: dict, fmt: FixedPointFormat = Q16) -> dict:
+    """Quantize a ``repro.nn.functional.init_weights``-style dict in place shape."""
+    return {
+        name: {key: fmt.quantize(array) for key, array in params.items()}
+        for name, params in weights.items()
+    }

@@ -1,0 +1,75 @@
+"""im2col + GEMM convolution.
+
+One of the "computation structure transformation" alternatives the paper
+mentions (matrix multiplication): unroll every receptive field into a
+column, then the convolution becomes a single matrix product.  Used as a
+fast functional baseline and in tests as an independent oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+
+
+def im2col(data: np.ndarray, kernel: int, stride: int = 1, pad: int = 0) -> np.ndarray:
+    """Unroll ``(M, H, W)`` input into a ``(M*K*K, H'*W')`` patch matrix."""
+    if data.ndim != 3:
+        raise AlgorithmError("im2col expects (M,H,W) data")
+    channels = data.shape[0]
+    padded = np.pad(data, [(0, 0), (pad, pad), (pad, pad)])
+    _, height, width = padded.shape
+    if height < kernel or width < kernel:
+        raise AlgorithmError("kernel larger than padded input")
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    columns = np.empty((channels * kernel * kernel, out_h * out_w), dtype=padded.dtype)
+    row = 0
+    for c in range(channels):
+        for u in range(kernel):
+            for v in range(kernel):
+                window = padded[
+                    c, u : u + stride * out_h : stride, v : v + stride * out_w : stride
+                ]
+                columns[row] = window.reshape(-1)
+                row += 1
+    return columns
+
+
+def im2col_conv2d(
+    data: np.ndarray,
+    weights: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    stride: int = 1,
+    pad: int = 0,
+    groups: int = 1,
+) -> np.ndarray:
+    """Convolution as (weights-as-rows) @ im2col(data)."""
+    if data.ndim != 3 or weights.ndim != 4:
+        raise AlgorithmError("expects (M,H,W) data and (N,M/g,K,K) weights")
+    out_channels, group_channels, kernel, kernel2 = weights.shape
+    if kernel != kernel2:
+        raise AlgorithmError("only square kernels are supported")
+    in_channels = data.shape[0]
+    if in_channels % groups or out_channels % groups:
+        raise AlgorithmError("channels not divisible by groups")
+    padded_h = data.shape[1] + 2 * pad
+    padded_w = data.shape[2] + 2 * pad
+    out_h = (padded_h - kernel) // stride + 1
+    out_w = (padded_w - kernel) // stride + 1
+    group_out = out_channels // groups
+    out = np.empty((out_channels, out_h, out_w), dtype=np.result_type(data, weights))
+    for g in range(groups):
+        cols = im2col(
+            data[g * group_channels : (g + 1) * group_channels], kernel, stride, pad
+        )
+        flat = weights[g * group_out : (g + 1) * group_out].reshape(group_out, -1)
+        out[g * group_out : (g + 1) * group_out] = (flat @ cols).reshape(
+            group_out, out_h, out_w
+        )
+    if bias is not None:
+        out = out + bias.reshape(-1, 1, 1)
+    return out

@@ -1,0 +1,222 @@
+"""Numerical analysis of Winograd transforms.
+
+Why does the paper stop at F(4x4, 3x3) when larger tiles reduce
+multiplications further?  Because the transform matrices grow badly
+conditioned: transformed values expand beyond the 16-bit fixed range and
+rounding noise is amplified on the way back.  This module quantifies
+that trade-off:
+
+* **static metrics** from the exact matrices — max |entry|, row-sum
+  (infinity) norms of ``B^T`` / ``G`` / ``A^T``, and their product, a
+  standard error-amplification proxy for the algorithm;
+* **empirical metrics** — measured output error of the quantized
+  Winograd pipeline against exact convolution, per F(m, r).
+
+Used by `examples/winograd_playground.py` and the numerics tests to
+document where tile-size exploration stops paying at 16 bits.
+
+Note on scaling: these are the *unscaled* Cook-Toom matrices, whose
+magnitude concentrates in ``B^T``/``A^T``; production implementations
+(Lavin's, vendor libraries) diagonal-rescale the triple to balance the
+norms, which lowers the absolute error at every tile size but preserves
+the ordering measured here — larger tiles always round worse at a fixed
+word length, which is the comparison the optimizer cares about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.algorithms import poly
+from repro.algorithms.fixed_point import FixedPointFormat, Q16
+from repro.algorithms.winograd import (
+    exact_transform_matrices,
+    winograd_conv2d,
+    winograd_transform,
+)
+from repro.nn.functional import conv2d
+
+
+def _inf_norm(matrix) -> Fraction:
+    """Row-sum (infinity) norm of an exact matrix."""
+    return max(
+        (sum((abs(v) for v in row), Fraction(0)) for row in matrix),
+        default=Fraction(0),
+    )
+
+
+@dataclass(frozen=True)
+class TransformMetrics:
+    """Static conditioning metrics of one F(m, r) transform triple."""
+
+    m: int
+    r: int
+    alpha: int
+    max_abs_bt: float
+    max_abs_g: float
+    max_abs_at: float
+    norm_bt: float
+    norm_g: float
+    norm_at: float
+
+    @property
+    def amplification(self) -> float:
+        """||A^T|| * ||B^T|| * ||G||: the classic error-growth proxy."""
+        return self.norm_at * self.norm_bt * self.norm_g
+
+    @property
+    def dynamic_range_bits(self) -> float:
+        """Extra integer bits the transform domain needs over the input."""
+        growth = max(self.max_abs_bt, 1.0) * max(self.max_abs_g, 1.0)
+        return float(np.log2(growth))
+
+
+def transform_metrics(m: int, r: int) -> TransformMetrics:
+    """Compute static metrics from the exact (Fraction) matrices."""
+    at, g, bt = exact_transform_matrices(m, r)
+    return TransformMetrics(
+        m=m,
+        r=r,
+        alpha=m + r - 1,
+        max_abs_bt=float(poly.max_abs(bt)),
+        max_abs_g=float(poly.max_abs(g)),
+        max_abs_at=float(poly.max_abs(at)),
+        norm_bt=float(_inf_norm(bt)),
+        norm_g=float(_inf_norm(g)),
+        norm_at=float(_inf_norm(at)),
+    )
+
+
+def winograd_conv2d_quantized(
+    data: np.ndarray,
+    weights: np.ndarray,
+    fmt: FixedPointFormat,
+    pad: int = 0,
+    m: int = 4,
+) -> np.ndarray:
+    """Winograd convolution with *transform-domain* quantization.
+
+    Models the hardware datapath: the transformed kernels ``U = G g G^T``
+    are stored quantized (that is how the weight headers ship them), the
+    transformed input tiles ``V = B^T d B`` are quantized on their way
+    into the multiplier array, and the channel-accumulated products are
+    quantized again before the inverse transform.  This is where the
+    large-tile transforms actually hurt — their dynamic-range growth
+    saturates or rounds away precision that the float pipeline hides.
+    """
+    from repro.algorithms.winograd import tile_count
+
+    out_channels, channels, r, _ = weights.shape
+    transform = winograd_transform(m, r)
+    alpha = transform.alpha
+    padded = np.pad(data.astype(float), [(0, 0), (pad, pad), (pad, pad)])
+    _, height, width = padded.shape
+    out_h = height - r + 1
+    out_w = width - r + 1
+    tiles_h = tile_count(out_h, m)
+    tiles_w = tile_count(out_w, m)
+    need_h = (tiles_h - 1) * m + alpha
+    need_w = (tiles_w - 1) * m + alpha
+    padded = np.pad(
+        padded, [(0, 0), (0, need_h - height), (0, need_w - width)]
+    )
+    # Transform-domain values outgrow the input range; at a fixed word
+    # length the designer re-allocates integer vs fraction bits to the
+    # *calibrated* range (standard activation-range calibration) — so
+    # larger tiles pay in resolution.  The accumulator is the wider
+    # ap_fixed<32,16> the HLS templates use.
+    word = fmt.width
+    u_float = transform.transform_kernels(weights)
+    v_float = np.einsum(
+        "ax,cthxy,by->cthab",
+        transform.BT,
+        _gather_tiles(padded, tiles_h, tiles_w, m, alpha),
+        transform.BT,
+    )
+    u_fmt = _calibrated_format(u_float, word)
+    v_fmt = _calibrated_format(v_float, word)
+    acc_fmt = FixedPointFormat(integer_bits=15, frac_bits=16)
+    u = u_fmt.quantize(u_float)
+    out = np.zeros((out_channels, tiles_h * m, tiles_w * m))
+    for th in range(tiles_h):
+        for tw in range(tiles_w):
+            v = v_fmt.quantize(v_float[:, th, tw])
+            prod = acc_fmt.quantize(np.einsum("ncab,cab->nab", u, v))
+            y = np.einsum("xa,nab,yb->nxy", transform.AT, prod, transform.AT)
+            out[:, th * m : th * m + m, tw * m : tw * m + m] = y
+    return out[:, :out_h, :out_w]
+
+
+def _gather_tiles(padded, tiles_h, tiles_w, m, alpha):
+    channels = padded.shape[0]
+    tiles = np.empty((channels, tiles_h, tiles_w, alpha, alpha))
+    for th in range(tiles_h):
+        for tw in range(tiles_w):
+            tiles[:, th, tw] = padded[
+                :, th * m : th * m + alpha, tw * m : tw * m + alpha
+            ]
+    return tiles
+
+
+def _calibrated_format(values: np.ndarray, word: int) -> FixedPointFormat:
+    """Smallest integer field covering the observed range at ``word`` bits."""
+    peak = float(np.abs(values).max(initial=0.0))
+    int_bits = max(0, int(np.ceil(np.log2(max(peak, 1e-12)))) + 1)
+    int_bits = min(int_bits, word - 2)
+    return FixedPointFormat(int_bits, word - 1 - int_bits)
+
+
+def empirical_error(
+    m: int,
+    r: int,
+    fmt: Optional[FixedPointFormat] = Q16,
+    channels: int = 4,
+    out_channels: int = 4,
+    size: int = 24,
+    trials: int = 3,
+    seed: int = 0,
+) -> float:
+    """Measured max |winograd - exact| on random data.
+
+    With ``fmt`` set, the Winograd pipeline runs with transform-domain
+    quantization (:func:`winograd_conv2d_quantized`) against the exact
+    convolution of the same quantized operands — the reported error is
+    the *algorithm's* numerical cost at that word length, not the
+    quantization of the data itself.
+    """
+    rng = np.random.default_rng(seed)
+    transform = winograd_transform(m, r)
+    worst = 0.0
+    for _ in range(trials):
+        data = rng.uniform(-1, 1, (channels, size, size))
+        weights = rng.uniform(-0.5, 0.5, (out_channels, channels, r, r))
+        if fmt is not None:
+            data = fmt.quantize(data)
+            weights = fmt.quantize(weights)
+            exact = conv2d(data, weights, stride=1, pad=r // 2)
+            wino = winograd_conv2d_quantized(data, weights, fmt, pad=r // 2, m=m)
+            worst = max(worst, float(np.abs(wino - exact).max()))
+        else:
+            exact = conv2d(data, weights, stride=1, pad=r // 2)
+            wino = winograd_conv2d(
+                data, weights, pad=r // 2, m=m, transform=transform
+            )
+            worst = max(worst, float(np.abs(wino - exact).max()))
+    return worst
+
+
+def stability_table(
+    configurations: Sequence = ((2, 3), (4, 3), (6, 3), (8, 3), (4, 5)),
+    fmt: Optional[FixedPointFormat] = Q16,
+):
+    """(metrics, empirical error) per configuration, in order."""
+    rows = []
+    for m, r in configurations:
+        metrics = transform_metrics(m, r)
+        error = empirical_error(m, r, fmt)
+        rows.append((metrics, error))
+    return rows

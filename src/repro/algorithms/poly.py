@@ -1,0 +1,199 @@
+"""Exact rational polynomial and matrix arithmetic.
+
+The Cook-Toom construction behind Winograd's minimal filtering algorithm
+(:mod:`repro.algorithms.winograd`) needs exact evaluation/interpolation
+matrices — floating point here would contaminate the transform matrices
+with rounding noise that tests could mistake for algorithmic error.  This
+module provides the small amount of exact linear algebra required:
+polynomials over :class:`fractions.Fraction`, Vandermonde matrices with a
+point at infinity, and Gauss-Jordan inversion over the rationals.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+
+Rational = Union[int, Fraction]
+Matrix = List[List[Fraction]]
+
+
+def _frac(value: Rational) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    raise AlgorithmError(f"expected exact rational, got {type(value).__name__}")
+
+
+class Polynomial:
+    """A univariate polynomial with exact rational coefficients.
+
+    Coefficients are stored lowest degree first; the zero polynomial has
+    an empty coefficient list and degree -1.
+    """
+
+    def __init__(self, coefficients: Sequence[Rational] = ()):
+        coeffs = [_frac(c) for c in coefficients]
+        while coeffs and coeffs[-1] == 0:
+            coeffs.pop()
+        self._coeffs: Tuple[Fraction, ...] = tuple(coeffs)
+
+    @property
+    def coefficients(self) -> Tuple[Fraction, ...]:
+        return self._coeffs
+
+    @property
+    def degree(self) -> int:
+        return len(self._coeffs) - 1
+
+    def coefficient(self, power: int) -> Fraction:
+        """Coefficient of ``x**power`` (zero beyond the degree)."""
+        if 0 <= power < len(self._coeffs):
+            return self._coeffs[power]
+        return Fraction(0)
+
+    def __call__(self, x: Rational) -> Fraction:
+        """Evaluate with Horner's rule."""
+        x = _frac(x)
+        result = Fraction(0)
+        for coeff in reversed(self._coeffs):
+            result = result * x + coeff
+        return result
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        n = max(len(self._coeffs), len(other._coeffs))
+        return Polynomial(
+            [self.coefficient(i) + other.coefficient(i) for i in range(n)]
+        )
+
+    def __sub__(self, other: "Polynomial") -> "Polynomial":
+        n = max(len(self._coeffs), len(other._coeffs))
+        return Polynomial(
+            [self.coefficient(i) - other.coefficient(i) for i in range(n)]
+        )
+
+    def __mul__(self, other: Union["Polynomial", Rational]) -> "Polynomial":
+        if not isinstance(other, Polynomial):
+            scalar = _frac(other)
+            return Polynomial([c * scalar for c in self._coeffs])
+        if not self._coeffs or not other._coeffs:
+            return Polynomial()
+        out = [Fraction(0)] * (len(self._coeffs) + len(other._coeffs) - 1)
+        for i, a in enumerate(self._coeffs):
+            for j, b in enumerate(other._coeffs):
+                out[i + j] += a * b
+        return Polynomial(out)
+
+    __rmul__ = __mul__
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self._coeffs == other._coeffs
+
+    def __hash__(self) -> int:
+        return hash(self._coeffs)
+
+    def __repr__(self) -> str:
+        if not self._coeffs:
+            return "Polynomial(0)"
+        terms = [f"{c}*x^{i}" for i, c in enumerate(self._coeffs) if c]
+        return "Polynomial(" + " + ".join(terms) + ")"
+
+    @staticmethod
+    def from_roots(roots: Sequence[Rational]) -> "Polynomial":
+        """Monic polynomial with the given roots: prod (x - root)."""
+        result = Polynomial([1])
+        for root in roots:
+            result = result * Polynomial([-_frac(root), 1])
+        return result
+
+
+def vandermonde(points: Sequence[Rational], columns: int, infinity: bool) -> Matrix:
+    """Evaluation matrix of a ``columns``-coefficient polynomial.
+
+    Row i evaluates at ``points[i]``: ``[1, a_i, a_i^2, ...]``.  When
+    ``infinity`` is set an extra final row selects the leading coefficient
+    — the Toom-Cook "evaluation at infinity" that saves one finite point.
+    """
+    rows: Matrix = []
+    for point in points:
+        p = _frac(point)
+        row = [Fraction(1)]
+        for _ in range(columns - 1):
+            row.append(row[-1] * p)
+        rows.append(row)
+    if infinity:
+        rows.append([Fraction(0)] * (columns - 1) + [Fraction(1)])
+    return rows
+
+
+def identity(n: int) -> Matrix:
+    return [
+        [Fraction(1) if i == j else Fraction(0) for j in range(n)] for i in range(n)
+    ]
+
+
+def mat_mul(a: Matrix, b: Matrix) -> Matrix:
+    if not a or not b or len(a[0]) != len(b):
+        raise AlgorithmError("matrix dimension mismatch")
+    cols = len(b[0])
+    inner = len(b)
+    return [
+        [sum((row[k] * b[k][j] for k in range(inner)), Fraction(0)) for j in range(cols)]
+        for row in a
+    ]
+
+
+def mat_transpose(a: Matrix) -> Matrix:
+    return [list(column) for column in zip(*a)]
+
+
+def mat_inverse(matrix: Matrix) -> Matrix:
+    """Exact Gauss-Jordan inversion with partial (nonzero) pivoting."""
+    n = len(matrix)
+    if any(len(row) != n for row in matrix):
+        raise AlgorithmError("matrix must be square")
+    work = [list(row) for row in matrix]
+    inverse = identity(n)
+    for col in range(n):
+        pivot_row = next(
+            (r for r in range(col, n) if work[r][col] != 0),
+            None,
+        )
+        if pivot_row is None:
+            raise AlgorithmError("matrix is singular")
+        work[col], work[pivot_row] = work[pivot_row], work[col]
+        inverse[col], inverse[pivot_row] = inverse[pivot_row], inverse[col]
+        pivot = work[col][col]
+        work[col] = [v / pivot for v in work[col]]
+        inverse[col] = [v / pivot for v in inverse[col]]
+        for row in range(n):
+            if row == col:
+                continue
+            factor = work[row][col]
+            if factor == 0:
+                continue
+            work[row] = [a - factor * b for a, b in zip(work[row], work[col])]
+            inverse[row] = [a - factor * b for a, b in zip(inverse[row], inverse[col])]
+    return inverse
+
+
+def to_numpy(matrix: Matrix, dtype=np.float64) -> np.ndarray:
+    """Convert an exact matrix to a numpy float array."""
+    return np.array([[float(v) for v in row] for row in matrix], dtype=dtype)
+
+
+def max_denominator(matrix: Matrix) -> int:
+    """Largest denominator appearing in the matrix (fixed-point scaling aid)."""
+    return max((value.denominator for row in matrix for value in row), default=1)
+
+
+def max_abs(matrix: Matrix) -> Fraction:
+    """Largest absolute entry (numeric-range diagnostic for fixed point)."""
+    return max((abs(value) for row in matrix for value in row), default=Fraction(0))

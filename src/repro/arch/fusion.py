@@ -1,0 +1,176 @@
+"""Fusion groups and pyramid analysis (paper Sections 4.1, 5).
+
+A fusion group is a contiguous run of layers executed as one on-chip
+dataflow pipeline.  Only the group's first input and last output touch
+DRAM; "all the necessary intermediate tiles in the pyramid can be
+computed, without storing and retrieving the intermediate data".
+
+This module computes, for any layer range ``[i, j]`` of a network:
+
+* the minimal feature-map transfer ``min_t[i][j]`` the DP uses — the sum
+  of layer ``i``'s input and layer ``j``'s output feature-map sizes;
+* the *pyramid*: how many rows (receptive field) of each intermediate
+  layer one output row of the group depends on, which sizes the per-layer
+  line buffers;
+* weight-storage requirements of the group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ShapeError
+from repro.nn.layers import ConvLayer, Layer, LRNLayer, PoolLayer
+from repro.nn.modules import InceptionModule
+from repro.nn.network import LayerInfo, Network
+
+
+def layer_window(layer: Layer) -> Tuple[int, int]:
+    """(window rows K, stride rows S) the layer consumes per output row."""
+    if isinstance(layer, (ConvLayer, PoolLayer)):
+        return layer.kernel, layer.stride
+    if isinstance(layer, InceptionModule):
+        return layer.max_kernel, 1
+    if isinstance(layer, LRNLayer):
+        return 1, 1
+    return 1, 1
+
+
+@dataclass(frozen=True)
+class PyramidLevel:
+    """Receptive-field footprint of one layer inside a fusion group.
+
+    Attributes:
+        info: The layer with resolved shapes.
+        window_rows: Rows of this layer's *input* needed concurrently
+            (the line-buffer window ``K``).
+        stride_rows: Input rows retired per output row (``S``).
+        input_rows_per_group_row: Rows of this layer's input that one row
+            of the *group's* final output depends on (pyramid width).
+    """
+
+    info: LayerInfo
+    window_rows: int
+    stride_rows: int
+    input_rows_per_group_row: int
+
+
+class FusionGroup:
+    """A contiguous layer range ``[start, stop)`` fused into one pipeline."""
+
+    def __init__(self, network: Network, start: int, stop: int):
+        if not 0 <= start < stop <= len(network):
+            raise ShapeError(
+                f"fusion group [{start}:{stop}] out of range for "
+                f"{len(network)}-layer network"
+            )
+        self.network = network
+        self.start = start
+        self.stop = stop
+        self._infos = [network[i] for i in range(start, stop)]
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def infos(self) -> List[LayerInfo]:
+        return list(self._infos)
+
+    @property
+    def first(self) -> LayerInfo:
+        return self._infos[0]
+
+    @property
+    def last(self) -> LayerInfo:
+        return self._infos[-1]
+
+    # -- transfer -----------------------------------------------------------
+
+    def min_transfer_bytes(self, element_bytes: int = 2) -> int:
+        """DRAM feature-map traffic of the fused group (paper's min_t)."""
+        return (self.first.input_size + self.last.output_size) * element_bytes
+
+    def unfused_transfer_bytes(self, element_bytes: int = 2) -> int:
+        """Traffic if every member layer round-tripped DRAM instead."""
+        return sum(
+            (info.input_size + info.output_size) * element_bytes
+            for info in self._infos
+        )
+
+    def transfer_saving_bytes(self, element_bytes: int = 2) -> int:
+        """Feature-map bytes fusion keeps on chip."""
+        return self.unfused_transfer_bytes(element_bytes) - self.min_transfer_bytes(
+            element_bytes
+        )
+
+    def weight_bytes(self, element_bytes: int = 2) -> int:
+        """Kernel weights resident on chip while the group runs."""
+        return sum(info.weight_count for info in self._infos) * element_bytes
+
+    def total_ops(self) -> int:
+        return sum(info.ops for info in self._infos)
+
+    # -- pyramid ------------------------------------------------------------
+
+    def pyramid(self) -> List[PyramidLevel]:
+        """Per-layer receptive-field footprint, first layer first.
+
+        Walking backwards from one row of the group's output: a layer
+        whose window is ``K`` rows with stride ``S`` needs
+        ``K + (rows_out - 1) * S`` input rows to produce ``rows_out``
+        output rows.
+        """
+        rows_needed = 1
+        levels_reversed: List[PyramidLevel] = []
+        for info in reversed(self._infos):
+            window, stride = layer_window(info.layer)
+            input_rows = window + (rows_needed - 1) * stride
+            levels_reversed.append(
+                PyramidLevel(
+                    info=info,
+                    window_rows=window,
+                    stride_rows=stride,
+                    input_rows_per_group_row=input_rows,
+                )
+            )
+            rows_needed = input_rows
+        return list(reversed(levels_reversed))
+
+    def input_rows_per_output_row(self) -> int:
+        """Rows of the group input one output row depends on (pyramid base)."""
+        return self.pyramid()[0].input_rows_per_group_row
+
+    def __repr__(self) -> str:
+        names = ", ".join(info.name for info in self._infos)
+        return f"FusionGroup([{self.start}:{self.stop}] {names})"
+
+
+def group_min_transfer_bytes(
+    network: Network, start: int, stop: int, element_bytes: int = 2
+) -> int:
+    """``min_t[start][stop-1]`` without building a FusionGroup object."""
+    return FusionGroup(network, start, stop).min_transfer_bytes(element_bytes)
+
+
+def enumerate_groupings(layer_count: int, max_depth: int) -> List[List[Tuple[int, int]]]:
+    """All partitions of ``0..layer_count-1`` into contiguous groups.
+
+    Exponential — used only by the exhaustive test oracle on small
+    networks.  Groups longer than ``max_depth`` are excluded.
+    """
+    if layer_count == 0:
+        return [[]]
+    result: List[List[Tuple[int, int]]] = []
+
+    def extend(start: int, acc: List[Tuple[int, int]]) -> None:
+        if start == layer_count:
+            result.append(list(acc))
+            return
+        for stop in range(start + 1, min(layer_count, start + max_depth) + 1):
+            acc.append((start, stop))
+            extend(stop, acc)
+            acc.pop()
+
+    extend(0, [])
+    return result

@@ -1,0 +1,21 @@
+"""Comparison baselines.
+
+:mod:`repro.baselines.alwani` models the fused-layer CNN accelerator of
+Alwani et al. [MICRO'16] — the paper's reference point [1] in Figure 5
+and Table 1.  :mod:`repro.baselines.homogeneous` provides the ablation
+designs: single-algorithm (all-conventional / all-Winograd) strategies
+and the completely unfused layer-by-layer design.
+"""
+
+from repro.baselines.alwani import alwani_design, AlwaniDesign
+from repro.baselines.homogeneous import homogeneous_optimize, unfused_optimize
+from repro.baselines.recompute import analyze_group, summarize
+
+__all__ = [
+    "AlwaniDesign",
+    "alwani_design",
+    "analyze_group",
+    "homogeneous_optimize",
+    "summarize",
+    "unfused_optimize",
+]

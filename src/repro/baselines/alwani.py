@@ -1,0 +1,189 @@
+"""Model of the fused-layer CNN accelerator of Alwani et al. [MICRO'16].
+
+The paper's comparison target [1].  Key modeling decisions (per the
+paper's description of [1] and the MICRO'16 design itself):
+
+* The given layer stack is fused as **one** tile-based group — [1]
+  "does not provide the capability to explore the trade-off between
+  performance and memory transfer", so it is a single design point
+  replicated across transfer constraints.
+* **Conventional convolution only** — [1] predates Winograd FPGA fusion.
+* **Tile-based reuse buffers** instead of circular line buffers: the
+  reusable tile halos are cached in dedicated buffers and "additional
+  layers are inserted between original layers to manage these buffers",
+  costing extra BRAM (halo + double buffering) and LUT/FF for the
+  boundary-condition management the paper calls out.
+* Parallelism per layer is balanced by the same bump-the-bottleneck
+  allocation its authors describe (the pipeline runs at the slowest
+  stage), over the same parallelism ladder as our engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from repro.errors import OptimizationError
+from repro.hardware.device import FPGADevice
+from repro.hardware.resources import ResourceVector
+from repro.nn.network import Network
+from repro.perf.group import GroupDesign, compose_group, fifo_overhead
+from repro.perf.implement import (
+    Algorithm,
+    Implementation,
+    candidate_algorithms,
+    candidate_parallelisms,
+    implement,
+)
+
+#: BRAM inflation of tile-based reuse buffers over circular line buffers
+#: (halo duplication + ping-pong on tile boundaries).
+TILE_BUFFER_BRAM_FACTOR = 1.6
+
+#: Fabric cost of each inserted buffer-management layer.
+_MANAGER_LUT = 1800
+_MANAGER_FF = 2200
+
+
+@dataclass(frozen=True)
+class AlwaniDesign:
+    """The [1] baseline design point for a layer stack."""
+
+    design: GroupDesign
+    device: FPGADevice
+
+    @property
+    def latency_cycles(self) -> int:
+        return self.design.latency_cycles
+
+    def latency_seconds(self) -> float:
+        return self.device.cycles_to_seconds(self.latency_cycles)
+
+    @property
+    def feature_transfer_bytes(self) -> int:
+        return self.design.feature_transfer_bytes
+
+    @property
+    def weight_transfer_bytes(self) -> int:
+        return self.design.weight_transfer_bytes
+
+    @property
+    def resources(self) -> ResourceVector:
+        return self.design.resources
+
+    @property
+    def total_ops(self) -> int:
+        return self.design.ops
+
+    def effective_gops(self) -> float:
+        return self.design.effective_gops(self.device)
+
+
+def _tile_buffer_overhead(impl: Implementation, boundary: bool) -> Implementation:
+    """Apply [1]'s tile-buffer BRAM inflation and manager-layer logic.
+
+    Only the data-reuse buffers are inflated (halo duplication); weight
+    storage is common to both architectures.
+    """
+    inflated_lines = int(round(impl.line_brams * TILE_BUFFER_BRAM_FACTOR))
+    bram = impl.resources.bram18k - impl.line_brams + inflated_lines
+    extra_lut = _MANAGER_LUT if boundary else 0
+    extra_ff = _MANAGER_FF if boundary else 0
+    resources = ResourceVector(
+        bram18k=bram,
+        dsp=impl.resources.dsp,
+        ff=impl.resources.ff + extra_ff,
+        lut=impl.resources.lut + extra_lut,
+    )
+    return replace(impl, resources=resources, line_brams=inflated_lines)
+
+
+def _conventional_algorithm(info) -> Algorithm:
+    algorithms = candidate_algorithms(info)
+    if Algorithm.CONVENTIONAL in algorithms:
+        return Algorithm.CONVENTIONAL
+    return algorithms[0]  # pool / LRN engines
+
+
+def alwani_design(network: Network, device: FPGADevice) -> AlwaniDesign:
+    """Build [1]'s single fused design for the whole layer stack.
+
+    Allocation: every layer starts at minimum parallelism; repeatedly
+    bump the slowest stage one ladder step while the device still fits
+    (with tile-buffer overheads applied).  Stops at the balanced fixed
+    point — the latency the MICRO'16 pipeline achieves.
+
+    Raises:
+        OptimizationError: If the stack does not fit even minimally.
+    """
+    infos = [network[i] for i in range(len(network))]
+    algorithms = [_conventional_algorithm(info) for info in infos]
+    ladders = [
+        candidate_parallelisms(info, algo, device)[::-1]  # ascending
+        for info, algo in zip(infos, algorithms)
+    ]
+    levels = [0] * len(infos)
+
+    def build_one(idx: int, level: int) -> Implementation:
+        raw = implement(infos[idx], algorithms[idx], ladders[idx][level], device)
+        return _tile_buffer_overhead(raw, boundary=idx > 0)
+
+    def build(levels_now: Sequence[int]) -> List[Implementation]:
+        return [build_one(idx, level) for idx, level in enumerate(levels_now)]
+
+    def fits(impls: Sequence[Implementation]) -> bool:
+        total = ResourceVector.total(i.resources for i in impls) + fifo_overhead(
+            len(impls)
+        )
+        return total.fits(device.resources)
+
+    current = build(levels)
+    if not fits(current):
+        raise OptimizationError(
+            f"[1] baseline does not fit {device.name} even at minimum parallelism"
+        )
+
+    max_iterations = 10 * sum(len(ladder) for ladder in ladders)
+    for _ in range(max_iterations):
+        # Bump the slowest stage one ladder step; the pipeline runs at
+        # the slowest stage, so bumping anything else cannot help.  If
+        # the bump does not fit, steal resources from the stage with the
+        # most slack (as long as it stays faster than the bottleneck).
+        bottleneck = max(
+            range(len(infos)), key=lambda idx: current[idx].compute_cycles
+        )
+        bottleneck_cycles = current[bottleneck].compute_cycles
+        if levels[bottleneck] + 1 >= len(ladders[bottleneck]):
+            break
+        trial_levels = list(levels)
+        trial_levels[bottleneck] += 1
+        trial = build(trial_levels)
+        while not fits(trial):
+            donors = sorted(
+                (
+                    idx
+                    for idx in range(len(infos))
+                    if idx != bottleneck and trial_levels[idx] > 0
+                ),
+                key=lambda idx: trial[idx].compute_cycles,
+            )
+            stolen = False
+            for donor in donors:
+                slowdown = build_one(donor, trial_levels[donor] - 1)
+                if slowdown.compute_cycles < bottleneck_cycles:
+                    trial_levels[donor] -= 1
+                    trial = build(trial_levels)
+                    stolen = True
+                    break
+            if not stolen:
+                break
+        if not fits(trial):
+            break
+        new_bottleneck = max(i.compute_cycles for i in trial)
+        if new_bottleneck > bottleneck_cycles:
+            break  # the steal made things worse: stop at the fixed point
+        levels = trial_levels
+        current = trial
+
+    design = compose_group(current, device)
+    return AlwaniDesign(design=design, device=device)

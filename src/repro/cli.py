@@ -1,0 +1,240 @@
+"""Command-line interface for the tool-flow.
+
+Usage (also via ``python -m repro``)::
+
+    repro models                      # list the built-in model zoo
+    repro devices                     # list the FPGA device catalog
+    repro compile MODEL [options]     # prototxt/zoo-name -> strategy + HLS
+    repro sweep MODEL [options]       # latency vs transfer-constraint table
+    repro winograd M R                # print F(M, R) transform matrices
+
+``MODEL`` is a prototxt path or a model-zoo name (``repro models``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.hardware.device import DEVICES, get_device
+from repro.nn import models
+from repro.nn.caffe import network_from_prototxt
+from repro.nn.network import Network
+from repro.optimizer.dp import optimize_many
+from repro.reporting import format_ratio, format_table
+from repro.toolflow import compile_model
+
+MB = 2**20
+
+
+def _parse_size(text: str) -> int:
+    """Parse '2MB', '340KB', '123456' into bytes."""
+    cleaned = text.strip().upper()
+    multiplier = 1
+    for suffix, factor in (("MB", MB), ("KB", 1024), ("B", 1)):
+        if cleaned.endswith(suffix):
+            cleaned = cleaned[: -len(suffix)]
+            multiplier = factor
+            break
+    try:
+        return int(float(cleaned) * multiplier)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"cannot parse size {text!r}") from None
+
+
+def _load_model(name_or_path: str) -> Network:
+    zoo = models.catalog()
+    if name_or_path in zoo:
+        return zoo[name_or_path]()
+    path = Path(name_or_path)
+    if path.exists():
+        return network_from_prototxt(path.read_text())
+    raise ReproError(
+        f"{name_or_path!r} is neither a model-zoo name ({', '.join(sorted(zoo))}) "
+        "nor an existing prototxt file"
+    )
+
+
+def _cmd_models(_args: argparse.Namespace) -> int:
+    rows = []
+    for name, ctor in sorted(models.catalog().items()):
+        net = ctor()
+        rows.append(
+            [
+                name,
+                len(net),
+                str(net.input_spec.shape),
+                f"{net.total_ops() / 1e9:.2f}",
+                f"{net.total_weights() / 1e6:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["model", "layers", "input", "GOP", "Mparams"], rows, title="model zoo"
+        )
+    )
+    return 0
+
+
+def _cmd_devices(_args: argparse.Namespace) -> int:
+    rows = []
+    for name, dev in sorted(DEVICES.items()):
+        r = dev.resources
+        rows.append(
+            [
+                name,
+                r.bram18k,
+                r.dsp,
+                r.ff,
+                r.lut,
+                f"{dev.bandwidth_bytes_per_s / 1e9:.1f}",
+                f"{dev.frequency_hz / 1e6:.0f}",
+            ]
+        )
+    print(
+        format_table(
+            ["device", "BRAM18K", "DSP", "FF", "LUT", "GB/s", "MHz"],
+            rows,
+            title="device catalog",
+        )
+    )
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    network = _load_model(args.model)
+    result = compile_model(
+        network,
+        device=args.device,
+        transfer_constraint_bytes=args.transfer,
+        output_dir=Path(args.out) if args.out else None,
+    )
+    print(result.strategy.report())
+    if args.out:
+        print(f"\nHLS project written to {args.out}")
+    if args.simulate:
+        sim = result.simulate()
+        print()
+        print(sim.report())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    network = _load_model(args.model).accelerated_prefix()
+    device = get_device(args.device)
+    constraints = [_parse_size(c) for c in args.constraints.split(",")]
+    strategies = optimize_many(network, device, constraints)
+    baseline = None
+    if args.baseline:
+        from repro.baselines.alwani import alwani_design
+
+        baseline = alwani_design(network, device)
+    rows = []
+    for constraint, strategy in zip(constraints, strategies):
+        row = [
+            f"{constraint / MB:.2f} MB",
+            f"{strategy.latency_cycles / 1e6:.2f}",
+            len(strategy.designs),
+            f"{strategy.effective_gops():.0f}",
+        ]
+        if baseline is not None:
+            row.append(
+                format_ratio(baseline.latency_cycles / strategy.latency_cycles)
+            )
+        rows.append(row)
+    headers = ["constraint", "latency (Mcyc)", "groups", "GOPS"]
+    if baseline is not None:
+        headers.append("speedup vs [1]")
+    print(
+        format_table(
+            headers, rows, title=f"{network.name} on {device.name}"
+        )
+    )
+    return 0
+
+
+def _cmd_winograd(args: argparse.Namespace) -> int:
+    from repro.algorithms.poly import to_numpy
+    from repro.algorithms.winograd import exact_transform_matrices, winograd_transform
+
+    transform = winograd_transform(args.m, args.r)
+    at, g, bt = exact_transform_matrices(args.m, args.r)
+    print(
+        f"F({args.m}, {args.r}): alpha={transform.alpha}, 2-D reduction "
+        f"{transform.multiplication_reduction:.2f}x"
+    )
+    for name, matrix in (("A^T", at), ("G", g), ("B^T", bt)):
+        print(f"{name} =")
+        for row in to_numpy(matrix):
+            print("  [" + "  ".join(f"{value:8.4f}" for value in row) + "]")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Heterogeneous conventional/Winograd CNN-to-FPGA tool-flow "
+        "(DAC 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the built-in model zoo").set_defaults(
+        func=_cmd_models
+    )
+    sub.add_parser("devices", help="list the FPGA device catalog").set_defaults(
+        func=_cmd_devices
+    )
+
+    compile_p = sub.add_parser("compile", help="map a model onto an FPGA")
+    compile_p.add_argument("model", help="prototxt path or model-zoo name")
+    compile_p.add_argument("--device", default="zc706", choices=sorted(DEVICES))
+    compile_p.add_argument(
+        "--transfer",
+        type=_parse_size,
+        default=None,
+        help="feature-map transfer constraint, e.g. 2MB or 340KB "
+        "(default: unconstrained)",
+    )
+    compile_p.add_argument("--out", default=None, help="write the HLS project here")
+    compile_p.add_argument(
+        "--simulate", action="store_true", help="run the cycle-approximate simulator"
+    )
+    compile_p.set_defaults(func=_cmd_compile)
+
+    sweep_p = sub.add_parser("sweep", help="latency vs transfer-constraint table")
+    sweep_p.add_argument("model")
+    sweep_p.add_argument("--device", default="zc706", choices=sorted(DEVICES))
+    sweep_p.add_argument(
+        "--constraints",
+        default="2MB,4MB,8MB,16MB,32MB",
+        help="comma-separated constraints (default: the Figure 5 sweep)",
+    )
+    sweep_p.add_argument(
+        "--baseline",
+        action="store_true",
+        help="also run the Alwani et al. [MICRO'16] baseline",
+    )
+    sweep_p.set_defaults(func=_cmd_sweep)
+
+    wino_p = sub.add_parser("winograd", help="print F(m, r) transform matrices")
+    wino_p.add_argument("m", type=int)
+    wino_p.add_argument("r", type=int)
+    wino_p.set_defaults(func=_cmd_winograd)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""HLS code generation (paper Section 6).
+
+Given an optimal strategy, emit Vivado-HLS C++ using per-layer templates
+(conventional convolution, Winograd convolution, pooling, LRN), wrap each
+fusion group in a top function carrying the DATAFLOW directive with FIFO
+stream channels, and produce the host stub and build script.  Vivado
+itself is unavailable here; the output is structurally complete C++ whose
+properties (pragmas, channel wiring, parameterization) are unit-tested.
+"""
+
+from repro.codegen.generator import CodeGenerator, generate_project
+from repro.codegen import templates
+
+__all__ = ["CodeGenerator", "generate_project", "templates"]

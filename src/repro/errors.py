@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing genuine programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ShapeError(ReproError):
+    """A tensor or layer shape is inconsistent or unsupported."""
+
+
+class ParseError(ReproError):
+    """A model description (e.g. Caffe prototxt) could not be parsed."""
+
+
+class UnsupportedLayerError(ReproError):
+    """A layer type has no implementation for the requested operation."""
+
+
+class AlgorithmError(ReproError):
+    """A convolution algorithm cannot be applied to the given layer."""
+
+
+class ResourceError(ReproError):
+    """A design does not fit the target device's resources."""
+
+
+class OptimizationError(ReproError):
+    """The strategy optimizer could not produce a feasible strategy."""
+
+
+class CodegenError(ReproError):
+    """The HLS code generator was given an invalid strategy or layer."""
+
+
+class SimulationError(ReproError):
+    """The cycle-approximate simulator hit an inconsistent state."""

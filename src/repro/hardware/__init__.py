@@ -1,0 +1,24 @@
+"""FPGA substrate: devices, resource vectors, roofline and power models.
+
+Models the paper's target hardware — the ZC706 evaluation board
+(XC7Z045) and the Virtex-7 485T used in the Figure 1 motivation — at the
+level the paper's own optimizer consumes: multi-dimensional resource
+vectors (BRAM18K, DSP48E, FF, LUT), off-chip bandwidth, clock frequency,
+and a resource-proportional power model for the energy-efficiency
+comparisons.
+"""
+
+from repro.hardware.resources import ResourceVector
+from repro.hardware.device import FPGADevice, get_device, DEVICES
+from repro.hardware.roofline import RooflinePoint, attainable_performance
+from repro.hardware.power import PowerModel
+
+__all__ = [
+    "DEVICES",
+    "FPGADevice",
+    "PowerModel",
+    "ResourceVector",
+    "RooflinePoint",
+    "attainable_performance",
+    "get_device",
+]

@@ -1,0 +1,132 @@
+"""FPGA device catalog.
+
+"The specification of the target FPGA includes Block RAMs (BRAMs), DSPs,
+off-chip bandwidth and others" (paper S3).  The two devices the paper
+uses are included with their public datasheet numbers:
+
+* **zc706** — Xilinx Zynq-7000 ZC706 board (XC7Z045), the evaluation
+  platform: 900 DSP48E, 1090 BRAM18K, 437k FF, 218k LUT, 1 GB DDR3 at a
+  quoted 4.2 GB/s peak, run at 100 MHz with 16-bit fixed data.
+* **vc707** — Virtex-7 XC7VX485T, used for the Figure 1 roofline
+  motivation with a 4.5 GB/s bandwidth roof.
+
+A deliberately tiny ``testchip`` device keeps unit tests fast and makes
+resource-exhaustion paths easy to exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.errors import ResourceError
+from repro.hardware.resources import ResourceVector
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """A target FPGA platform.
+
+    Attributes:
+        name: Catalog key.
+        resources: Total usable fabric resources.
+        bandwidth_bytes_per_s: Peak off-chip memory bandwidth.
+        frequency_hz: Accelerator clock.
+        element_bytes: Datapath word size (paper: 16-bit fixed = 2 bytes).
+        dsp_per_mac: DSP48E slices per 16-bit multiply-accumulate (1 for
+            16-bit operands on 7-series).
+        max_fusion_depth: Upper bound on layers per fusion group ("we
+            employ 8 as an upper bound ... due to memory ports
+            limitation", paper S7.1).
+    """
+
+    name: str
+    resources: ResourceVector
+    bandwidth_bytes_per_s: float
+    frequency_hz: float
+    element_bytes: int = 2
+    dsp_per_mac: int = 1
+    max_fusion_depth: int = 8
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ResourceError("bandwidth must be positive")
+        if self.frequency_hz <= 0:
+            raise ResourceError("frequency must be positive")
+        if self.element_bytes <= 0:
+            raise ResourceError("element size must be positive")
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Off-chip transfer capability per accelerator clock cycle."""
+        return self.bandwidth_bytes_per_s / self.frequency_hz
+
+    @property
+    def peak_macs_per_cycle(self) -> int:
+        """MACs/cycle if every DSP does one multiply per cycle."""
+        return self.resources.dsp // self.dsp_per_mac
+
+    @property
+    def conventional_roof_gops(self) -> float:
+        """Computational roof of the conventional algorithm (GOPS).
+
+        One MAC = 2 operations; every MAC occupies ``dsp_per_mac`` DSPs.
+        """
+        return 2 * self.peak_macs_per_cycle * self.frequency_hz / 1e9
+
+    def winograd_roof_gops(self, multiplication_reduction: float) -> float:
+        """Computational roof of the Winograd algorithm (GOPS).
+
+        Winograd performs the equivalent convolution work with
+        ``multiplication_reduction`` fewer DSP multiplications (4.0 for
+        F(4x4, 3x3)); transforms are adder/LUT logic, not DSPs.
+        """
+        return self.conventional_roof_gops * multiplication_reduction
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.frequency_hz
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        return seconds * self.frequency_hz
+
+    def with_bandwidth(self, bandwidth_bytes_per_s: float) -> "FPGADevice":
+        """Copy of this device with a different off-chip bandwidth."""
+        return replace(self, bandwidth_bytes_per_s=bandwidth_bytes_per_s)
+
+
+DEVICES: Dict[str, FPGADevice] = {
+    "zc706": FPGADevice(
+        name="zc706",
+        resources=ResourceVector(bram18k=1090, dsp=900, ff=437_200, lut=218_600),
+        bandwidth_bytes_per_s=4.2e9,
+        frequency_hz=100e6,
+    ),
+    "vc707": FPGADevice(
+        name="vc707",
+        resources=ResourceVector(bram18k=2060, dsp=2800, ff=607_200, lut=303_600),
+        bandwidth_bytes_per_s=4.5e9,
+        frequency_hz=100e6,
+    ),
+    "zcu102": FPGADevice(
+        name="zcu102",
+        resources=ResourceVector(bram18k=1824, dsp=2520, ff=548_160, lut=274_080),
+        bandwidth_bytes_per_s=19.2e9,
+        frequency_hz=200e6,
+    ),
+    "testchip": FPGADevice(
+        name="testchip",
+        resources=ResourceVector(bram18k=64, dsp=64, ff=32_000, lut=16_000),
+        bandwidth_bytes_per_s=0.8e9,
+        frequency_hz=100e6,
+        max_fusion_depth=4,
+    ),
+}
+
+
+def get_device(name: str) -> FPGADevice:
+    """Look up a device by catalog name."""
+    try:
+        return DEVICES[name]
+    except KeyError:
+        known = ", ".join(sorted(DEVICES))
+        raise ResourceError(f"unknown device {name!r}; known devices: {known}") from None

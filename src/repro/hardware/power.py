@@ -1,0 +1,105 @@
+"""Resource-proportional power and energy model.
+
+The paper reports board power (9.4 W scale) and energy-efficiency
+(GOPS/W) in Table 1, and claims transfer-energy savings from fusion
+(S7.2).  Boards are unavailable here, so we substitute a standard
+resource-activity model: static power plus per-resource dynamic
+coefficients (values in the range Xilinx's XPE tool gives for 7-series at
+100 MHz), plus DDR3 transfer energy per byte.  Absolute watts are
+approximate by construction; ratios between designs — which is what the
+paper's comparison uses — are driven by the same resource/transfer
+quantities the paper's designs differ in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ResourceError
+from repro.hardware.device import FPGADevice
+from repro.hardware.resources import ResourceVector
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Per-resource dynamic power coefficients (watts at 100 MHz).
+
+    Attributes:
+        static_w: Device static + PS/board overhead power.
+        dsp_w: Per active DSP48E slice.
+        bram_w: Per active BRAM18K tile.
+        lut_w: Per LUT (logic + routing).
+        ff_w: Per flip-flop.
+        dram_pj_per_byte: DDR3 access energy per byte transferred.
+    """
+
+    static_w: float = 1.2
+    dsp_w: float = 2.2e-3
+    bram_w: float = 3.0e-3
+    lut_w: float = 8.0e-6
+    ff_w: float = 2.0e-6
+    dram_pj_per_byte: float = 70.0
+
+    def fabric_power_w(self, usage: ResourceVector, frequency_hz: float = 100e6) -> float:
+        """Static plus dynamic fabric power for a design's resource usage."""
+        if frequency_hz <= 0:
+            raise ResourceError("frequency must be positive")
+        scale = frequency_hz / 100e6
+        dynamic = (
+            usage.dsp * self.dsp_w
+            + usage.bram18k * self.bram_w
+            + usage.lut * self.lut_w
+            + usage.ff * self.ff_w
+        )
+        return self.static_w + dynamic * scale
+
+    def transfer_energy_j(self, transfer_bytes: float) -> float:
+        """DRAM energy for moving ``transfer_bytes`` off/on chip."""
+        if transfer_bytes < 0:
+            raise ResourceError("transfer bytes must be non-negative")
+        return transfer_bytes * self.dram_pj_per_byte * 1e-12
+
+    def design_energy_j(
+        self,
+        usage: ResourceVector,
+        latency_s: float,
+        transfer_bytes: float,
+        frequency_hz: float = 100e6,
+    ) -> float:
+        """Total energy: fabric power x latency + DRAM transfer energy."""
+        if latency_s < 0:
+            raise ResourceError("latency must be non-negative")
+        return (
+            self.fabric_power_w(usage, frequency_hz) * latency_s
+            + self.transfer_energy_j(transfer_bytes)
+        )
+
+    def average_power_w(
+        self,
+        usage: ResourceVector,
+        latency_s: float,
+        transfer_bytes: float,
+        frequency_hz: float = 100e6,
+    ) -> float:
+        """Board power averaged over the run (fabric + DRAM)."""
+        if latency_s <= 0:
+            raise ResourceError("latency must be positive to average power")
+        return self.design_energy_j(usage, latency_s, transfer_bytes, frequency_hz) / latency_s
+
+    def energy_efficiency_gops_per_w(
+        self,
+        ops: float,
+        usage: ResourceVector,
+        latency_s: float,
+        transfer_bytes: float,
+        frequency_hz: float = 100e6,
+    ) -> float:
+        """The paper's Table 1 metric: effective GOPS per watt."""
+        power = self.average_power_w(usage, latency_s, transfer_bytes, frequency_hz)
+        gops = ops / latency_s / 1e9
+        return gops / power
+
+
+def device_power_model(device: FPGADevice) -> PowerModel:
+    """Default power model for a device (single calibration for now)."""
+    return PowerModel()

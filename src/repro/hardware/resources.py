@@ -1,0 +1,91 @@
+"""Multi-dimensional FPGA resource vectors.
+
+"On FPGAs, resource constraint R is multi-dimensional including BRAMs,
+DSP slices and logic cells of the target device" (paper S5).  A
+:class:`ResourceVector` carries the four quantities the paper reports
+(BRAM18K, DSP48E, FF, LUT) with element-wise arithmetic and a ``fits``
+partial order, which is all the branch-and-bound needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+from repro.errors import ResourceError
+
+FIELDS = ("bram18k", "dsp", "ff", "lut")
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """Counts of BRAM18K tiles, DSP48E slices, flip-flops and LUTs."""
+
+    bram18k: int = 0
+    dsp: int = 0
+    ff: int = 0
+    lut: int = 0
+
+    def __post_init__(self) -> None:
+        for field in FIELDS:
+            value = getattr(self, field)
+            if value < 0:
+                raise ResourceError(f"{field} must be non-negative, got {value}")
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.bram18k + other.bram18k,
+            self.dsp + other.dsp,
+            self.ff + other.ff,
+            self.lut + other.lut,
+        )
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.bram18k - other.bram18k,
+            self.dsp - other.dsp,
+            self.ff - other.ff,
+            self.lut - other.lut,
+        )
+
+    def scaled(self, factor: int) -> "ResourceVector":
+        """Element-wise integer scaling (replicated engines)."""
+        if factor < 0:
+            raise ResourceError(f"scale factor must be non-negative, got {factor}")
+        return ResourceVector(
+            self.bram18k * factor, self.dsp * factor, self.ff * factor, self.lut * factor
+        )
+
+    def fits(self, budget: "ResourceVector") -> bool:
+        """True if this usage is within ``budget`` in every dimension."""
+        return all(
+            getattr(self, field) <= getattr(budget, field) for field in FIELDS
+        )
+
+    def utilization(self, budget: "ResourceVector") -> Dict[str, float]:
+        """Per-dimension fraction of ``budget`` consumed."""
+        result = {}
+        for field in FIELDS:
+            total = getattr(budget, field)
+            used = getattr(self, field)
+            result[field] = used / total if total else float("inf") if used else 0.0
+        return result
+
+    def max_utilization(self, budget: "ResourceVector") -> float:
+        """The binding-dimension utilization."""
+        return max(self.utilization(budget).values())
+
+    def as_dict(self) -> Dict[str, int]:
+        return {field: getattr(self, field) for field in FIELDS}
+
+    @staticmethod
+    def total(parts: Iterable["ResourceVector"]) -> "ResourceVector":
+        result = ResourceVector()
+        for part in parts:
+            result = result + part
+        return result
+
+    def __str__(self) -> str:
+        return (
+            f"BRAM18K={self.bram18k} DSP={self.dsp} FF={self.ff} LUT={self.lut}"
+        )

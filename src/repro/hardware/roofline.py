@@ -1,0 +1,95 @@
+"""Roofline performance model (paper Figure 1, after Williams et al.).
+
+Relates attainable performance to the computation-to-communication (CTC)
+ratio: ``attainable = min(computational_roof, ctc * bandwidth)``.  The
+module reproduces the paper's motivation figure: the conventional design
+A sits under its computational roof, the Winograd design B is clipped by
+the bandwidth roof well below its ideal point B', and fusing layers moves
+the design to a higher CTC ratio C where the Winograd roof is usable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ShapeError
+from repro.hardware.device import FPGADevice
+
+
+def ctc_ratio(ops: float, transfer_bytes: float) -> float:
+    """Computation-to-communication ratio in OP / byte.
+
+    The paper plots GOP/GByte which is numerically identical.
+    """
+    if transfer_bytes <= 0:
+        raise ShapeError("transfer must be positive for a CTC ratio")
+    return ops / transfer_bytes
+
+
+def bandwidth_roof_gops(ctc: float, device: FPGADevice) -> float:
+    """Bandwidth-limited performance at a given CTC ratio (GOPS)."""
+    return ctc * device.bandwidth_bytes_per_s / 1e9
+
+
+def attainable_performance(ctc: float, computational_roof_gops: float, device: FPGADevice) -> float:
+    """min(computational roof, bandwidth roof) in GOPS."""
+    return min(computational_roof_gops, bandwidth_roof_gops(ctc, device))
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One design point on the roofline plot.
+
+    Attributes:
+        label: Point name (e.g. "A", "B", "B'", "C").
+        ctc: Computation-to-communication ratio (OP/byte).
+        computational_roof_gops: The algorithm's compute roof.
+        attainable_gops: Performance after both roofs are applied.
+        bandwidth_bound: True when the bandwidth roof is the binding one.
+    """
+
+    label: str
+    ctc: float
+    computational_roof_gops: float
+    attainable_gops: float
+    bandwidth_bound: bool
+
+    @property
+    def wasted_compute_gops(self) -> float:
+        """Compute capability lost to bandwidth saturation (B vs B')."""
+        return self.computational_roof_gops - self.attainable_gops
+
+
+def make_point(
+    label: str, ops: float, transfer_bytes: float, computational_roof_gops: float, device: FPGADevice
+) -> RooflinePoint:
+    """Build a roofline point from raw workload numbers."""
+    ctc = ctc_ratio(ops, transfer_bytes)
+    bw = bandwidth_roof_gops(ctc, device)
+    attainable = min(computational_roof_gops, bw)
+    return RooflinePoint(
+        label=label,
+        ctc=ctc,
+        computational_roof_gops=computational_roof_gops,
+        attainable_gops=attainable,
+        bandwidth_bound=bw < computational_roof_gops,
+    )
+
+
+def render_ascii(points: List[RooflinePoint], device: FPGADevice, width: int = 60) -> str:
+    """A small text rendering of the roofline plot for reports."""
+    if not points:
+        return "(no points)"
+    lines = [
+        f"Roofline on {device.name}: bandwidth {device.bandwidth_bytes_per_s / 1e9:.1f} GB/s"
+    ]
+    max_perf = max(p.computational_roof_gops for p in points)
+    for point in sorted(points, key=lambda p: p.ctc):
+        bar = int(width * point.attainable_gops / max_perf)
+        roof = "bandwidth" if point.bandwidth_bound else "compute"
+        lines.append(
+            f"  {point.label:<3} ctc={point.ctc:8.1f} OP/B "
+            f"|{'#' * bar:<{width}}| {point.attainable_gops:8.1f} GOPS ({roof}-bound)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""CNN substrate: layer IR, networks, model zoo, Caffe prototxt, reference math.
+
+This subpackage is the paper's "Caffe model" input side.  It provides a
+small, self-contained intermediate representation for feed-forward CNNs
+(:mod:`repro.nn.layers`, :mod:`repro.nn.network`), built-in definitions of
+the networks the paper evaluates (:mod:`repro.nn.models`), a parser and
+serializer for Caffe's prototxt format (:mod:`repro.nn.caffe`), and a numpy
+reference implementation of every layer type (:mod:`repro.nn.functional`)
+used as the functional oracle for the accelerator simulator.
+"""
+
+from repro.nn.layers import (
+    ConvLayer,
+    FCLayer,
+    InputSpec,
+    Layer,
+    LRNLayer,
+    PoolLayer,
+    ReLULayer,
+    SoftmaxLayer,
+)
+from repro.nn.network import Network
+from repro.nn import models
+
+__all__ = [
+    "ConvLayer",
+    "FCLayer",
+    "InputSpec",
+    "LRNLayer",
+    "Layer",
+    "Network",
+    "PoolLayer",
+    "ReLULayer",
+    "SoftmaxLayer",
+    "models",
+]

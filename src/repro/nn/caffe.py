@@ -1,0 +1,499 @@
+"""Caffe prototxt parsing and serialization.
+
+The paper's tool-flow "takes Caffe configuration file ... as inputs".  This
+module implements a self-contained reader/writer for the prototxt text
+format (a protobuf text-format subset) sufficient for CNN topology files:
+nested messages in braces, scalar ``key: value`` fields, repeated fields,
+quoted strings, booleans and enums, and ``#`` comments.
+
+Parsing happens in two stages: :func:`parse_prototxt` produces a generic
+:class:`Message` tree, and :func:`network_from_prototxt` lowers it to a
+:class:`repro.nn.network.Network`, folding standalone ReLU layers into
+their preceding convolution (as the paper's architecture does) and
+checking the topology is a linear chain.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import ParseError
+from repro.nn.layers import (
+    ConvLayer,
+    FCLayer,
+    InputSpec,
+    Layer,
+    LRNLayer,
+    PoolLayer,
+    ReLULayer,
+    SoftmaxLayer,
+)
+from repro.nn.network import Network
+
+Scalar = Union[str, int, float, bool]
+
+
+class Message:
+    """A parsed prototxt message: multimap of field name -> values."""
+
+    def __init__(self) -> None:
+        self._fields: Dict[str, List[Union[Scalar, "Message"]]] = {}
+
+    def add(self, key: str, value: Union[Scalar, "Message"]) -> None:
+        self._fields.setdefault(key, []).append(value)
+
+    def get_all(self, key: str) -> List[Union[Scalar, "Message"]]:
+        return list(self._fields.get(key, []))
+
+    def get(self, key: str, default=None):
+        values = self._fields.get(key)
+        if not values:
+            return default
+        return values[0]
+
+    def get_message(self, key: str) -> Optional["Message"]:
+        value = self.get(key)
+        if value is None:
+            return None
+        if not isinstance(value, Message):
+            raise ParseError(f"field {key!r} is scalar, expected message")
+        return value
+
+    def get_int(self, key: str, default: Optional[int] = None) -> Optional[int]:
+        value = self.get(key, default)
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ParseError(f"field {key!r} is not numeric: {value!r}")
+        return int(value)
+
+    def get_float(self, key: str, default: Optional[float] = None) -> Optional[float]:
+        value = self.get(key, default)
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ParseError(f"field {key!r} is not numeric: {value!r}")
+        return float(value)
+
+    def get_str(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        value = self.get(key, default)
+        if value is None:
+            return None
+        if not isinstance(value, str):
+            raise ParseError(f"field {key!r} is not a string: {value!r}")
+        return value
+
+    def keys(self) -> List[str]:
+        return list(self._fields)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._fields
+
+    def __repr__(self) -> str:
+        return f"Message({self._fields!r})"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<punct>[{}:])
+  | (?P<atom>[^\s{}:"\#]+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> Iterator[Tuple[str, str, int]]:
+    """Yield (kind, token, line) triples, skipping whitespace and comments."""
+    line = 1
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"line {line}: unexpected character {text[pos]!r}")
+        kind = match.lastgroup
+        token = match.group()
+        if kind not in ("ws", "comment"):
+            yield kind, token, line
+        line += token.count("\n")
+        pos = match.end()
+
+
+_NUMBER_RE = re.compile(r"^[+-]?(\d+\.?\d*([eE][+-]?\d+)?|\.\d+([eE][+-]?\d+)?)$")
+
+
+def _parse_atom(token: str) -> Scalar:
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    if _NUMBER_RE.match(token):
+        if re.match(r"^[+-]?\d+$", token):
+            return int(token)
+        return float(token)
+    # bare enum value (e.g. MAX, AVE)
+    return token
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self._tokens = list(_tokenize(text))
+        self._pos = 0
+
+    def _peek(self) -> Optional[Tuple[str, str, int]]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> Tuple[str, str, int]:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._pos += 1
+        return token
+
+    def parse(self) -> Message:
+        message = self._parse_fields(top_level=True)
+        if self._peek() is not None:
+            _, token, line = self._peek()
+            raise ParseError(f"line {line}: trailing content {token!r}")
+        return message
+
+    def _parse_fields(self, top_level: bool) -> Message:
+        message = Message()
+        while True:
+            token = self._peek()
+            if token is None:
+                if top_level:
+                    return message
+                raise ParseError("unexpected end of input inside message")
+            kind, text, line = token
+            if kind == "punct" and text == "}":
+                if top_level:
+                    raise ParseError(f"line {line}: unmatched '}}'")
+                self._next()
+                return message
+            if kind != "atom":
+                raise ParseError(f"line {line}: expected field name, got {text!r}")
+            self._next()
+            key = text
+            kind2, text2, line2 = self._next()
+            if kind2 == "punct" and text2 == ":":
+                kind3, text3, line3 = self._next()
+                if kind3 == "string":
+                    value: Union[Scalar, Message] = _unquote(text3)
+                elif kind3 == "atom":
+                    value = _parse_atom(text3)
+                elif kind3 == "punct" and text3 == "{":
+                    value = self._parse_fields(top_level=False)
+                else:
+                    raise ParseError(f"line {line3}: expected value, got {text3!r}")
+                message.add(key, value)
+            elif kind2 == "punct" and text2 == "{":
+                message.add(key, self._parse_fields(top_level=False))
+            else:
+                raise ParseError(f"line {line2}: expected ':' or '{{' after {key!r}")
+
+
+def _unquote(token: str) -> str:
+    body = token[1:-1]
+    return body.replace('\\"', '"').replace("\\\\", "\\")
+
+
+def parse_prototxt(text: str) -> Message:
+    """Parse prototxt text into a generic :class:`Message` tree."""
+    return _Parser(text).parse()
+
+
+# -- lowering to Network ----------------------------------------------------
+
+
+def _input_spec(root: Message) -> InputSpec:
+    dims = [v for v in root.get_all("input_dim") if isinstance(v, int)]
+    if not dims:
+        shape_msg = root.get_message("input_shape")
+        if shape_msg is not None:
+            dims = [v for v in shape_msg.get_all("dim") if isinstance(v, int)]
+    if not dims:
+        # Input layer form: layer { type: "Input" input_param { shape { dim .. } } }
+        for layer in root.get_all("layer"):
+            if isinstance(layer, Message) and layer.get_str("type") == "Input":
+                param = layer.get_message("input_param")
+                if param is not None:
+                    shape = param.get_message("shape")
+                    if shape is not None:
+                        dims = [v for v in shape.get_all("dim") if isinstance(v, int)]
+                break
+    if len(dims) == 4:
+        dims = dims[1:]  # drop batch
+    if len(dims) != 3:
+        raise ParseError(f"could not determine input shape; dims={dims}")
+    return InputSpec(*dims)
+
+
+def _lower_conv(name: str, msg: Message) -> ConvLayer:
+    param = msg.get_message("convolution_param")
+    if param is None:
+        raise ParseError(f"conv layer {name!r} missing convolution_param")
+    num_output = param.get_int("num_output")
+    kernel = param.get_int("kernel_size")
+    if num_output is None or kernel is None:
+        raise ParseError(f"conv layer {name!r} missing num_output/kernel_size")
+    return ConvLayer(
+        name=name,
+        out_channels=num_output,
+        kernel=kernel,
+        stride=param.get_int("stride", 1),
+        pad=param.get_int("pad", 0),
+        groups=param.get_int("group", 1),
+        relu=False,
+    )
+
+
+def _lower_pool(name: str, msg: Message) -> PoolLayer:
+    param = msg.get_message("pooling_param")
+    if param is None:
+        raise ParseError(f"pool layer {name!r} missing pooling_param")
+    kernel = param.get_int("kernel_size")
+    if kernel is None:
+        raise ParseError(f"pool layer {name!r} missing kernel_size")
+    mode = param.get("pool", "MAX")
+    mode_name = {"MAX": "max", "AVE": "ave", 0: "max", 1: "ave"}.get(mode)
+    if mode_name is None:
+        raise ParseError(f"pool layer {name!r}: unsupported mode {mode!r}")
+    return PoolLayer(
+        name=name,
+        kernel=kernel,
+        stride=param.get_int("stride", 1),
+        pad=param.get_int("pad", 0),
+        mode=mode_name,
+    )
+
+
+def _lower_lrn(name: str, msg: Message) -> LRNLayer:
+    param = msg.get_message("lrn_param")
+    if param is None:
+        return LRNLayer(name=name)
+    return LRNLayer(
+        name=name,
+        local_size=param.get_int("local_size", 5),
+        alpha=param.get_float("alpha", 1e-4),
+        beta=param.get_float("beta", 0.75),
+        k=param.get_float("k", 1.0),
+    )
+
+
+def _lower_fc(name: str, msg: Message) -> FCLayer:
+    param = msg.get_message("inner_product_param")
+    if param is None:
+        raise ParseError(f"fc layer {name!r} missing inner_product_param")
+    num_output = param.get_int("num_output")
+    if num_output is None:
+        raise ParseError(f"fc layer {name!r} missing num_output")
+    return FCLayer(name=name, out_features=num_output, relu=False)
+
+
+def network_from_prototxt(text: str, fold_relu: bool = True) -> Network:
+    """Lower prototxt text to a :class:`Network`.
+
+    Standalone ReLU layers are folded into the preceding conv/FC layer
+    when ``fold_relu`` is set (the accelerator integrates ReLU into the
+    convolution engines).  The bottom/top wiring must form a single linear
+    chain; anything else raises :class:`ParseError`.
+    """
+    root = parse_prototxt(text)
+    spec = _input_spec(root)
+    name = root.get_str("name", "network")
+
+    layers: List[Layer] = []
+    previous_top: Optional[str] = None
+    for entry in root.get_all("layer") + root.get_all("layers"):
+        if not isinstance(entry, Message):
+            raise ParseError("'layer' field must be a message")
+        layer_type = entry.get_str("type")
+        layer_name = entry.get_str("name")
+        if layer_type is None or layer_name is None:
+            raise ParseError("layer missing name or type")
+        if layer_type in ("Input", "Data", "Dropout", "Accuracy"):
+            continue
+        bottoms = [b for b in entry.get_all("bottom") if isinstance(b, str)]
+        tops = [t for t in entry.get_all("top") if isinstance(t, str)]
+        if previous_top is not None and bottoms and bottoms[0] not in (
+            previous_top,
+            layers[-1].name if layers else previous_top,
+        ):
+            raise ParseError(
+                f"layer {layer_name!r} bottom {bottoms[0]!r} breaks the linear "
+                f"chain (expected {previous_top!r})"
+            )
+        if layer_type == "Convolution":
+            layers.append(_lower_conv(layer_name, entry))
+        elif layer_type == "Pooling":
+            layers.append(_lower_pool(layer_name, entry))
+        elif layer_type == "LRN":
+            layers.append(_lower_lrn(layer_name, entry))
+        elif layer_type == "InnerProduct":
+            layers.append(_lower_fc(layer_name, entry))
+        elif layer_type == "ReLU":
+            if fold_relu and layers and isinstance(layers[-1], (ConvLayer, FCLayer)):
+                layers[-1] = _set_relu(layers[-1])
+            else:
+                layers.append(ReLULayer(name=layer_name))
+        elif layer_type == "Softmax":
+            layers.append(SoftmaxLayer(name=layer_name))
+        else:
+            raise ParseError(f"unsupported layer type {layer_type!r}")
+        if tops:
+            previous_top = tops[0]
+    return Network(name, spec, layers)
+
+
+def _set_relu(layer: Layer) -> Layer:
+    from dataclasses import replace
+
+    return replace(layer, relu=True)
+
+
+# -- serialization ----------------------------------------------------------
+
+
+def _conv_block(layer: ConvLayer, bottom: str) -> str:
+    lines = [
+        "layer {",
+        f'  name: "{layer.name}"',
+        '  type: "Convolution"',
+        f'  bottom: "{bottom}"',
+        f'  top: "{layer.name}"',
+        "  convolution_param {",
+        f"    num_output: {layer.out_channels}",
+        f"    kernel_size: {layer.kernel}",
+        f"    stride: {layer.stride}",
+        f"    pad: {layer.pad}",
+    ]
+    if layer.groups != 1:
+        lines.append(f"    group: {layer.groups}")
+    lines.extend(["  }", "}"])
+    if layer.relu:
+        lines.extend(
+            [
+                "layer {",
+                f'  name: "relu_{layer.name}"',
+                '  type: "ReLU"',
+                f'  bottom: "{layer.name}"',
+                f'  top: "{layer.name}"',
+                "}",
+            ]
+        )
+    return "\n".join(lines)
+
+
+def _pool_block(layer: PoolLayer, bottom: str) -> str:
+    return "\n".join(
+        [
+            "layer {",
+            f'  name: "{layer.name}"',
+            '  type: "Pooling"',
+            f'  bottom: "{bottom}"',
+            f'  top: "{layer.name}"',
+            "  pooling_param {",
+            f"    pool: {layer.mode.upper()}",
+            f"    kernel_size: {layer.kernel}",
+            f"    stride: {layer.stride}",
+            f"    pad: {layer.pad}",
+            "  }",
+            "}",
+        ]
+    )
+
+
+def _lrn_block(layer: LRNLayer, bottom: str) -> str:
+    return "\n".join(
+        [
+            "layer {",
+            f'  name: "{layer.name}"',
+            '  type: "LRN"',
+            f'  bottom: "{bottom}"',
+            f'  top: "{layer.name}"',
+            "  lrn_param {",
+            f"    local_size: {layer.local_size}",
+            f"    alpha: {layer.alpha}",
+            f"    beta: {layer.beta}",
+            f"    k: {layer.k}",
+            "  }",
+            "}",
+        ]
+    )
+
+
+def _fc_block(layer: FCLayer, bottom: str) -> str:
+    lines = [
+        "layer {",
+        f'  name: "{layer.name}"',
+        '  type: "InnerProduct"',
+        f'  bottom: "{bottom}"',
+        f'  top: "{layer.name}"',
+        "  inner_product_param {",
+        f"    num_output: {layer.out_features}",
+        "  }",
+        "}",
+    ]
+    if layer.relu:
+        lines.extend(
+            [
+                "layer {",
+                f'  name: "relu_{layer.name}"',
+                '  type: "ReLU"',
+                f'  bottom: "{layer.name}"',
+                f'  top: "{layer.name}"',
+                "}",
+            ]
+        )
+    return "\n".join(lines)
+
+
+def _simple_block(layer: Layer, caffe_type: str, bottom: str) -> str:
+    return "\n".join(
+        [
+            "layer {",
+            f'  name: "{layer.name}"',
+            f'  type: "{caffe_type}"',
+            f'  bottom: "{bottom}"',
+            f'  top: "{layer.name}"',
+            "}",
+        ]
+    )
+
+
+def network_to_prototxt(network: Network) -> str:
+    """Serialize a :class:`Network` to Caffe prototxt text."""
+    spec = network.input_spec
+    parts = [
+        f'name: "{network.name}"',
+        'input: "data"',
+        "input_dim: 1",
+        f"input_dim: {spec.channels}",
+        f"input_dim: {spec.height}",
+        f"input_dim: {spec.width}",
+    ]
+    bottom = "data"
+    for info in network:
+        layer = info.layer
+        if isinstance(layer, ConvLayer):
+            parts.append(_conv_block(layer, bottom))
+        elif isinstance(layer, PoolLayer):
+            parts.append(_pool_block(layer, bottom))
+        elif isinstance(layer, LRNLayer):
+            parts.append(_lrn_block(layer, bottom))
+        elif isinstance(layer, FCLayer):
+            parts.append(_fc_block(layer, bottom))
+        elif isinstance(layer, ReLULayer):
+            parts.append(_simple_block(layer, "ReLU", bottom))
+        elif isinstance(layer, SoftmaxLayer):
+            parts.append(_simple_block(layer, "Softmax", bottom))
+        else:
+            raise ParseError(f"cannot serialize layer type {type(layer).__name__}")
+        bottom = layer.name
+    return "\n".join(parts) + "\n"

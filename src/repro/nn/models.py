@@ -1,0 +1,243 @@
+"""Built-in definitions of the networks the paper evaluates.
+
+The paper uses VGGNet-E (a.k.a. VGG-19: 16 conv + 3 FC) and AlexNet; the
+headline comparison (Figure 5, Table 1) is on the first five convolutional
+plus two pooling layers of VGG-E, matching the fusion choice of Alwani et
+al. [MICRO'16].  AlexNet (Table 2) is evaluated with its five conv layers,
+pooling and LRN layers, FC layers omitted.
+
+All definitions are shape-faithful to the original publications.  AlexNet
+is provided both in its original grouped form and in the ``groups=1``
+variant the FPGA papers evaluate (single-device, no dual-GPU split).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.nn.layers import (
+    ConvLayer,
+    FCLayer,
+    InputSpec,
+    Layer,
+    LRNLayer,
+    PoolLayer,
+    SoftmaxLayer,
+)
+from repro.nn.network import Network
+
+
+def _vgg_block(prefix: str, convs: int, channels: int) -> List[Layer]:
+    layers: List[Layer] = [
+        ConvLayer(name=f"{prefix}_{i + 1}", out_channels=channels, kernel=3, pad=1)
+        for i in range(convs)
+    ]
+    layers.append(PoolLayer(name=f"pool{prefix[-1]}", kernel=2, stride=2))
+    return layers
+
+
+def _vgg(name: str, block_convs: List[int], include_fc: bool) -> Network:
+    channels = [64, 128, 256, 512, 512]
+    layers: List[Layer] = []
+    for block, (convs, width) in enumerate(zip(block_convs, channels), start=1):
+        layers.extend(_vgg_block(f"conv{block}", convs, width))
+    if include_fc:
+        layers.extend(
+            [
+                FCLayer(name="fc6", out_features=4096),
+                FCLayer(name="fc7", out_features=4096),
+                FCLayer(name="fc8", out_features=1000, relu=False),
+                SoftmaxLayer(name="prob"),
+            ]
+        )
+    return Network(name, InputSpec(3, 224, 224), layers)
+
+
+def vgg16(include_fc: bool = False) -> Network:
+    """VGG-16 (configuration D of Simonyan & Zisserman)."""
+    return _vgg("vgg16", [2, 2, 3, 3, 3], include_fc)
+
+
+def vgg19(include_fc: bool = False) -> Network:
+    """VGG-19 / VGGNet-E (configuration E), the paper's VGG case study."""
+    return _vgg("vgg19", [2, 2, 4, 4, 4], include_fc)
+
+
+# The paper and Alwani et al. fuse "the first five convolutional layers and
+# two pooling layers" of VGG-E: conv1_1, conv1_2, pool1, conv2_1, conv2_2,
+# pool2, conv3_1.
+VGG_FUSED_PREFIX_LAYERS = 7
+
+
+def vgg_fused_prefix() -> Network:
+    """The seven-layer VGG-E prefix used in Figure 5 and Table 1."""
+    return vgg19().prefix(VGG_FUSED_PREFIX_LAYERS, name="vgg19_prefix7")
+
+
+def alexnet(grouped: bool = False, include_fc: bool = False) -> Network:
+    """AlexNet (Krizhevsky et al.).
+
+    Args:
+        grouped: Use the original two-GPU channel grouping on conv2/4/5.
+        include_fc: Append the three FC layers and softmax (the paper's
+            accelerator omits them).
+    """
+    groups = 2 if grouped else 1
+    layers: List[Layer] = [
+        ConvLayer(name="conv1", out_channels=96, kernel=11, stride=4, pad=0),
+        LRNLayer(name="norm1", local_size=5),
+        PoolLayer(name="pool1", kernel=3, stride=2),
+        ConvLayer(name="conv2", out_channels=256, kernel=5, pad=2, groups=groups),
+        LRNLayer(name="norm2", local_size=5),
+        PoolLayer(name="pool2", kernel=3, stride=2),
+        ConvLayer(name="conv3", out_channels=384, kernel=3, pad=1),
+        ConvLayer(name="conv4", out_channels=384, kernel=3, pad=1, groups=groups),
+        ConvLayer(name="conv5", out_channels=256, kernel=3, pad=1, groups=groups),
+        PoolLayer(name="pool5", kernel=3, stride=2),
+    ]
+    if include_fc:
+        layers.extend(
+            [
+                FCLayer(name="fc6", out_features=4096),
+                FCLayer(name="fc7", out_features=4096),
+                FCLayer(name="fc8", out_features=1000, relu=False),
+                SoftmaxLayer(name="prob"),
+            ]
+        )
+    return Network("alexnet", InputSpec(3, 227, 227), layers)
+
+
+#: GoogLeNet (Inception v1) module channel table, in network order.
+GOOGLENET_INCEPTION_TABLE = {
+    "inception3a": (64, 96, 128, 16, 32, 32),
+    "inception3b": (128, 128, 192, 32, 96, 64),
+    "inception4a": (192, 96, 208, 16, 48, 64),
+    "inception4b": (160, 112, 224, 24, 64, 64),
+    "inception4c": (128, 128, 256, 24, 64, 64),
+    "inception4d": (112, 144, 288, 32, 64, 64),
+    "inception4e": (256, 160, 320, 32, 128, 128),
+    "inception5a": (256, 160, 320, 32, 128, 128),
+    "inception5b": (384, 192, 384, 48, 128, 128),
+}
+
+
+def googlenet(include_fc: bool = False) -> Network:
+    """GoogLeNet / Inception v1 (Szegedy et al.), modules as macro-layers.
+
+    Following the paper's S7.1 suggestion, every Inception module enters
+    the linear chain as a single composite layer (the fusion architecture
+    and the optimizer treat it as one stage).
+    """
+    from repro.nn.modules import InceptionModule, InceptionSpec
+
+    layers: List[Layer] = [
+        ConvLayer(name="conv1", out_channels=64, kernel=7, stride=2, pad=3),
+        PoolLayer(name="pool1", kernel=3, stride=2),
+        LRNLayer(name="norm1", local_size=5),
+        ConvLayer(name="conv2_reduce", out_channels=64, kernel=1),
+        ConvLayer(name="conv2", out_channels=192, kernel=3, pad=1),
+        LRNLayer(name="norm2", local_size=5),
+        PoolLayer(name="pool2", kernel=3, stride=2),
+    ]
+    for name, widths in GOOGLENET_INCEPTION_TABLE.items():
+        layers.append(InceptionModule(name=name, spec=InceptionSpec(*widths)))
+        if name == "inception3b":
+            layers.append(PoolLayer(name="pool3", kernel=3, stride=2))
+        elif name == "inception4e":
+            layers.append(PoolLayer(name="pool4", kernel=3, stride=2))
+    layers.append(PoolLayer(name="pool5", kernel=7, stride=1, mode="ave"))
+    if include_fc:
+        layers.extend(
+            [
+                FCLayer(name="loss3_classifier", out_features=1000, relu=False),
+                SoftmaxLayer(name="prob"),
+            ]
+        )
+    return Network("googlenet", InputSpec(3, 224, 224), layers)
+
+
+def googlenet_prefix(modules: int = 2) -> Network:
+    """GoogLeNet stem plus the first ``modules`` Inception modules."""
+    full = googlenet()
+    count = 7 + modules  # stem layers + modules (3a, 3b come first)
+    return full.prefix(count, name=f"googlenet_prefix{modules}")
+
+
+def nin() -> Network:
+    """Network-in-Network (Lin et al.): mlpconv blocks of conv + two 1x1s.
+
+    Included because its many 1x1 convolutions exercise the
+    Winograd-illegal path of the optimizer (1x1 kernels gain nothing
+    from minimal filtering) alongside ordinary 5x5/3x3 layers.
+    """
+    layers: List[Layer] = [
+        ConvLayer(name="conv1", out_channels=96, kernel=11, stride=4),
+        ConvLayer(name="cccp1", out_channels=96, kernel=1),
+        ConvLayer(name="cccp2", out_channels=96, kernel=1),
+        PoolLayer(name="pool1", kernel=3, stride=2),
+        ConvLayer(name="conv2", out_channels=256, kernel=5, pad=2),
+        ConvLayer(name="cccp3", out_channels=256, kernel=1),
+        ConvLayer(name="cccp4", out_channels=256, kernel=1),
+        PoolLayer(name="pool2", kernel=3, stride=2),
+        ConvLayer(name="conv3", out_channels=384, kernel=3, pad=1),
+        ConvLayer(name="cccp5", out_channels=384, kernel=1),
+        ConvLayer(name="cccp6", out_channels=384, kernel=1),
+        PoolLayer(name="pool3", kernel=3, stride=2),
+        ConvLayer(name="conv4", out_channels=1024, kernel=3, pad=1),
+        ConvLayer(name="cccp7", out_channels=1024, kernel=1),
+        ConvLayer(name="cccp8", out_channels=1000, kernel=1, relu=False),
+        PoolLayer(name="pool4", kernel=6, stride=1, mode="ave"),
+    ]
+    return Network("nin", InputSpec(3, 227, 227), layers)
+
+
+def zfnet(include_fc: bool = False) -> Network:
+    """ZFNet (Zeiler & Fergus): the AlexNet refinement with a 7x7 conv1."""
+    layers: List[Layer] = [
+        ConvLayer(name="conv1", out_channels=96, kernel=7, stride=2, pad=1),
+        PoolLayer(name="pool1", kernel=3, stride=2, pad=1),
+        LRNLayer(name="norm1", local_size=5),
+        ConvLayer(name="conv2", out_channels=256, kernel=5, stride=2),
+        PoolLayer(name="pool2", kernel=3, stride=2, pad=1),
+        LRNLayer(name="norm2", local_size=5),
+        ConvLayer(name="conv3", out_channels=384, kernel=3, pad=1),
+        ConvLayer(name="conv4", out_channels=384, kernel=3, pad=1),
+        ConvLayer(name="conv5", out_channels=256, kernel=3, pad=1),
+        PoolLayer(name="pool5", kernel=3, stride=2),
+    ]
+    if include_fc:
+        layers.extend(
+            [
+                FCLayer(name="fc6", out_features=4096),
+                FCLayer(name="fc7", out_features=4096),
+                FCLayer(name="fc8", out_features=1000, relu=False),
+                SoftmaxLayer(name="prob"),
+            ]
+        )
+    return Network("zfnet", InputSpec(3, 224, 224), layers)
+
+
+def tiny_cnn(height: int = 16, width: int = 16) -> Network:
+    """A small three-conv network for fast tests and examples."""
+    layers: List[Layer] = [
+        ConvLayer(name="conv1", out_channels=8, kernel=3, pad=1),
+        ConvLayer(name="conv2", out_channels=8, kernel=3, pad=1),
+        PoolLayer(name="pool1", kernel=2, stride=2),
+        ConvLayer(name="conv3", out_channels=16, kernel=3, pad=1),
+    ]
+    return Network("tiny_cnn", InputSpec(3, height, width), layers)
+
+
+def catalog() -> dict:
+    """Name -> constructor for every built-in model."""
+    return {
+        "vgg16": vgg16,
+        "vgg19": vgg19,
+        "vgg19_prefix7": vgg_fused_prefix,
+        "alexnet": alexnet,
+        "googlenet": googlenet,
+        "googlenet_prefix2": googlenet_prefix,
+        "nin": nin,
+        "zfnet": zfnet,
+        "tiny_cnn": tiny_cnn,
+    }

@@ -1,0 +1,156 @@
+"""Composite modules: Inception blocks treated as single layers.
+
+The paper (S7.1): "Very deep CNNs such as GoogleNet are usually based on
+modules and highly structured.  To further improve the efficiency of our
+algorithm, we can treat every module as a single layer."  The linear
+fusion architecture cannot express branching graphs, but a whole
+Inception module has one input and one output, so it drops into the
+chain as a composite :class:`InceptionModule` layer.
+
+An Inception v1 module runs four parallel branches over the same input
+and concatenates their channel outputs:
+
+* ``b1``:   1x1 conv
+* ``b3``:   1x1 reduce -> 3x3 conv (pad 1)
+* ``b5``:   1x1 reduce -> 5x5 conv (pad 2)
+* ``pool``: 3x3 max pool (stride 1, pad 1) -> 1x1 proj
+
+:meth:`InceptionModule.branches` exposes the internal simple layers so
+the functional reference, the cost model and the code generator can
+enumerate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ShapeError
+from repro.nn.layers import ConvLayer, Layer, PoolLayer, Shape
+
+
+@dataclass(frozen=True)
+class InceptionSpec:
+    """Channel widths of one Inception v1 module (GoogLeNet table 1)."""
+
+    b1: int  #: 1x1 branch outputs
+    b3_reduce: int  #: 1x1 reduction before the 3x3
+    b3: int  #: 3x3 branch outputs
+    b5_reduce: int  #: 1x1 reduction before the 5x5
+    b5: int  #: 5x5 branch outputs
+    pool_proj: int  #: 1x1 projection after the pool branch
+
+    def __post_init__(self) -> None:
+        for name in ("b1", "b3_reduce", "b3", "b5_reduce", "b5", "pool_proj"):
+            if getattr(self, name) <= 0:
+                raise ShapeError(f"inception channel width {name} must be positive")
+
+    @property
+    def out_channels(self) -> int:
+        return self.b1 + self.b3 + self.b5 + self.pool_proj
+
+
+@dataclass(frozen=True)
+class InceptionModule(Layer):
+    """An Inception v1 module as a single composite layer."""
+
+    spec: InceptionSpec = field(default=None)  # type: ignore[assignment]
+
+    type_name = "Inception"
+
+    def __post_init__(self) -> None:
+        if self.spec is None:
+            raise ShapeError("InceptionModule requires a spec")
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        channels, height, width = input_shape
+        if channels < 1:
+            raise ShapeError("inception input needs at least one channel")
+        return (self.spec.out_channels, height, width)
+
+    def branches(self, input_shape: Shape) -> Dict[str, List[Layer]]:
+        """The internal simple layers, per branch, in execution order."""
+        spec = self.spec
+        prefix = self.name
+        return {
+            "b1": [
+                ConvLayer(
+                    name=f"{prefix}.b1", out_channels=spec.b1, kernel=1, relu=True
+                )
+            ],
+            "b3": [
+                ConvLayer(
+                    name=f"{prefix}.b3r",
+                    out_channels=spec.b3_reduce,
+                    kernel=1,
+                    relu=True,
+                ),
+                ConvLayer(
+                    name=f"{prefix}.b3",
+                    out_channels=spec.b3,
+                    kernel=3,
+                    pad=1,
+                    relu=True,
+                ),
+            ],
+            "b5": [
+                ConvLayer(
+                    name=f"{prefix}.b5r",
+                    out_channels=spec.b5_reduce,
+                    kernel=1,
+                    relu=True,
+                ),
+                ConvLayer(
+                    name=f"{prefix}.b5",
+                    out_channels=spec.b5,
+                    kernel=5,
+                    pad=2,
+                    relu=True,
+                ),
+            ],
+            "pool": [
+                PoolLayer(name=f"{prefix}.pool", kernel=3, stride=1, pad=1),
+                ConvLayer(
+                    name=f"{prefix}.proj",
+                    out_channels=spec.pool_proj,
+                    kernel=1,
+                    relu=True,
+                ),
+            ],
+        }
+
+    def branch_order(self) -> Tuple[str, ...]:
+        """Concatenation order of the branch outputs."""
+        return ("b1", "b3", "b5", "pool")
+
+    def inner_layers(self, input_shape: Shape) -> List[Tuple[Layer, Shape]]:
+        """Flat (layer, its input shape) list over all branches."""
+        result: List[Tuple[Layer, Shape]] = []
+        for branch in self.branch_order():
+            shape = input_shape
+            for layer in self.branches(input_shape)[branch]:
+                result.append((layer, shape))
+                shape = layer.output_shape(shape)
+        return result
+
+    def ops(self, input_shape: Shape) -> int:
+        return sum(layer.ops(shape) for layer, shape in self.inner_layers(input_shape))
+
+    def weight_count(self, input_shape: Shape) -> int:
+        return sum(
+            layer.weight_count(shape)
+            for layer, shape in self.inner_layers(input_shape)
+        )
+
+    def macs(self, input_shape: Shape) -> int:
+        """Total conv MACs across all branches (for the macro cost model)."""
+        total = 0
+        for layer, shape in self.inner_layers(input_shape):
+            if isinstance(layer, ConvLayer):
+                total += layer.macs(shape)
+        return total
+
+    @property
+    def max_kernel(self) -> int:
+        """Largest spatial window among the branches (line-buffer depth)."""
+        return 5

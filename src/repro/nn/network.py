@@ -1,0 +1,212 @@
+"""Feed-forward network container with shape inference.
+
+A :class:`Network` is an ordered chain of layers plus an input spec.  The
+paper's architecture (line-buffer fusion, DP over contiguous layer ranges)
+assumes a linear chain; branching networks like GoogleNet are handled, per
+the paper's suggestion, by collapsing each module into a single composite
+layer before optimization (see :meth:`Network.prefix` and
+:mod:`repro.nn.models` for module flattening helpers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ShapeError
+from repro.nn.layers import (
+    ConvLayer,
+    InputSpec,
+    Layer,
+    Shape,
+    is_accelerated,
+)
+
+
+@dataclass(frozen=True)
+class LayerInfo:
+    """A layer together with its resolved input/output shapes."""
+
+    index: int
+    layer: Layer
+    input_shape: Shape
+    output_shape: Shape
+
+    @property
+    def name(self) -> str:
+        return self.layer.name
+
+    @property
+    def input_size(self) -> int:
+        c, h, w = self.input_shape
+        return c * h * w
+
+    @property
+    def output_size(self) -> int:
+        c, h, w = self.output_shape
+        return c * h * w
+
+    @property
+    def ops(self) -> int:
+        return self.layer.ops(self.input_shape)
+
+    @property
+    def weight_count(self) -> int:
+        return self.layer.weight_count(self.input_shape)
+
+
+class Network:
+    """An ordered, shape-checked chain of layers.
+
+    Args:
+        name: Network name (used in reports and generated code).
+        input_spec: Shape of the input blob.
+        layers: Layers in execution order.  Names must be unique.
+
+    Raises:
+        ShapeError: If any layer cannot consume its predecessor's output
+            or two layers share a name.
+    """
+
+    def __init__(self, name: str, input_spec: InputSpec, layers: Sequence[Layer]):
+        self.name = name
+        self.input_spec = input_spec
+        self._layers: List[Layer] = list(layers)
+        self._infos: List[LayerInfo] = []
+        self._by_name: Dict[str, LayerInfo] = {}
+        self._infer_shapes()
+
+    def _infer_shapes(self) -> None:
+        shape = self.input_spec.shape
+        for index, layer in enumerate(self._layers):
+            if layer.name in self._by_name:
+                raise ShapeError(f"duplicate layer name {layer.name!r}")
+            out = layer.output_shape(shape)
+            info = LayerInfo(index=index, layer=layer, input_shape=shape, output_shape=out)
+            self._infos.append(info)
+            self._by_name[layer.name] = info
+            shape = out
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __iter__(self) -> Iterator[LayerInfo]:
+        return iter(self._infos)
+
+    def __getitem__(self, index: int) -> LayerInfo:
+        return self._infos[index]
+
+    def layer(self, name: str) -> LayerInfo:
+        """Look up a layer by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ShapeError(f"no layer named {name!r} in network {self.name!r}") from None
+
+    @property
+    def layers(self) -> Tuple[Layer, ...]:
+        return tuple(self._layers)
+
+    @property
+    def infos(self) -> Tuple[LayerInfo, ...]:
+        return tuple(self._infos)
+
+    @property
+    def output_shape(self) -> Shape:
+        if not self._infos:
+            return self.input_spec.shape
+        return self._infos[-1].output_shape
+
+    # -- analysis -----------------------------------------------------------
+
+    def total_ops(self) -> int:
+        """Total arithmetic operations over all layers."""
+        return sum(info.ops for info in self._infos)
+
+    def total_weights(self) -> int:
+        return sum(info.weight_count for info in self._infos)
+
+    def conv_infos(self) -> List[LayerInfo]:
+        """Infos of convolution layers only."""
+        return [info for info in self._infos if isinstance(info.layer, ConvLayer)]
+
+    def accelerated_prefix(self) -> "Network":
+        """The maximal leading chain of accelerator-supported layers.
+
+        The paper maps conv/pool/LRN layers onto the FPGA and leaves the
+        trailing FC/softmax layers to the host.
+        """
+        count = 0
+        for layer in self._layers:
+            if not is_accelerated(layer):
+                break
+            count += 1
+        if count == len(self._layers):
+            return self
+        return self.prefix(count)
+
+    def prefix(self, count: int, name: Optional[str] = None) -> "Network":
+        """A new network consisting of the first ``count`` layers."""
+        if not 0 <= count <= len(self._layers):
+            raise ShapeError(
+                f"prefix length {count} out of range for {len(self._layers)}-layer network"
+            )
+        return Network(
+            name or f"{self.name}[:{count}]", self.input_spec, self._layers[:count]
+        )
+
+    def slice(self, start: int, stop: int, name: Optional[str] = None) -> "Network":
+        """A new network of layers ``start..stop-1`` with the correct input spec."""
+        if not 0 <= start <= stop <= len(self._layers):
+            raise ShapeError(f"slice [{start}:{stop}] out of range")
+        if start == 0:
+            spec = self.input_spec
+        else:
+            c, h, w = self._infos[start - 1].output_shape
+            spec = InputSpec(c, h, w)
+        return Network(
+            name or f"{self.name}[{start}:{stop}]", spec, self._layers[start:stop]
+        )
+
+    def feature_map_bytes(self, element_bytes: int = 2) -> int:
+        """Total feature-map traffic if every layer round-trips DRAM.
+
+        This is the unfused worst case the paper quotes ("at least 34 MB
+        total feature map transfer" for the VGG-E prefix): each layer loads
+        its input and stores its output.
+        """
+        total = 0
+        for info in self._infos:
+            total += (info.input_size + info.output_size) * element_bytes
+        return total
+
+    def min_fused_transfer_bytes(self, element_bytes: int = 2) -> int:
+        """Feature-map traffic if the whole network is one fusion group."""
+        if not self._infos:
+            return 0
+        first = self._infos[0]
+        last = self._infos[-1]
+        return (first.input_size + last.output_size) * element_bytes
+
+    def summary(self) -> str:
+        """Human-readable per-layer table."""
+        lines = [
+            f"Network {self.name!r}: input {self.input_spec.shape}, "
+            f"{len(self)} layers, {self.total_ops() / 1e9:.2f} GOP, "
+            f"{self.total_weights() / 1e6:.2f} M params"
+        ]
+        header = f"{'#':>3} {'name':<12} {'type':<12} {'output':<18} {'MOPs':>10} {'params':>10}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for info in self._infos:
+            lines.append(
+                f"{info.index:>3} {info.name:<12} {info.layer.type_name:<12} "
+                f"{str(info.output_shape):<18} {info.ops / 1e6:>10.1f} "
+                f"{info.weight_count:>10}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Network(name={self.name!r}, layers={len(self)})"

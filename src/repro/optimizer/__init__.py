@@ -1,0 +1,40 @@
+"""The paper's optimal strategy search (Section 5).
+
+Given an N-layer CNN, a device resource vector R and a feature-map
+transfer constraint T, find the strategy S = {<group, algorithm,
+parallelism>} minimizing end-to-end latency:
+
+* :mod:`repro.optimizer.strategy` — the strategy IR and reports;
+* :mod:`repro.optimizer.branch_and_bound` — Algorithm 2, the depth-first
+  branch-and-bound that evaluates ``fusion[i][j]`` (best fused design of
+  a layer range under R, balancing the inter-layer pipeline);
+* :mod:`repro.optimizer.dp` — Algorithm 1, the dynamic program over
+  (layer range, transfer budget); provided both as the paper's literal
+  tabular recurrence over 10 KB transfer units and as an equivalent
+  exact Pareto-frontier formulation that is fast in Python;
+* :mod:`repro.optimizer.exhaustive` — a brute-force oracle used by the
+  tests to certify optimality on small networks.
+"""
+
+from repro.optimizer.strategy import LayerChoice, Strategy
+from repro.optimizer.branch_and_bound import GroupSearch, fuse_group
+from repro.optimizer.dp import (
+    TRANSFER_UNIT_BYTES,
+    optimize,
+    optimize_many,
+    optimize_tabular,
+)
+from repro.optimizer.serialize import load_strategy, save_strategy
+
+__all__ = [
+    "GroupSearch",
+    "LayerChoice",
+    "Strategy",
+    "TRANSFER_UNIT_BYTES",
+    "fuse_group",
+    "load_strategy",
+    "optimize",
+    "optimize_many",
+    "optimize_tabular",
+    "save_strategy",
+]

@@ -1,0 +1,134 @@
+"""Strategy serialization: save and reload optimized strategies.
+
+A strategy search on a large network can take tens of seconds (Section
+7.1); persisting the result lets the code generator and simulator be
+re-run without re-searching — the same role the paper's "optimal
+strategy" file plays between its optimizer and code generator (Figure 4).
+
+The JSON schema matches what :class:`repro.codegen.generator` embeds in
+its projects, extended with everything needed to *rebuild* the exact
+:class:`~repro.optimizer.strategy.Strategy`: per-layer algorithm,
+parallelism, weight mode and Winograd tile.  Loading re-evaluates each
+engine through the same cost model (``implement``), so a reloaded
+strategy is bit-identical in cost terms — asserted on save.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from repro.errors import OptimizationError
+from repro.hardware.device import FPGADevice, get_device
+from repro.nn.network import Network
+from repro.perf.group import compose_group
+from repro.perf.implement import Algorithm, WeightMode, implement, WINOGRAD_M
+from repro.optimizer.strategy import Strategy
+
+SCHEMA_VERSION = 1
+
+
+def strategy_to_dict(strategy: Strategy) -> dict:
+    """The JSON-serializable description of a strategy."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "network": strategy.network.name,
+        "device": strategy.device.name,
+        "latency_cycles": strategy.latency_cycles,
+        "feature_transfer_bytes": strategy.feature_transfer_bytes,
+        "groups": [
+            {
+                "range": [start, stop],
+                "layers": [
+                    {
+                        "name": impl.layer_name,
+                        "algorithm": impl.algorithm.value,
+                        "parallelism": impl.parallelism,
+                        "weight_mode": impl.weight_mode.value
+                        if impl.weight_mode is not None
+                        else WeightMode.RESIDENT.value,
+                        "winograd_m": impl.winograd_m or WINOGRAD_M,
+                    }
+                    for impl in design.implementations
+                ],
+            }
+            for (start, stop), design in zip(strategy.boundaries, strategy.designs)
+        ],
+    }
+
+
+def save_strategy(strategy: Strategy, path: Union[str, Path]) -> Path:
+    """Write a strategy description to ``path`` (JSON)."""
+    path = Path(path)
+    path.write_text(json.dumps(strategy_to_dict(strategy), indent=2) + "\n")
+    return path
+
+
+def strategy_from_dict(
+    payload: dict, network: Network, device: Union[str, FPGADevice, None] = None
+) -> Strategy:
+    """Rebuild a strategy by re-evaluating every recorded choice.
+
+    Args:
+        payload: A dict produced by :func:`strategy_to_dict`.
+        network: The network the strategy was optimized for (must match
+            the recorded layer names).
+        device: Target device; defaults to the recorded catalog name.
+
+    Raises:
+        OptimizationError: On schema/network mismatches.
+    """
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise OptimizationError(
+            f"unsupported strategy schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    if device is None:
+        device = payload["device"]
+    if isinstance(device, str):
+        device = get_device(device)
+
+    boundaries: List[Tuple[int, int]] = []
+    designs = []
+    for group in payload.get("groups", []):
+        start, stop = group["range"]
+        boundaries.append((start, stop))
+        impls = []
+        for index, entry in zip(range(start, stop), group["layers"]):
+            info = network[index]
+            if info.name != entry["name"]:
+                raise OptimizationError(
+                    f"layer {index} is {info.name!r} in the network but "
+                    f"{entry['name']!r} in the strategy file"
+                )
+            impls.append(
+                implement(
+                    info,
+                    Algorithm(entry["algorithm"]),
+                    entry["parallelism"],
+                    device,
+                    weight_mode=WeightMode(entry["weight_mode"]),
+                    winograd_m=entry.get("winograd_m", WINOGRAD_M),
+                )
+            )
+        designs.append(compose_group(impls, device))
+    strategy = Strategy(network, device, boundaries, designs)
+    recorded = payload.get("latency_cycles")
+    if recorded is not None and recorded != strategy.latency_cycles:
+        raise OptimizationError(
+            f"reloaded strategy latency {strategy.latency_cycles} != recorded "
+            f"{recorded}: cost model or network changed since it was saved"
+        )
+    return strategy
+
+
+def load_strategy(
+    path: Union[str, Path],
+    network: Network,
+    device: Union[str, FPGADevice, None] = None,
+) -> Strategy:
+    """Read a strategy JSON file and rebuild the Strategy."""
+    payload = json.loads(Path(path).read_text())
+    return strategy_from_dict(payload, network, device)

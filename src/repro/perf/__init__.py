@@ -1,0 +1,28 @@
+"""Performance and resource models for layer engines and fused groups.
+
+:mod:`repro.perf.implement` is the paper's ``implement(cnt, algo, p)``
+call (Algorithm 2, line 13): it evaluates the resource requirements and
+expected latency of running one layer with a given algorithm and hardware
+parallelism.  :mod:`repro.perf.group` composes per-layer implementations
+into a fused-group design with inter-layer pipelining and shared off-chip
+bandwidth.
+"""
+
+from repro.perf.implement import (
+    Algorithm,
+    Implementation,
+    candidate_algorithms,
+    candidate_parallelisms,
+    implement,
+)
+from repro.perf.group import GroupDesign, compose_group
+
+__all__ = [
+    "Algorithm",
+    "GroupDesign",
+    "Implementation",
+    "candidate_algorithms",
+    "candidate_parallelisms",
+    "compose_group",
+    "implement",
+]

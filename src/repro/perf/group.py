@@ -1,0 +1,109 @@
+"""Fused-group composition: resources, bandwidth sharing, latency.
+
+Combines the per-layer :class:`~repro.perf.implement.Implementation`
+objects of one fusion group into a single design point:
+
+* resources add element-wise, plus a small FIFO channel cost per layer
+  boundary ("the FIFO channels are used", paper S6);
+* all DRAM traffic of the group — the head layer's input feature maps,
+  the tail layer's output feature maps, and every member's weight traffic
+  — shares the off-chip bandwidth;
+* the inter-layer pipeline runs at the slowest stage (compute or the
+  shared transfer), plus the one-time pipeline fill (paper S4.3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ResourceError
+from repro.hardware.device import FPGADevice
+from repro.hardware.resources import ResourceVector
+from repro.perf.implement import Implementation
+
+#: LUT/FF cost of one inter-layer FIFO channel (HLS stream, DATAFLOW).
+_FIFO_LUT = 400
+_FIFO_FF = 600
+
+
+@dataclass(frozen=True)
+class GroupDesign:
+    """One fusion group's complete design point.
+
+    Attributes:
+        implementations: Per-layer engines, in execution order.
+        resources: Total fabric resources including FIFO channels.
+        transfer_cycles: Cycles the shared DRAM interface is busy.
+        compute_cycles: Busy cycles of the slowest engine.
+        fill_cycles: One-time pipeline fill.
+        latency_cycles: End-to-end latency of the group.
+        feature_transfer_bytes: DRAM feature-map traffic (what the
+            paper's constraint T bounds).
+        weight_transfer_bytes: DRAM weight traffic (unbounded by T).
+        ops: Total operations of the group.
+    """
+
+    implementations: tuple
+    resources: ResourceVector
+    transfer_cycles: int
+    compute_cycles: int
+    fill_cycles: int
+    latency_cycles: int
+    feature_transfer_bytes: int
+    weight_transfer_bytes: int
+    ops: int
+
+    @property
+    def bottleneck(self) -> str:
+        """"compute" or "bandwidth", whichever bounds the group."""
+        return "compute" if self.compute_cycles >= self.transfer_cycles else "bandwidth"
+
+    def effective_gops(self, device: FPGADevice) -> float:
+        """Operations per second achieved over the group's latency."""
+        seconds = device.cycles_to_seconds(self.latency_cycles)
+        if seconds <= 0:
+            return 0.0
+        return self.ops / seconds / 1e9
+
+
+def fifo_overhead(layer_count: int) -> ResourceVector:
+    """Fabric cost of the DATAFLOW FIFO channels inside a group."""
+    if layer_count < 1:
+        raise ResourceError("a group needs at least one layer")
+    boundaries = layer_count - 1
+    return ResourceVector(
+        bram18k=0, dsp=0, ff=_FIFO_FF * boundaries, lut=_FIFO_LUT * boundaries
+    )
+
+
+def compose_group(
+    implementations: Sequence[Implementation], device: FPGADevice
+) -> GroupDesign:
+    """Build the group design from its member implementations."""
+    if not implementations:
+        raise ResourceError("cannot compose an empty group")
+    impls: List[Implementation] = list(implementations)
+    resources = ResourceVector.total(i.resources for i in impls) + fifo_overhead(
+        len(impls)
+    )
+    feature_bytes = impls[0].input_bytes + impls[-1].output_bytes
+    weight_bytes = sum(i.weight_dram_bytes for i in impls)
+    transfer_cycles = math.ceil(
+        (feature_bytes + weight_bytes) / device.bytes_per_cycle
+    )
+    compute_cycles = max(i.compute_cycles for i in impls)
+    fill_cycles = sum(i.fill_cycles for i in impls)
+    latency = max(compute_cycles, transfer_cycles) + fill_cycles
+    return GroupDesign(
+        implementations=tuple(impls),
+        resources=resources,
+        transfer_cycles=transfer_cycles,
+        compute_cycles=compute_cycles,
+        fill_cycles=fill_cycles,
+        latency_cycles=latency,
+        feature_transfer_bytes=feature_bytes,
+        weight_transfer_bytes=weight_bytes,
+        ops=sum(i.ops for i in impls),
+    )

@@ -1,0 +1,55 @@
+"""Plain-text table formatting shared by benchmarks and examples."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table.
+
+    Column widths adapt to content; numeric cells are right-aligned.
+    """
+    str_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, header has {len(headers)}"
+            )
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for original, row in zip(str_rows, str_rows):
+        cells = []
+        for idx, cell in enumerate(row):
+            if _is_numeric(cell):
+                cells.append(cell.rjust(widths[idx]))
+            else:
+                cells.append(cell.ljust(widths[idx]))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def _is_numeric(cell: str) -> bool:
+    stripped = cell.replace(",", "").replace(".", "").replace("-", "").replace("x", "")
+    return stripped.isdigit()
+
+
+def format_ratio(value: float) -> str:
+    """Speedup-style formatting: '1.99x'."""
+    return f"{value:.2f}x"

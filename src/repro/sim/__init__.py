@@ -1,0 +1,20 @@
+"""Cycle-approximate simulation of the fused accelerator.
+
+Substitutes for the paper's FPGA board: executes an optimized strategy
+both *functionally* (row-streaming engines built on the circular line
+buffer, validated against the numpy reference) and *temporally* (a
+row-level pipeline timing model with a shared-DRAM rate limiter,
+validated against the analytic latency of the optimizer's cost model).
+"""
+
+from repro.sim.engines import layer_stream
+from repro.sim.simulator import SimulationResult, simulate_strategy
+from repro.sim.trace import GroupTrace, LayerTrace
+
+__all__ = [
+    "GroupTrace",
+    "LayerTrace",
+    "SimulationResult",
+    "layer_stream",
+    "simulate_strategy",
+]

@@ -1,0 +1,73 @@
+"""Simulation trace records: per-layer and per-group timing/utilization."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class LayerTrace:
+    """Timing of one layer engine inside a simulated group.
+
+    Attributes:
+        layer_name: Engine identity.
+        algorithm: Algorithm name string.
+        out_rows: Output rows produced.
+        row_cycles: Cycles the engine is busy per output row.
+        first_output_cycle: When the first output row left the engine.
+        last_output_cycle: When the final output row left the engine.
+        busy_cycles: Total busy time (out_rows x row_cycles).
+    """
+
+    layer_name: str
+    algorithm: str
+    out_rows: int
+    row_cycles: float
+    first_output_cycle: float
+    last_output_cycle: float
+    busy_cycles: float
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the engine over the group's active span."""
+        span = self.last_output_cycle
+        return self.busy_cycles / span if span > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class GroupTrace:
+    """Timing of one fusion group."""
+
+    group_id: int
+    layers: Tuple[LayerTrace, ...]
+    start_cycle: float
+    end_cycle: float
+    dram_busy_cycles: float
+
+    @property
+    def latency_cycles(self) -> float:
+        return self.end_cycle - self.start_cycle
+
+    @property
+    def bottleneck_layer(self) -> LayerTrace:
+        return max(self.layers, key=lambda t: t.busy_cycles)
+
+    @property
+    def dram_utilization(self) -> float:
+        latency = self.latency_cycles
+        return self.dram_busy_cycles / latency if latency > 0 else 0.0
+
+    def report(self) -> str:
+        lines = [
+            f"group {self.group_id}: cycles {self.start_cycle:,.0f} -> "
+            f"{self.end_cycle:,.0f} (latency {self.latency_cycles:,.0f}), "
+            f"DRAM busy {self.dram_utilization * 100:.1f}%"
+        ]
+        for trace in self.layers:
+            lines.append(
+                f"  {trace.layer_name:<12} {trace.algorithm:<12} "
+                f"rows={trace.out_rows:>4} busy={trace.busy_cycles:>12,.0f} "
+                f"util={trace.utilization * 100:5.1f}%"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""End-to-end automated tool-flow (paper Section 3, Figure 3).
+
+"It takes Caffe configuration file and specification of the target FPGA
+as inputs and generates bitstream on FPGA."  Here the flow runs through
+the same three components — architecture, optimal algorithm, code
+generator — but terminates at HLS source + a cycle-approximate simulation
+instead of a Vivado bitstream (no Vivado in this environment; see
+DESIGN.md).
+
+Typical use::
+
+    from repro.toolflow import compile_model
+    result = compile_model("model.prototxt", device="zc706",
+                           transfer_constraint_bytes=2 * 2**20)
+    print(result.strategy.report())
+    result.project.write_to("hls_out/")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import OptimizationError
+from repro.codegen.generator import GeneratedProject, generate_project
+from repro.hardware.device import FPGADevice, get_device
+from repro.nn.caffe import network_from_prototxt
+from repro.nn.network import Network
+from repro.optimizer.dp import optimize
+from repro.optimizer.strategy import Strategy
+from repro.sim.simulator import SimulationResult, simulate_strategy
+
+
+@dataclass
+class CompileResult:
+    """Everything the tool-flow produces for one network."""
+
+    network: Network
+    device: FPGADevice
+    strategy: Strategy
+    project: GeneratedProject
+
+    def simulate(
+        self, data: Optional[np.ndarray] = None, weights=None
+    ) -> SimulationResult:
+        """Run the cycle-approximate simulator on the compiled design."""
+        if data is None:
+            rng = np.random.default_rng(0)
+            data = rng.normal(0, 0.5, self.network.input_spec.shape)
+        return simulate_strategy(self.strategy, data, weights)
+
+    def summary(self) -> str:
+        return "\n".join(
+            [
+                f"tool-flow result for {self.network.name!r} on {self.device.name}",
+                self.strategy.report(),
+                f"generated sources: {', '.join(self.project.source_names())}",
+            ]
+        )
+
+
+def _resolve_network(model: Union[str, Path, Network]) -> Network:
+    if isinstance(model, Network):
+        return model
+    if isinstance(model, str) and "\n" in model:
+        # Multi-line string: prototxt text, not a path.
+        return network_from_prototxt(model)
+    path = Path(model)
+    if path.exists():
+        return network_from_prototxt(path.read_text())
+    if isinstance(model, str) and "layer" in model:
+        return network_from_prototxt(model)
+    raise OptimizationError(f"cannot interpret model input {str(model)[:80]!r}")
+
+
+def compile_model(
+    model: Union[str, Path, Network],
+    device: Union[str, FPGADevice] = "zc706",
+    transfer_constraint_bytes: Optional[int] = None,
+    output_dir: Optional[Path] = None,
+    accelerated_only: bool = True,
+    explore_tile_sizes: bool = False,
+    weights: Optional[dict] = None,
+) -> CompileResult:
+    """Map a Caffe model (or Network) onto an FPGA.
+
+    Args:
+        model: Prototxt path, prototxt text, or an in-memory Network.
+        device: Device catalog name or an FPGADevice.
+        transfer_constraint_bytes: The paper's T; defaults to the
+            unfused feature-map traffic (i.e. effectively unconstrained).
+        output_dir: If given, the HLS project is written there.
+        accelerated_only: Drop trailing FC/softmax layers (run host-side,
+            as the paper does) before optimizing.
+        explore_tile_sizes: Also search Winograd tile sizes m in
+            {2, 4, 6} per layer (extension; the paper fixes m = 4).
+        weights: Optional trained parameters; when given the project
+            includes quantized weight headers (Winograd kernels
+            pre-transformed).
+
+    Returns:
+        The strategy, the generated HLS project, and simulation hooks.
+    """
+    network = _resolve_network(model)
+    if accelerated_only:
+        network = network.accelerated_prefix()
+    if len(network) == 0:
+        raise OptimizationError("no accelerator-eligible layers in the model")
+    target = get_device(device) if isinstance(device, str) else device
+    if transfer_constraint_bytes is None:
+        transfer_constraint_bytes = network.feature_map_bytes(target.element_bytes)
+    strategy = optimize(
+        network, target, transfer_constraint_bytes,
+        explore_tile_sizes=explore_tile_sizes,
+    )
+    project = generate_project(strategy, output_dir=output_dir, weights=weights)
+    return CompileResult(
+        network=network, device=target, strategy=strategy, project=project
+    )

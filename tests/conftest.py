@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite.
+
+Heavy optimizer runs on full-size networks live in ``benchmarks/``; the
+tests use small networks and the ``testchip`` device so the whole suite
+stays fast while exercising identical code paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.device import get_device
+from repro.nn import models
+from repro.nn.functional import init_weights
+from repro.nn.layers import ConvLayer, InputSpec, LRNLayer, PoolLayer
+from repro.nn.network import Network
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def testchip():
+    return get_device("testchip")
+
+
+@pytest.fixture
+def zc706():
+    return get_device("zc706")
+
+
+@pytest.fixture
+def tiny_net():
+    return models.tiny_cnn()
+
+
+@pytest.fixture
+def mixed_net():
+    """A small net with every accelerated layer type and a strided conv."""
+    layers = [
+        ConvLayer(name="c1", out_channels=8, kernel=5, stride=2, pad=2),
+        LRNLayer(name="n1", local_size=3),
+        PoolLayer(name="p1", kernel=3, stride=2),
+        ConvLayer(name="c2", out_channels=12, kernel=3, pad=1),
+        ConvLayer(name="c3", out_channels=8, kernel=3, pad=1),
+        PoolLayer(name="p2", kernel=2, stride=2, mode="ave"),
+    ]
+    return Network("mixed", InputSpec(3, 33, 33), layers)
+
+
+@pytest.fixture
+def tiny_weights(tiny_net, rng):
+    return init_weights(tiny_net, rng)
+
+
+@pytest.fixture
+def mixed_weights(mixed_net, rng):
+    return init_weights(mixed_net, rng)

@@ -1,0 +1,131 @@
+"""Cross-validation of the alternative convolution algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AlgorithmError
+from repro.algorithms.direct import direct_conv2d, direct_conv2d_naive
+from repro.algorithms.fft import fft_conv2d
+from repro.algorithms.im2col import im2col, im2col_conv2d
+from repro.nn.functional import conv2d
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+class TestDirect:
+    def test_direct_equals_reference(self, rng):
+        data = rng.normal(size=(3, 10, 10))
+        weights = rng.normal(size=(4, 3, 3, 3))
+        np.testing.assert_allclose(
+            direct_conv2d(data, weights, stride=2, pad=1),
+            conv2d(data, weights, stride=2, pad=1),
+        )
+
+    def test_direct_rejects_bad_stride(self, rng):
+        with pytest.raises(AlgorithmError):
+            direct_conv2d(
+                rng.normal(size=(1, 5, 5)), rng.normal(size=(1, 1, 3, 3)), stride=0
+            )
+
+    def test_naive_rejects_groups_weights(self, rng):
+        with pytest.raises(AlgorithmError):
+            direct_conv2d_naive(
+                rng.normal(size=(4, 5, 5)), rng.normal(size=(2, 2, 3, 3))
+            )
+
+
+class TestIm2col:
+    def test_patch_matrix_shape(self, rng):
+        data = rng.normal(size=(2, 6, 6))
+        cols = im2col(data, kernel=3, stride=1, pad=1)
+        assert cols.shape == (2 * 9, 36)
+
+    def test_first_column_is_first_window(self, rng):
+        data = rng.normal(size=(1, 4, 4))
+        cols = im2col(data, kernel=3, stride=1, pad=0)
+        np.testing.assert_allclose(cols[:, 0], data[0, :3, :3].reshape(-1))
+
+    @pytest.mark.parametrize("stride,pad", [(1, 0), (1, 1), (2, 1), (4, 0)])
+    def test_conv_matches_reference(self, rng, stride, pad):
+        data = rng.normal(size=(3, 11, 11))
+        weights = rng.normal(size=(5, 3, 3, 3))
+        bias = rng.normal(size=5)
+        np.testing.assert_allclose(
+            im2col_conv2d(data, weights, bias, stride=stride, pad=pad),
+            conv2d(data, weights, bias, stride=stride, pad=pad),
+            atol=1e-10,
+        )
+
+    def test_groups(self, rng):
+        data = rng.normal(size=(4, 8, 8))
+        weights = rng.normal(size=(4, 2, 3, 3))
+        np.testing.assert_allclose(
+            im2col_conv2d(data, weights, stride=1, pad=1, groups=2),
+            conv2d(data, weights, stride=1, pad=1, groups=2),
+            atol=1e-10,
+        )
+
+    def test_kernel_too_large(self, rng):
+        with pytest.raises(AlgorithmError):
+            im2col(rng.normal(size=(1, 2, 2)), kernel=5)
+
+
+class TestFFT:
+    @pytest.mark.parametrize("kernel,pad", [(3, 1), (5, 2), (7, 3), (11, 0)])
+    def test_conv_matches_reference(self, rng, kernel, pad):
+        data = rng.normal(size=(2, 16, 16))
+        weights = rng.normal(size=(3, 2, kernel, kernel))
+        np.testing.assert_allclose(
+            fft_conv2d(data, weights, pad=pad),
+            conv2d(data, weights, stride=1, pad=pad),
+            atol=1e-8,
+        )
+
+    def test_strided_by_subsampling(self, rng):
+        data = rng.normal(size=(1, 12, 12))
+        weights = rng.normal(size=(1, 1, 3, 3))
+        np.testing.assert_allclose(
+            fft_conv2d(data, weights, stride=2, pad=1),
+            conv2d(data, weights, stride=2, pad=1),
+            atol=1e-8,
+        )
+
+    def test_groups(self, rng):
+        data = rng.normal(size=(4, 10, 10))
+        weights = rng.normal(size=(4, 2, 3, 3))
+        np.testing.assert_allclose(
+            fft_conv2d(data, weights, pad=1, groups=2),
+            conv2d(data, weights, stride=1, pad=1, groups=2),
+            atol=1e-8,
+        )
+
+
+class TestAllAlgorithmsAgree:
+    """One property test tying every implementation together."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        channels=st.integers(1, 3),
+        out_channels=st.integers(1, 4),
+        size=st.integers(6, 12),
+        pad=st.integers(0, 2),
+        seed=st.integers(0, 2**16),
+    )
+    def test_stride1_3x3_agreement(self, channels, out_channels, size, pad, seed):
+        from repro.algorithms.winograd import winograd_conv2d
+
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(channels, size, size))
+        weights = rng.normal(size=(out_channels, channels, 3, 3))
+        reference = conv2d(data, weights, stride=1, pad=pad)
+        for fn in (im2col_conv2d, fft_conv2d):
+            np.testing.assert_allclose(
+                fn(data, weights, stride=1, pad=pad), reference, atol=1e-8
+            )
+        np.testing.assert_allclose(
+            winograd_conv2d(data, weights, pad=pad), reference, atol=1e-8
+        )

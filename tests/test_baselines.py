@@ -1,0 +1,116 @@
+"""Tests for the Alwani [1], homogeneous and unfused baselines."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.baselines.alwani import TILE_BUFFER_BRAM_FACTOR, alwani_design
+from repro.baselines.homogeneous import homogeneous_optimize, unfused_optimize
+from repro.hardware.device import FPGADevice, get_device
+from repro.hardware.resources import ResourceVector
+from repro.nn import models
+from repro.nn.layers import ConvLayer
+from repro.optimizer.dp import optimize
+from repro.perf.implement import Algorithm
+
+
+@pytest.fixture
+def testchip():
+    return get_device("testchip")
+
+
+@pytest.fixture
+def tiny():
+    return models.tiny_cnn()
+
+
+class TestAlwani:
+    def test_fits_device(self, tiny, testchip):
+        baseline = alwani_design(tiny, testchip)
+        assert baseline.resources.fits(testchip.resources)
+
+    def test_conventional_only(self, tiny, testchip):
+        baseline = alwani_design(tiny, testchip)
+        for impl in baseline.design.implementations:
+            assert impl.algorithm != Algorithm.WINOGRAD
+
+    def test_single_fused_group(self, tiny, testchip):
+        baseline = alwani_design(tiny, testchip)
+        assert len(baseline.design.implementations) == len(tiny)
+        assert baseline.feature_transfer_bytes == tiny.min_fused_transfer_bytes()
+
+    def test_tile_buffers_cost_more_bram_than_ours(self, tiny, testchip):
+        baseline = alwani_design(tiny, testchip)
+        impl = baseline.design.implementations[0]
+        # line buffers inflated by the tile factor
+        assert TILE_BUFFER_BRAM_FACTOR > 1.0
+        assert impl.line_brams >= 1
+
+    def test_never_beats_optimal_heterogeneous(self, tiny, testchip):
+        baseline = alwani_design(tiny, testchip)
+        ours = optimize(tiny, testchip, tiny.min_fused_transfer_bytes())
+        assert ours.latency_cycles <= baseline.latency_cycles
+
+    def test_infeasible_on_starved_device(self, tiny):
+        starved = FPGADevice(
+            name="starved",
+            resources=ResourceVector(bram18k=2, dsp=2, ff=8_000, lut=5_000),
+            bandwidth_bytes_per_s=1e9,
+            frequency_hz=100e6,
+        )
+        with pytest.raises(OptimizationError):
+            alwani_design(tiny, starved)
+
+    def test_metrics_consistent(self, tiny, testchip):
+        baseline = alwani_design(tiny, testchip)
+        assert baseline.latency_seconds() == pytest.approx(
+            baseline.latency_cycles / testchip.frequency_hz
+        )
+        assert baseline.effective_gops() > 0
+        assert baseline.total_ops == tiny.total_ops()
+
+
+class TestHomogeneous:
+    def test_conventional_pins_all_convs(self, tiny, testchip):
+        strategy = homogeneous_optimize(
+            tiny, testchip, tiny.feature_map_bytes(), Algorithm.CONVENTIONAL
+        )
+        for choice in strategy.choices():
+            assert choice.algorithm != Algorithm.WINOGRAD
+
+    def test_winograd_pins_where_legal(self, mixed_net, testchip):
+        strategy = homogeneous_optimize(
+            mixed_net, testchip, mixed_net.feature_map_bytes(), Algorithm.WINOGRAD
+        )
+        by_name = {c.layer_name: c for c in strategy.choices()}
+        # c1 has stride 2: falls back to conventional
+        assert by_name["c1"].algorithm == Algorithm.CONVENTIONAL
+        assert by_name["c2"].algorithm == Algorithm.WINOGRAD
+        assert by_name["c3"].algorithm == Algorithm.WINOGRAD
+
+    def test_heterogeneous_at_least_as_good(self, tiny, testchip):
+        budget = tiny.feature_map_bytes()
+        hetero = optimize(tiny, testchip, budget)
+        conv = homogeneous_optimize(tiny, testchip, budget, Algorithm.CONVENTIONAL)
+        wino = homogeneous_optimize(tiny, testchip, budget, Algorithm.WINOGRAD)
+        assert hetero.latency_cycles <= conv.latency_cycles
+        assert hetero.latency_cycles <= wino.latency_cycles
+
+    def test_invalid_algorithm_rejected(self, tiny, testchip):
+        with pytest.raises(OptimizationError):
+            homogeneous_optimize(tiny, testchip, 10**9, Algorithm.POOL)
+
+
+class TestUnfused:
+    def test_every_layer_is_own_group(self, tiny, testchip):
+        strategy = unfused_optimize(tiny, testchip)
+        assert len(strategy.designs) == len(tiny)
+        assert strategy.boundaries == [(i, i + 1) for i in range(len(tiny))]
+
+    def test_unfused_transfer_is_full_roundtrip(self, tiny, testchip):
+        strategy = unfused_optimize(tiny, testchip)
+        assert strategy.feature_transfer_bytes == tiny.feature_map_bytes()
+
+    def test_fusion_saves_transfer(self, tiny, testchip):
+        unfused = unfused_optimize(tiny, testchip)
+        fused = optimize(tiny, testchip, tiny.min_fused_transfer_bytes())
+        assert fused.feature_transfer_bytes < unfused.feature_transfer_bytes

@@ -1,0 +1,208 @@
+"""Tests for the prototxt parser and serializer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.nn import models
+from repro.nn.caffe import (
+    Message,
+    network_from_prototxt,
+    network_to_prototxt,
+    parse_prototxt,
+)
+from repro.nn.layers import ConvLayer, LRNLayer, PoolLayer
+
+SAMPLE = """
+name: "sample"
+input: "data"
+input_dim: 1
+input_dim: 3
+input_dim: 32
+input_dim: 32
+layer {
+  name: "conv1"
+  type: "Convolution"
+  bottom: "data"
+  top: "conv1"
+  convolution_param {
+    num_output: 16
+    kernel_size: 3
+    pad: 1
+    stride: 1
+  }
+}
+layer {
+  name: "relu1"
+  type: "ReLU"
+  bottom: "conv1"
+  top: "conv1"
+}
+layer {
+  name: "pool1"
+  type: "Pooling"
+  bottom: "conv1"
+  top: "pool1"
+  pooling_param {
+    pool: MAX
+    kernel_size: 2
+    stride: 2
+  }
+}
+layer {
+  name: "norm1"
+  type: "LRN"
+  bottom: "pool1"
+  top: "norm1"
+  lrn_param {
+    local_size: 5
+    alpha: 0.0001
+    beta: 0.75
+  }
+}
+"""
+
+
+class TestGenericParser:
+    def test_scalar_fields(self):
+        msg = parse_prototxt('name: "x"\ncount: 3\nratio: 0.5\nflag: true')
+        assert msg.get_str("name") == "x"
+        assert msg.get_int("count") == 3
+        assert msg.get_float("ratio") == 0.5
+        assert msg.get("flag") is True
+
+    def test_nested_and_repeated(self):
+        msg = parse_prototxt("a { v: 1 }\na { v: 2 }")
+        values = [m.get_int("v") for m in msg.get_all("a")]
+        assert values == [1, 2]
+
+    def test_comments_ignored(self):
+        msg = parse_prototxt("# leading comment\nx: 1 # trailing\n")
+        assert msg.get_int("x") == 1
+
+    def test_enum_atoms(self):
+        msg = parse_prototxt("pool: MAX")
+        assert msg.get("pool") == "MAX"
+
+    def test_string_escapes(self):
+        msg = parse_prototxt(r'name: "a\"b"')
+        assert msg.get_str("name") == 'a"b'
+
+    def test_message_without_colon(self):
+        msg = parse_prototxt("param { x: 1 }")
+        assert msg.get_message("param").get_int("x") == 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["}", "key", "a: {", "a: 1 }", 'a: "unterminated'],
+    )
+    def test_malformed_raises(self, bad):
+        with pytest.raises(ParseError):
+            parse_prototxt(bad)
+
+    def test_negative_and_exponent_numbers(self):
+        msg = parse_prototxt("a: -3\nb: 1e-4\nc: -2.5e2")
+        assert msg.get_int("a") == -3
+        assert msg.get_float("b") == pytest.approx(1e-4)
+        assert msg.get_float("c") == pytest.approx(-250.0)
+
+
+class TestNetworkLowering:
+    def test_sample_layers(self):
+        net = network_from_prototxt(SAMPLE)
+        assert net.name == "sample"
+        assert net.input_spec.shape == (3, 32, 32)
+        assert [info.name for info in net] == ["conv1", "pool1", "norm1"]
+
+    def test_relu_folded_into_conv(self):
+        net = network_from_prototxt(SAMPLE)
+        conv = net.layer("conv1").layer
+        assert isinstance(conv, ConvLayer)
+        assert conv.relu
+
+    def test_relu_kept_when_not_folding(self):
+        net = network_from_prototxt(SAMPLE, fold_relu=False)
+        assert "relu1" in [info.name for info in net]
+
+    def test_pool_parameters(self):
+        pool = network_from_prototxt(SAMPLE).layer("pool1").layer
+        assert isinstance(pool, PoolLayer)
+        assert pool.kernel == 2 and pool.stride == 2 and pool.mode == "max"
+
+    def test_lrn_parameters(self):
+        lrn = network_from_prototxt(SAMPLE).layer("norm1").layer
+        assert isinstance(lrn, LRNLayer)
+        assert lrn.local_size == 5
+        assert lrn.alpha == pytest.approx(1e-4)
+
+    def test_input_shape_message_form(self):
+        text = 'input: "data"\ninput_shape { dim: 1 dim: 3 dim: 8 dim: 8 }\n' + (
+            'layer { name: "c" type: "Convolution" bottom: "data" top: "c" '
+            "convolution_param { num_output: 2 kernel_size: 3 pad: 1 } }"
+        )
+        net = network_from_prototxt(text)
+        assert net.input_spec.shape == (3, 8, 8)
+
+    def test_input_layer_form(self):
+        text = (
+            'layer { name: "data" type: "Input" input_param { shape '
+            "{ dim: 1 dim: 3 dim: 8 dim: 8 } } }\n"
+            'layer { name: "c" type: "Convolution" bottom: "data" top: "c" '
+            "convolution_param { num_output: 2 kernel_size: 3 pad: 1 } }"
+        )
+        net = network_from_prototxt(text)
+        assert net.input_spec.shape == (3, 8, 8)
+
+    def test_missing_input_shape_raises(self):
+        with pytest.raises(ParseError):
+            network_from_prototxt('name: "x"')
+
+    def test_non_linear_chain_rejected(self):
+        text = SAMPLE + (
+            '\nlayer { name: "c2" type: "Convolution" bottom: "conv1" top: "c2" '
+            "convolution_param { num_output: 2 kernel_size: 1 } }"
+        )
+        with pytest.raises(ParseError):
+            network_from_prototxt(text)
+
+    def test_unsupported_layer_type(self):
+        text = (
+            'input: "d"\ninput_dim: 1\ninput_dim: 3\ninput_dim: 8\ninput_dim: 8\n'
+            'layer { name: "x" type: "Eltwise" bottom: "d" top: "x" }'
+        )
+        with pytest.raises(ParseError):
+            network_from_prototxt(text)
+
+    def test_missing_conv_param(self):
+        text = (
+            'input: "d"\ninput_dim: 1\ninput_dim: 3\ninput_dim: 8\ninput_dim: 8\n'
+            'layer { name: "x" type: "Convolution" bottom: "d" top: "x" }'
+        )
+        with pytest.raises(ParseError):
+            network_from_prototxt(text)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "ctor",
+        [models.tiny_cnn, models.alexnet, models.vgg_fused_prefix],
+    )
+    def test_serialize_then_parse_preserves_structure(self, ctor):
+        original = ctor()
+        text = network_to_prototxt(original)
+        parsed = network_from_prototxt(text)
+        assert len(parsed) == len(original)
+        for a, b in zip(original, parsed):
+            assert a.name == b.name
+            assert type(a.layer) is type(b.layer)
+            assert a.output_shape == b.output_shape
+
+    def test_roundtrip_preserves_relu_flags(self):
+        original = models.tiny_cnn()
+        parsed = network_from_prototxt(network_to_prototxt(original))
+        for a, b in zip(original.conv_infos(), parsed.conv_infos()):
+            assert a.layer.relu == b.layer.relu
+
+    def test_roundtrip_preserves_groups(self):
+        original = models.alexnet(grouped=True)
+        parsed = network_from_prototxt(network_to_prototxt(original))
+        assert parsed.layer("conv2").layer.groups == 2

@@ -1,0 +1,139 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_size, build_parser, main
+from repro.nn import models
+from repro.nn.caffe import network_to_prototxt
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("2MB", 2 * 2**20),
+            ("340KB", 340 * 1024),
+            ("1024", 1024),
+            ("0.5MB", 2**19),
+            ("7b", 7),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert _parse_size(text) == expected
+
+    def test_invalid(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_size("lots")
+
+
+class TestInformational:
+    def test_models_lists_zoo(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        for name in ("alexnet", "vgg19", "tiny_cnn"):
+            assert name in out
+
+    def test_devices_lists_catalog(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "zc706" in out
+        assert "900" in out  # its DSP count
+
+    def test_winograd_matrices(self, capsys):
+        assert main(["winograd", "2", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "A^T" in out and "G" in out and "B^T" in out
+        assert "2.25x" in out
+
+
+class TestCompile:
+    def test_compile_zoo_model(self, capsys):
+        assert main(["compile", "tiny_cnn", "--device", "testchip"]) == 0
+        out = capsys.readouterr().out
+        assert "Strategy for tiny_cnn" in out
+
+    def test_compile_with_output_and_simulation(self, capsys, tmp_path):
+        code = main(
+            [
+                "compile",
+                "tiny_cnn",
+                "--device",
+                "testchip",
+                "--out",
+                str(tmp_path / "hls"),
+                "--simulate",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simulated latency" in out
+        assert (tmp_path / "hls" / "build.tcl").exists()
+
+    def test_compile_prototxt_file(self, capsys, tmp_path):
+        path = tmp_path / "m.prototxt"
+        path.write_text(network_to_prototxt(models.tiny_cnn()))
+        assert main(["compile", str(path), "--device", "testchip"]) == 0
+
+    def test_compile_with_transfer_constraint(self, capsys):
+        net = models.tiny_cnn()
+        budget = f"{net.min_fused_transfer_bytes()}B"
+        assert main(
+            ["compile", "tiny_cnn", "--device", "testchip", "--transfer", budget]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 fusion group" in out
+
+    def test_unknown_model_errors(self, capsys):
+        assert main(["compile", "nonexistent_model"]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+
+
+class TestSweep:
+    def test_sweep_table(self, capsys):
+        net = models.tiny_cnn()
+        lo = net.min_fused_transfer_bytes()
+        hi = net.feature_map_bytes()
+        code = main(
+            [
+                "sweep",
+                "tiny_cnn",
+                "--device",
+                "testchip",
+                "--constraints",
+                f"{lo}B,{hi}B",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "latency (Mcyc)" in out
+        assert "tiny_cnn on testchip" in out
+
+    def test_sweep_with_baseline(self, capsys):
+        net = models.tiny_cnn()
+        hi = net.feature_map_bytes()
+        code = main(
+            [
+                "sweep",
+                "tiny_cnn",
+                "--device",
+                "testchip",
+                "--constraints",
+                f"{hi}B",
+                "--baseline",
+            ]
+        )
+        assert code == 0
+        assert "speedup vs [1]" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_device_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compile", "x", "--device", "nope"])

@@ -1,0 +1,124 @@
+"""Tests for the weight-header emitter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodegenError
+from repro.algorithms.fixed_point import Q16
+from repro.algorithms.winograd import winograd_transform
+from repro.codegen.weights import (
+    layer_weight_header,
+    render_weight_array,
+    strategy_weight_headers,
+)
+from repro.hardware.device import get_device
+from repro.nn import models
+from repro.nn.functional import init_weights
+from repro.nn.layers import ConvLayer
+from repro.optimizer.dp import optimize
+from repro.perf.implement import Algorithm
+
+
+@pytest.fixture(scope="module")
+def strategy():
+    net = models.tiny_cnn()
+    return optimize(net, get_device("testchip"), net.feature_map_bytes())
+
+
+@pytest.fixture(scope="module")
+def weights(strategy):
+    return init_weights(strategy.network)
+
+
+class TestRenderArray:
+    def test_hex_codes_roundtrip(self):
+        values = np.array([0.5, -1.0, 0.25])
+        text = render_weight_array("w", values)
+        assert "static const int16_t w[3]" in text
+        # 0.5 -> 128 = 0x0080 ; -1.0 -> -256 -> 0xff00
+        assert "0x0080" in text
+        assert "0xff00" in text
+
+    def test_shape_comment(self):
+        text = render_weight_array("w", np.zeros((2, 3, 3, 3)))
+        assert "shape 2x3x3x3" in text
+        assert "w[54]" in text
+
+
+class TestLayerHeader:
+    def test_conventional_keeps_kernel_size(self):
+        layer = ConvLayer(name="c", out_channels=2, kernel=3, pad=1)
+        params = {
+            "weight": np.random.default_rng(0).normal(size=(2, 3, 3, 3)),
+            "bias": np.zeros(2),
+        }
+        text = layer_weight_header(layer, params, Algorithm.CONVENTIONAL)
+        assert "c_weights[54]" in text
+        assert "c_bias[2]" in text
+
+    def test_winograd_pretransforms(self):
+        layer = ConvLayer(name="c", out_channels=2, kernel=3, pad=1)
+        rng = np.random.default_rng(1)
+        params = {"weight": rng.normal(0, 0.1, size=(2, 3, 3, 3))}
+        text = layer_weight_header(layer, params, Algorithm.WINOGRAD, winograd_m=4)
+        # alpha = 6: 2*3*36 = 216 entries
+        assert "c_weights[216]" in text
+        assert "pre-transformed" in text
+
+    def test_transform_values_match_library(self):
+        layer = ConvLayer(name="c", out_channels=1, kernel=3)
+        rng = np.random.default_rng(2)
+        weight = rng.normal(0, 0.05, size=(1, 1, 3, 3))
+        text = layer_weight_header(layer, {"weight": weight}, Algorithm.WINOGRAD)
+        transform = winograd_transform(4, 3)
+        expected = Q16.to_integers(transform.transform_kernels(weight))
+        first = int(expected.reshape(-1)[0]) & 0xFFFF
+        assert f"0x{first:04x}" in text
+
+    def test_pool_algorithm_rejected(self):
+        layer = ConvLayer(name="c", out_channels=1, kernel=3)
+        with pytest.raises(CodegenError):
+            layer_weight_header(layer, {"weight": np.zeros((1, 1, 3, 3))}, Algorithm.POOL)
+
+
+class TestStrategyHeaders:
+    def test_one_header_per_conv_plus_index(self, strategy, weights):
+        files = strategy_weight_headers(strategy, weights)
+        convs = [
+            info.name
+            for info in strategy.network
+            if isinstance(info.layer, ConvLayer)
+        ]
+        assert len(files) == len(convs) + 1
+        assert "weights.h" in files
+        for name in convs:
+            assert f"weights_{name}.h" in files
+            assert f'#include "weights_{name}.h"' in files["weights.h"]
+
+    def test_winograd_layers_emitted_transformed(self, strategy, weights):
+        files = strategy_weight_headers(strategy, weights)
+        for design in strategy.designs:
+            for impl in design.implementations:
+                if impl.algorithm == Algorithm.WINOGRAD:
+                    text = files[f"weights_{impl.layer_name}.h"]
+                    assert "pre-transformed" in text
+
+    def test_missing_weights_rejected(self, strategy):
+        with pytest.raises(CodegenError):
+            strategy_weight_headers(strategy, {})
+
+    def test_inception_inner_convs_emitted(self):
+        from repro.nn.layers import InputSpec
+        from repro.nn.modules import InceptionModule, InceptionSpec
+        from repro.nn.network import Network
+
+        net = Network(
+            "mini",
+            InputSpec(8, 12, 12),
+            [InceptionModule(name="inc", spec=InceptionSpec(4, 6, 8, 2, 4, 4))],
+        )
+        dev = get_device("testchip")
+        strat = optimize(net, dev, net.feature_map_bytes())
+        files = strategy_weight_headers(strat, init_weights(net))
+        assert "weights_inc_b3.h" in files
+        assert "weights_inc_proj.h" in files

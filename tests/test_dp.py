@@ -1,0 +1,141 @@
+"""Tests for Algorithm 1 (the transfer-constrained DP) in both forms."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.hardware.device import get_device
+from repro.nn import models
+from repro.optimizer.dp import (
+    FrontierOptimizer,
+    minimum_transfer_bytes,
+    optimize,
+    optimize_many,
+    optimize_tabular,
+    transfer_latency_frontier,
+    transfer_units,
+    TRANSFER_UNIT_BYTES,
+)
+from repro.optimizer.exhaustive import exhaustive_optimize
+
+
+@pytest.fixture
+def testchip():
+    return get_device("testchip")
+
+
+@pytest.fixture
+def tiny():
+    return models.tiny_cnn()
+
+
+class TestTransferUnits:
+    def test_rounds_up(self):
+        assert transfer_units(1) == 1
+        assert transfer_units(TRANSFER_UNIT_BYTES) == 1
+        assert transfer_units(TRANSFER_UNIT_BYTES + 1) == 2
+        assert transfer_units(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(OptimizationError):
+            transfer_units(-5)
+
+
+class TestOptimize:
+    def test_matches_exhaustive_oracle(self, tiny, testchip):
+        for budget in (
+            tiny.min_fused_transfer_bytes(),
+            tiny.feature_map_bytes() // 2,
+            tiny.feature_map_bytes(),
+        ):
+            ours = optimize(tiny, testchip, budget)
+            oracle = exhaustive_optimize(tiny, testchip, budget)
+            assert ours.latency_cycles == oracle.latency_cycles, budget
+
+    def test_respects_transfer_constraint(self, tiny, testchip):
+        budget = tiny.min_fused_transfer_bytes()
+        strategy = optimize(tiny, testchip, budget)
+        assert strategy.feature_transfer_bytes <= budget
+
+    def test_latency_monotone_in_budget(self, tiny, testchip):
+        budgets = [
+            tiny.min_fused_transfer_bytes(),
+            2 * tiny.min_fused_transfer_bytes(),
+            tiny.feature_map_bytes(),
+        ]
+        latencies = [optimize(tiny, testchip, b).latency_cycles for b in budgets]
+        assert latencies == sorted(latencies, reverse=True) or len(set(latencies)) < 3
+
+    def test_infeasible_budget_raises(self, tiny, testchip):
+        with pytest.raises(OptimizationError):
+            optimize(tiny, testchip, 100)  # 100 bytes is hopeless
+
+    def test_mixed_net_strided_conv_conventional(self, mixed_net, testchip):
+        strategy = optimize(mixed_net, testchip, mixed_net.feature_map_bytes())
+        by_name = {c.layer_name: c for c in strategy.choices()}
+        assert by_name["c1"].algorithm.value == "conventional"  # stride 2
+
+    def test_optimize_many_matches_individual(self, tiny, testchip):
+        budgets = [tiny.min_fused_transfer_bytes(), tiny.feature_map_bytes()]
+        batch = optimize_many(tiny, testchip, budgets)
+        for budget, strategy in zip(budgets, batch):
+            assert (
+                strategy.latency_cycles
+                == optimize(tiny, testchip, budget).latency_cycles
+            )
+
+
+class TestFrontier:
+    def test_frontier_sorted_and_non_dominated(self, tiny, testchip):
+        frontier = transfer_latency_frontier(tiny, testchip)
+        transfers = [t for t, _ in frontier]
+        latencies = [l for _, l in frontier]
+        assert transfers == sorted(transfers)
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_minimum_transfer_is_fused_boundary(self, tiny, testchip):
+        assert minimum_transfer_bytes(tiny, testchip) == tiny.min_fused_transfer_bytes()
+
+    def test_best_plan_picks_cheapest_feasible(self, tiny, testchip):
+        optimizer = FrontierOptimizer(tiny, testchip)
+        plan = optimizer.best_plan(tiny.feature_map_bytes())
+        frontier = optimizer.frontier(0, len(tiny))
+        assert plan.latency_cycles == min(p.latency_cycles for p in frontier)
+
+    def test_infeasible_plan_message_has_minimum(self, tiny, testchip):
+        optimizer = FrontierOptimizer(tiny, testchip)
+        with pytest.raises(OptimizationError, match="minimum achievable"):
+            optimizer.best_plan(10)
+
+
+class TestTabular:
+    def test_tabular_matches_frontier(self, tiny, testchip):
+        # Coarse unit keeps the cubic loops fast; generous budget so the
+        # unit quantization is not binding.
+        budget = tiny.feature_map_bytes()
+        frontier = optimize(tiny, testchip, budget)
+        tabular = optimize_tabular(tiny, testchip, budget, unit_bytes=1024)
+        assert tabular.latency_cycles == frontier.latency_cycles
+
+    def test_tabular_tight_budget(self, tiny, testchip):
+        budget = tiny.min_fused_transfer_bytes()
+        tabular = optimize_tabular(tiny, testchip, budget, unit_bytes=256)
+        assert tabular.feature_transfer_bytes <= budget + 256 * len(tiny)
+
+    def test_tabular_infeasible_raises(self, tiny, testchip):
+        with pytest.raises(OptimizationError):
+            optimize_tabular(tiny, testchip, 64, unit_bytes=64)
+
+    def test_tabular_group_structure_valid(self, tiny, testchip):
+        strategy = optimize_tabular(
+            tiny, testchip, tiny.feature_map_bytes(), unit_bytes=1024
+        )
+        strategy.validate()
+
+
+class TestEmptyNetwork:
+    def test_empty_rejected(self, testchip):
+        empty = models.tiny_cnn().prefix(0)
+        with pytest.raises(OptimizationError):
+            optimize(empty, testchip, 10**9)
+        with pytest.raises(OptimizationError):
+            optimize_tabular(empty, testchip, 10**9)

@@ -1,0 +1,73 @@
+"""Tests for device design-space exploration sweeps."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.hardware.device import get_device
+from repro.hardware.dse import (
+    bandwidth_sweep,
+    binding_resource,
+    fabric_sweep,
+    scale_bandwidth,
+    scale_fabric,
+)
+from repro.nn import models
+
+
+@pytest.fixture(scope="module")
+def setup():
+    net = models.tiny_cnn()
+    dev = get_device("testchip")
+    return net, dev, net.feature_map_bytes()
+
+
+class TestScaling:
+    def test_scale_bandwidth(self):
+        dev = get_device("testchip")
+        scaled = scale_bandwidth(dev, 2.0)
+        assert scaled.bandwidth_bytes_per_s == pytest.approx(
+            2 * dev.bandwidth_bytes_per_s
+        )
+        assert scaled.resources == dev.resources
+        assert "bw2x" in scaled.name
+
+    def test_scale_fabric(self):
+        dev = get_device("testchip")
+        scaled = scale_fabric(dev, 0.5)
+        assert scaled.resources.dsp == dev.resources.dsp // 2
+        assert scaled.bandwidth_bytes_per_s == dev.bandwidth_bytes_per_s
+
+    def test_invalid_factors(self):
+        dev = get_device("testchip")
+        with pytest.raises(OptimizationError):
+            scale_bandwidth(dev, 0)
+        with pytest.raises(OptimizationError):
+            scale_fabric(dev, -1)
+
+
+class TestSweeps:
+    def test_bandwidth_sweep_monotone(self, setup):
+        net, dev, budget = setup
+        points = bandwidth_sweep(net, dev, budget, factors=(0.5, 1.0, 4.0))
+        latencies = [p.latency_cycles for p in points]
+        # More bandwidth can never hurt the optimum.
+        assert latencies == sorted(latencies, reverse=True) or len(set(latencies)) == 1
+
+    def test_fabric_sweep_monotone(self, setup):
+        net, dev, budget = setup
+        points = fabric_sweep(net, dev, budget, factors=(0.5, 1.0, 2.0))
+        latencies = [p.latency_cycles for p in points]
+        assert latencies[0] >= latencies[-1]
+
+    def test_sweep_points_carry_strategies(self, setup):
+        net, dev, budget = setup
+        points = bandwidth_sweep(net, dev, budget, factors=(1.0,))
+        point = points[0]
+        assert point.effective_gops > 0
+        assert point.winograd_layers >= 0
+        assert point.strategy.peak_resources.fits(point.device.resources)
+
+    def test_binding_resource_is_valid_dimension(self, setup):
+        net, dev, budget = setup
+        point = bandwidth_sweep(net, dev, budget, factors=(1.0,))[0]
+        assert binding_resource(point) in ("bram18k", "dsp", "ff", "lut")

@@ -1,0 +1,98 @@
+"""Tests for the 16-bit fixed-point datapath model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AlgorithmError
+from repro.algorithms.fixed_point import (
+    FixedPointFormat,
+    Q16,
+    quantize_model_weights,
+)
+from repro.nn import models
+from repro.nn.functional import conv2d, init_weights
+from repro.algorithms.winograd import winograd_conv2d
+
+
+class TestFormat:
+    def test_q16_is_16_bits(self):
+        assert Q16.width == 16
+        assert Q16.scale == 256
+
+    def test_range(self):
+        fmt = FixedPointFormat(3, 4)  # 8-bit
+        assert fmt.max_value == pytest.approx(127 / 16)
+        assert fmt.min_value == pytest.approx(-128 / 16)
+        assert fmt.resolution == pytest.approx(1 / 16)
+
+    def test_invalid_formats(self):
+        with pytest.raises(AlgorithmError):
+            FixedPointFormat(-1, 4)
+        with pytest.raises(AlgorithmError):
+            FixedPointFormat(40, 40)
+
+    def test_quantize_exact_values_unchanged(self):
+        values = np.array([0.0, 1.0, -1.0, 0.5, 127.0])
+        np.testing.assert_array_equal(Q16.quantize(values), values)
+
+    def test_quantize_rounds_to_nearest(self):
+        fmt = FixedPointFormat(3, 2)  # resolution 0.25
+        np.testing.assert_allclose(fmt.quantize(np.array([0.3])), [0.25])
+        np.testing.assert_allclose(fmt.quantize(np.array([0.4])), [0.5])
+
+    def test_saturation(self):
+        fmt = FixedPointFormat(3, 4)
+        assert fmt.quantize(np.array([100.0]))[0] == fmt.max_value
+        assert fmt.quantize(np.array([-100.0]))[0] == fmt.min_value
+
+    def test_integer_roundtrip(self):
+        values = np.array([0.25, -1.5, 3.0])
+        codes = Q16.to_integers(values)
+        np.testing.assert_allclose(Q16.from_integers(codes), values)
+
+    def test_quantization_error_bound(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(-10, 10, 1000)
+        assert Q16.quantization_error(values) <= Q16.resolution / 2 + 1e-12
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.floats(-100, 100), min_size=1, max_size=20),
+        st.integers(0, 10),
+        st.integers(0, 12),
+    )
+    def test_idempotent(self, values, int_bits, frac_bits):
+        fmt = FixedPointFormat(int_bits, frac_bits)
+        once = fmt.quantize(np.array(values))
+        np.testing.assert_array_equal(fmt.quantize(once), once)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(-5, 5), min_size=1, max_size=20))
+    def test_error_within_half_lsb_in_range(self, values):
+        arr = np.array(values)
+        err = np.abs(Q16.quantize(arr) - arr)
+        assert (err <= Q16.resolution / 2 + 1e-9).all()
+
+
+class TestQuantizedInference:
+    def test_quantize_model_weights_structure(self):
+        net = models.tiny_cnn()
+        weights = init_weights(net)
+        quantized = quantize_model_weights(weights)
+        assert set(quantized) == set(weights)
+        for name in weights:
+            for key in weights[name]:
+                assert quantized[name][key].shape == weights[name][key].shape
+
+    def test_winograd_close_to_direct_under_quantization(self):
+        """The paper runs Winograd on 16-bit fixed; divergence from the
+        conventional algorithm must stay within a few LSBs."""
+        rng = np.random.default_rng(5)
+        data = Q16.quantize(rng.uniform(-1, 1, (4, 12, 12)))
+        weights = Q16.quantize(rng.uniform(-0.5, 0.5, (4, 4, 3, 3)))
+        direct = conv2d(data, weights, stride=1, pad=1)
+        wino = winograd_conv2d(data, weights, pad=1)
+        # float winograd on quantized inputs is exact; quantizing the
+        # *outputs* to the accumulator format keeps them equal
+        np.testing.assert_allclose(wino, direct, atol=1e-9)

@@ -1,0 +1,132 @@
+"""Tests for fusion groups, pyramids and transfer accounting."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.arch.fusion import (
+    FusionGroup,
+    enumerate_groupings,
+    group_min_transfer_bytes,
+    layer_window,
+)
+from repro.nn import models
+from repro.nn.layers import ConvLayer, LRNLayer, PoolLayer
+
+
+class TestLayerWindow:
+    def test_conv(self):
+        assert layer_window(ConvLayer(name="c", out_channels=1, kernel=3, stride=2)) == (3, 2)
+
+    def test_pool(self):
+        assert layer_window(PoolLayer(name="p", kernel=2, stride=2)) == (2, 2)
+
+    def test_lrn_is_pointwise(self):
+        assert layer_window(LRNLayer(name="n")) == (1, 1)
+
+
+class TestFusionGroup:
+    def test_bounds_checked(self, tiny_net=None):
+        net = models.tiny_cnn()
+        with pytest.raises(ShapeError):
+            FusionGroup(net, 2, 2)
+        with pytest.raises(ShapeError):
+            FusionGroup(net, 0, 99)
+
+    def test_min_transfer_is_boundary_maps(self):
+        net = models.vgg_fused_prefix()
+        group = FusionGroup(net, 0, 7)
+        expected = 2 * (3 * 224 * 224 + 256 * 56 * 56)
+        assert group.min_transfer_bytes() == expected
+        assert group_min_transfer_bytes(net, 0, 7) == expected
+
+    def test_unfused_transfer_and_saving(self):
+        net = models.vgg_fused_prefix()
+        group = FusionGroup(net, 0, 7)
+        assert group.unfused_transfer_bytes() == net.feature_map_bytes()
+        assert group.transfer_saving_bytes() == (
+            group.unfused_transfer_bytes() - group.min_transfer_bytes()
+        )
+        assert group.transfer_saving_bytes() > 0
+
+    def test_single_layer_group_saves_nothing(self):
+        net = models.tiny_cnn()
+        group = FusionGroup(net, 1, 2)
+        assert group.transfer_saving_bytes() == 0
+
+    def test_weight_bytes(self):
+        net = models.tiny_cnn()
+        group = FusionGroup(net, 0, 2)
+        expected = 2 * (net[0].weight_count + net[1].weight_count)
+        assert group.weight_bytes() == expected
+
+    def test_total_ops(self):
+        net = models.tiny_cnn()
+        group = FusionGroup(net, 0, len(net))
+        assert group.total_ops() == net.total_ops()
+
+
+class TestPyramid:
+    def test_paper_example_three_3x3_convs(self):
+        """Figure 2a: one conv3 element needs a 3x3 tile of conv2, each of
+        whose elements needs a 3x3 tile of conv1: pyramid widths 1, 3, 5, 7."""
+        from repro.nn.layers import InputSpec
+        from repro.nn.network import Network
+
+        net = Network(
+            "pyr",
+            InputSpec(1, 16, 16),
+            [
+                ConvLayer(name="c1", out_channels=1, kernel=3, pad=1),
+                ConvLayer(name="c2", out_channels=1, kernel=3, pad=1),
+                ConvLayer(name="c3", out_channels=1, kernel=3, pad=1),
+            ],
+        )
+        group = FusionGroup(net, 0, 3)
+        levels = group.pyramid()
+        assert [lvl.input_rows_per_group_row for lvl in levels] == [7, 5, 3]
+        assert group.input_rows_per_output_row() == 7
+
+    def test_stride_widens_pyramid(self):
+        from repro.nn.layers import InputSpec
+        from repro.nn.network import Network
+
+        net = Network(
+            "pyr",
+            InputSpec(1, 32, 32),
+            [
+                ConvLayer(name="c1", out_channels=1, kernel=3, pad=1),
+                PoolLayer(name="p1", kernel=2, stride=2),
+                ConvLayer(name="c2", out_channels=1, kernel=3, pad=1),
+            ],
+        )
+        group = FusionGroup(net, 0, 3)
+        # c2 needs 3 rows of p1 out; p1 needs 2+(3-1)*2=6 rows of c1 out;
+        # c1 needs 3+(6-1)*1=8 input rows.
+        assert group.input_rows_per_output_row() == 8
+
+    def test_window_and_stride_recorded(self):
+        net = models.vgg_fused_prefix()
+        levels = FusionGroup(net, 0, 3).pyramid()
+        assert levels[0].window_rows == 3 and levels[0].stride_rows == 1
+        assert levels[2].window_rows == 2 and levels[2].stride_rows == 2
+
+
+class TestEnumerateGroupings:
+    def test_counts_match_compositions(self):
+        # number of ways to split n items into contiguous groups = 2^(n-1)
+        assert len(enumerate_groupings(1, 8)) == 1
+        assert len(enumerate_groupings(3, 8)) == 4
+        assert len(enumerate_groupings(5, 8)) == 16
+
+    def test_depth_cap(self):
+        groupings = enumerate_groupings(4, 2)
+        assert all(stop - start <= 2 for g in groupings for start, stop in g)
+        assert [(0, 4)] not in groupings
+
+    def test_groups_tile_range(self):
+        for grouping in enumerate_groupings(4, 4):
+            flat = [i for start, stop in grouping for i in range(start, stop)]
+            assert flat == [0, 1, 2, 3]
+
+    def test_empty(self):
+        assert enumerate_groupings(0, 4) == [[]]

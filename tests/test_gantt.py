@@ -1,0 +1,75 @@
+"""Tests for the ASCII Gantt renderer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.hardware.device import get_device
+from repro.nn import models
+from repro.optimizer.dp import optimize
+from repro.sim.gantt import render_gantt, render_group_gantt
+from repro.sim.simulator import simulate_strategy
+from repro.sim.trace import GroupTrace, LayerTrace
+
+
+@pytest.fixture(scope="module")
+def traces():
+    net = models.tiny_cnn()
+    dev = get_device("testchip")
+    strategy = optimize(net, dev, net.min_fused_transfer_bytes())
+    data = np.random.default_rng(0).normal(size=net.input_spec.shape)
+    return simulate_strategy(strategy, data).group_traces
+
+
+class TestRenderGroup:
+    def test_one_row_per_layer(self, traces):
+        trace = traces[0]
+        text = render_group_gantt(trace)
+        assert text.count("|") == 2 * len(trace.layers)
+        for layer in trace.layers:
+            assert layer.layer_name in text
+
+    def test_bars_within_width(self, traces):
+        text = render_group_gantt(traces[0], width=40)
+        for line in text.splitlines()[1:]:
+            bar = line.split("|")[1]
+            assert len(bar) == 40
+
+    def test_active_marks_present(self, traces):
+        text = render_group_gantt(traces[0])
+        assert "#" in text
+
+    def test_narrow_width_rejected(self, traces):
+        with pytest.raises(SimulationError):
+            render_group_gantt(traces[0], width=2)
+
+    def test_zero_duration_rejected(self):
+        empty = GroupTrace(
+            group_id=0,
+            layers=(
+                LayerTrace(
+                    layer_name="x",
+                    algorithm="pool",
+                    out_rows=1,
+                    row_cycles=0,
+                    first_output_cycle=0,
+                    last_output_cycle=0,
+                    busy_cycles=0,
+                ),
+            ),
+            start_cycle=5.0,
+            end_cycle=5.0,
+            dram_busy_cycles=0.0,
+        )
+        with pytest.raises(SimulationError):
+            render_group_gantt(empty)
+
+
+class TestRenderAll:
+    def test_all_groups_rendered(self, traces):
+        text = render_gantt(traces)
+        for trace in traces:
+            assert f"group {trace.group_id}:" in text
+
+    def test_empty(self):
+        assert "no groups" in render_gantt([])

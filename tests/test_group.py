@@ -1,0 +1,110 @@
+"""Tests for fused-group composition (resources, bandwidth, latency)."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.hardware.device import get_device
+from repro.nn.layers import ConvLayer, InputSpec, PoolLayer
+from repro.nn.network import Network
+from repro.perf.group import compose_group, fifo_overhead
+from repro.perf.implement import Algorithm, implement
+
+
+@pytest.fixture
+def device():
+    return get_device("testchip")
+
+
+@pytest.fixture
+def net():
+    return Network(
+        "g",
+        InputSpec(4, 16, 16),
+        [
+            ConvLayer(name="c1", out_channels=8, kernel=3, pad=1),
+            ConvLayer(name="c2", out_channels=8, kernel=3, pad=1),
+            PoolLayer(name="p1", kernel=2, stride=2),
+        ],
+    )
+
+
+def impls_for(net, device, p=4):
+    out = []
+    for i in range(len(net)):
+        layer = net[i].layer
+        algo = (
+            Algorithm.POOL
+            if isinstance(layer, PoolLayer)
+            else Algorithm.CONVENTIONAL
+        )
+        out.append(implement(net[i], algo, p, device))
+    return out
+
+
+class TestFifoOverhead:
+    def test_no_boundaries_no_cost(self):
+        assert fifo_overhead(1).lut == 0
+
+    def test_scales_with_boundaries(self):
+        assert fifo_overhead(3).lut == 2 * fifo_overhead(2).lut
+
+    def test_invalid(self):
+        with pytest.raises(ResourceError):
+            fifo_overhead(0)
+
+
+class TestComposeGroup:
+    def test_empty_rejected(self, device):
+        with pytest.raises(ResourceError):
+            compose_group([], device)
+
+    def test_resources_sum_plus_fifo(self, net, device):
+        impls = impls_for(net, device)
+        design = compose_group(impls, device)
+        expected_lut = sum(i.resources.lut for i in impls) + fifo_overhead(3).lut
+        assert design.resources.lut == expected_lut
+        assert design.resources.dsp == sum(i.resources.dsp for i in impls)
+
+    def test_feature_transfer_is_boundary_only(self, net, device):
+        impls = impls_for(net, device)
+        design = compose_group(impls, device)
+        assert design.feature_transfer_bytes == (
+            impls[0].input_bytes + impls[-1].output_bytes
+        )
+
+    def test_weight_transfer_sums(self, net, device):
+        impls = impls_for(net, device)
+        design = compose_group(impls, device)
+        assert design.weight_transfer_bytes == sum(i.weight_dram_bytes for i in impls)
+
+    def test_compute_is_slowest_stage(self, net, device):
+        impls = impls_for(net, device)
+        design = compose_group(impls, device)
+        assert design.compute_cycles == max(i.compute_cycles for i in impls)
+
+    def test_latency_composition(self, net, device):
+        impls = impls_for(net, device)
+        design = compose_group(impls, device)
+        assert design.latency_cycles == (
+            max(design.compute_cycles, design.transfer_cycles) + design.fill_cycles
+        )
+        assert design.fill_cycles == sum(i.fill_cycles for i in impls)
+
+    def test_bottleneck_label(self, net, device):
+        impls = impls_for(net, device, p=1)  # slow compute
+        design = compose_group(impls, device)
+        assert design.bottleneck == "compute"
+        # crank parallelism so transfer dominates on the tiny testchip
+        fast = impls_for(net, device, p=64)
+        fast_design = compose_group(fast, device)
+        if fast_design.transfer_cycles > fast_design.compute_cycles:
+            assert fast_design.bottleneck == "bandwidth"
+
+    def test_effective_gops_positive(self, net, device):
+        design = compose_group(impls_for(net, device), device)
+        assert design.effective_gops(device) > 0
+
+    def test_single_layer_group(self, net, device):
+        impl = impls_for(net, device)[0]
+        design = compose_group([impl], device)
+        assert design.feature_transfer_bytes == impl.input_bytes + impl.output_bytes

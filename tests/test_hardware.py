@@ -1,0 +1,208 @@
+"""Tests for the FPGA substrate: resources, devices, roofline, power."""
+
+import pytest
+
+from repro.errors import ResourceError, ShapeError
+from repro.hardware.device import DEVICES, FPGADevice, get_device
+from repro.hardware.power import PowerModel, device_power_model
+from repro.hardware.resources import ResourceVector
+from repro.hardware.roofline import (
+    RooflinePoint,
+    attainable_performance,
+    bandwidth_roof_gops,
+    ctc_ratio,
+    make_point,
+    render_ascii,
+)
+
+
+class TestResourceVector:
+    def test_addition_and_subtraction(self):
+        a = ResourceVector(1, 2, 3, 4)
+        b = ResourceVector(10, 20, 30, 40)
+        assert (a + b) == ResourceVector(11, 22, 33, 44)
+        assert (b - a) == ResourceVector(9, 18, 27, 36)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ResourceError):
+            ResourceVector(dsp=-1)
+        with pytest.raises(ResourceError):
+            ResourceVector(1, 1, 1, 1) - ResourceVector(2, 0, 0, 0)
+
+    def test_scaled(self):
+        assert ResourceVector(1, 2, 3, 4).scaled(3) == ResourceVector(3, 6, 9, 12)
+        with pytest.raises(ResourceError):
+            ResourceVector().scaled(-1)
+
+    def test_fits_partial_order(self):
+        small = ResourceVector(1, 1, 1, 1)
+        big = ResourceVector(2, 2, 2, 2)
+        assert small.fits(big)
+        assert not big.fits(small)
+        assert small.fits(small)
+        # incomparable
+        a = ResourceVector(3, 0, 0, 0)
+        b = ResourceVector(0, 3, 0, 0)
+        assert not a.fits(b) and not b.fits(a)
+
+    def test_utilization(self):
+        usage = ResourceVector(50, 25, 0, 100)
+        budget = ResourceVector(100, 100, 100, 100)
+        util = usage.utilization(budget)
+        assert util["bram18k"] == 0.5
+        assert util["dsp"] == 0.25
+        assert util["ff"] == 0.0
+        assert usage.max_utilization(budget) == 1.0
+
+    def test_utilization_zero_budget(self):
+        util = ResourceVector(1, 0, 0, 0).utilization(ResourceVector())
+        assert util["bram18k"] == float("inf")
+        assert util["dsp"] == 0.0
+
+    def test_total(self):
+        parts = [ResourceVector(1, 1, 0, 0)] * 3
+        assert ResourceVector.total(parts) == ResourceVector(3, 3, 0, 0)
+
+    def test_str_mentions_fields(self):
+        text = str(ResourceVector(1, 2, 3, 4))
+        for token in ("BRAM18K=1", "DSP=2", "FF=3", "LUT=4"):
+            assert token in text
+
+
+class TestDevices:
+    def test_zc706_datasheet_numbers(self):
+        dev = get_device("zc706")
+        assert dev.resources.dsp == 900
+        assert dev.resources.bram18k == 1090
+        assert dev.resources.ff == 437_200
+        assert dev.resources.lut == 218_600
+        assert dev.bandwidth_bytes_per_s == pytest.approx(4.2e9)
+        assert dev.frequency_hz == pytest.approx(100e6)
+        assert dev.element_bytes == 2
+
+    def test_bytes_per_cycle(self):
+        dev = get_device("zc706")
+        assert dev.bytes_per_cycle == pytest.approx(42.0)
+
+    def test_conventional_roof(self):
+        # 900 DSP x 1 MAC x 2 op x 100 MHz = 180 GOPS
+        assert get_device("zc706").conventional_roof_gops == pytest.approx(180.0)
+
+    def test_winograd_roof_scales(self):
+        dev = get_device("zc706")
+        assert dev.winograd_roof_gops(4.0) == pytest.approx(720.0)
+
+    def test_cycles_seconds_roundtrip(self):
+        dev = get_device("vc707")
+        assert dev.seconds_to_cycles(dev.cycles_to_seconds(12345)) == pytest.approx(
+            12345
+        )
+
+    def test_with_bandwidth(self):
+        dev = get_device("zc706").with_bandwidth(8.4e9)
+        assert dev.bytes_per_cycle == pytest.approx(84.0)
+        assert dev.resources.dsp == 900
+
+    def test_unknown_device(self):
+        with pytest.raises(ResourceError):
+            get_device("nope")
+
+    def test_catalog_all_valid(self):
+        for name, dev in DEVICES.items():
+            assert dev.name == name
+            assert dev.peak_macs_per_cycle > 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ResourceError):
+            FPGADevice(
+                name="bad",
+                resources=ResourceVector(1, 1, 1, 1),
+                bandwidth_bytes_per_s=0,
+                frequency_hz=100e6,
+            )
+
+
+class TestRoofline:
+    def test_ctc_ratio(self):
+        assert ctc_ratio(100e9, 1e9) == pytest.approx(100.0)
+        with pytest.raises(ShapeError):
+            ctc_ratio(1.0, 0.0)
+
+    def test_bandwidth_roof(self):
+        dev = get_device("vc707")  # 4.5 GB/s
+        assert bandwidth_roof_gops(10.0, dev) == pytest.approx(45.0)
+
+    def test_attainable_clips_to_compute_roof(self):
+        dev = get_device("vc707")
+        assert attainable_performance(1e9, 560.0, dev) == pytest.approx(560.0)
+        assert attainable_performance(1.0, 560.0, dev) == pytest.approx(4.5)
+
+    def test_make_point_bandwidth_bound(self):
+        dev = get_device("vc707")
+        point = make_point("B", ops=10e9, transfer_bytes=10e9, computational_roof_gops=2240.0, device=dev)
+        assert point.bandwidth_bound
+        assert point.attainable_gops == pytest.approx(4.5)
+        assert point.wasted_compute_gops == pytest.approx(2240.0 - 4.5)
+
+    def test_make_point_compute_bound(self):
+        dev = get_device("vc707")
+        point = make_point("A", ops=1000e9, transfer_bytes=1e6, computational_roof_gops=560.0, device=dev)
+        assert not point.bandwidth_bound
+        assert point.attainable_gops == pytest.approx(560.0)
+
+    def test_render_ascii(self):
+        dev = get_device("vc707")
+        points = [
+            make_point("A", 1e9, 1e6, 560.0, dev),
+            make_point("B", 1e9, 1e9, 2240.0, dev),
+        ]
+        text = render_ascii(points, dev)
+        assert "A" in text and "B" in text
+        assert "bandwidth" in text
+        assert render_ascii([], dev) == "(no points)"
+
+
+class TestPower:
+    def test_fabric_power_monotone_in_resources(self):
+        model = PowerModel()
+        small = model.fabric_power_w(ResourceVector(10, 10, 1000, 1000))
+        large = model.fabric_power_w(ResourceVector(100, 500, 100_000, 100_000))
+        assert large > small > model.static_w
+
+    def test_transfer_energy(self):
+        model = PowerModel(dram_pj_per_byte=100.0)
+        assert model.transfer_energy_j(1e9) == pytest.approx(0.1)
+        with pytest.raises(ResourceError):
+            model.transfer_energy_j(-1)
+
+    def test_design_energy_combines(self):
+        model = PowerModel()
+        usage = ResourceVector(100, 100, 10_000, 10_000)
+        energy = model.design_energy_j(usage, latency_s=0.01, transfer_bytes=1e6)
+        assert energy == pytest.approx(
+            model.fabric_power_w(usage) * 0.01 + model.transfer_energy_j(1e6)
+        )
+
+    def test_average_power_requires_positive_latency(self):
+        with pytest.raises(ResourceError):
+            PowerModel().average_power_w(ResourceVector(), 0.0, 0)
+
+    def test_energy_efficiency_definition(self):
+        model = PowerModel()
+        usage = ResourceVector(100, 500, 50_000, 50_000)
+        eff = model.energy_efficiency_gops_per_w(
+            ops=10e9, usage=usage, latency_s=0.05, transfer_bytes=10e6
+        )
+        gops = 10e9 / 0.05 / 1e9
+        power = model.average_power_w(usage, 0.05, 10e6)
+        assert eff == pytest.approx(gops / power)
+
+    def test_frequency_scales_dynamic_power(self):
+        model = PowerModel()
+        usage = ResourceVector(0, 900, 0, 0)
+        p100 = model.fabric_power_w(usage, 100e6)
+        p200 = model.fabric_power_w(usage, 200e6)
+        assert p200 - model.static_w == pytest.approx(2 * (p100 - model.static_w))
+
+    def test_device_power_model(self):
+        assert isinstance(device_power_model(get_device("zc706")), PowerModel)

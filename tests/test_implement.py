@@ -1,0 +1,271 @@
+"""Tests for the per-layer implementation cost model."""
+
+import pytest
+
+from repro.errors import AlgorithmError, UnsupportedLayerError
+from repro.hardware.device import get_device
+from repro.nn.layers import ConvLayer, FCLayer, InputSpec, LRNLayer, PoolLayer
+from repro.nn.network import Network
+from repro.perf.implement import (
+    Algorithm,
+    WINOGRAD_M,
+    WeightMode,
+    candidate_algorithms,
+    candidate_parallelisms,
+    candidate_weight_modes,
+    implement,
+    winograd_reduction,
+)
+
+
+@pytest.fixture
+def zc706():
+    return get_device("zc706")
+
+
+def conv_info(kernel=3, stride=1, pad=1, in_c=16, out_c=32, size=32, groups=1):
+    net = Network(
+        "t",
+        InputSpec(in_c, size, size),
+        [
+            ConvLayer(
+                name="c",
+                out_channels=out_c,
+                kernel=kernel,
+                stride=stride,
+                pad=pad,
+                groups=groups,
+            )
+        ],
+    )
+    return net[0]
+
+
+def pool_info(kernel=2, stride=2):
+    net = Network(
+        "t", InputSpec(16, 32, 32), [PoolLayer(name="p", kernel=kernel, stride=stride)]
+    )
+    return net[0]
+
+
+def lrn_info():
+    net = Network("t", InputSpec(16, 32, 32), [LRNLayer(name="n")])
+    return net[0]
+
+
+class TestCandidates:
+    def test_stride1_conv_gets_both_algorithms(self):
+        algos = candidate_algorithms(conv_info(stride=1))
+        assert algos == [Algorithm.CONVENTIONAL, Algorithm.WINOGRAD]
+
+    def test_strided_conv_is_conventional_only(self):
+        assert candidate_algorithms(conv_info(stride=2)) == [Algorithm.CONVENTIONAL]
+
+    def test_1x1_conv_is_conventional_only(self):
+        assert candidate_algorithms(conv_info(kernel=1, pad=0)) == [
+            Algorithm.CONVENTIONAL
+        ]
+
+    def test_pool_and_lrn(self):
+        assert candidate_algorithms(pool_info()) == [Algorithm.POOL]
+        assert candidate_algorithms(lrn_info()) == [Algorithm.LRN]
+
+    def test_fc_unsupported(self):
+        net = Network("t", InputSpec(4, 2, 2), [FCLayer(name="f", out_features=2)])
+        with pytest.raises(UnsupportedLayerError):
+            candidate_algorithms(net[0])
+
+    def test_parallelisms_descend_and_respect_dsp_cap(self, zc706):
+        ladder = candidate_parallelisms(conv_info(), Algorithm.CONVENTIONAL, zc706)
+        assert ladder == sorted(ladder, reverse=True)
+        assert max(ladder) <= zc706.resources.dsp
+        assert min(ladder) == 1
+
+    def test_pool_ladder_is_sparse(self, zc706):
+        ladder = candidate_parallelisms(pool_info(), Algorithm.POOL, zc706)
+        assert max(ladder) <= 64
+        assert len(ladder) <= 6
+
+
+class TestConventionalConv:
+    def test_compute_cycles_scale_inversely_with_p(self, zc706):
+        info = conv_info()
+        one = implement(info, Algorithm.CONVENTIONAL, 1, zc706)
+        eight = implement(info, Algorithm.CONVENTIONAL, 8, zc706)
+        assert one.compute_cycles == info.layer.macs(info.input_shape)
+        assert eight.compute_cycles == pytest.approx(one.compute_cycles / 8, rel=1e-6)
+
+    def test_dsp_equals_parallelism(self, zc706):
+        impl = implement(conv_info(), Algorithm.CONVENTIONAL, 24, zc706)
+        assert impl.resources.dsp == 24
+
+    def test_effective_macs_per_cycle(self, zc706):
+        impl = implement(conv_info(), Algorithm.CONVENTIONAL, 16, zc706)
+        assert impl.effective_macs_per_cycle == pytest.approx(16, rel=1e-3)
+
+    def test_transfer_fields(self, zc706):
+        info = conv_info()
+        impl = implement(info, Algorithm.CONVENTIONAL, 4, zc706)
+        assert impl.input_bytes == info.input_size * 2
+        assert impl.output_bytes == info.output_size * 2
+        assert impl.weights_resident
+        assert impl.weight_dram_bytes == info.weight_count * 2
+
+    def test_invalid_parallelism(self, zc706):
+        with pytest.raises(AlgorithmError):
+            implement(conv_info(), Algorithm.CONVENTIONAL, 0, zc706)
+
+    def test_pool_engine_on_conv_rejected(self, zc706):
+        with pytest.raises(AlgorithmError):
+            implement(conv_info(), Algorithm.POOL, 4, zc706)
+
+
+class TestWinogradConv:
+    def test_effective_speedup_near_reduction(self, zc706):
+        info = conv_info(size=64)  # 64x64 output divides evenly by m=4
+        conv = implement(info, Algorithm.CONVENTIONAL, 16, zc706)
+        wino = implement(info, Algorithm.WINOGRAD, 16, zc706)
+        assert conv.compute_cycles / wino.compute_cycles == pytest.approx(4.0, rel=0.01)
+
+    def test_reduction_values(self):
+        assert winograd_reduction(3) == pytest.approx(4.0)
+        assert winograd_reduction(5) == pytest.approx(6.25)
+        assert winograd_reduction(2, m=2) == pytest.approx((2 * 2) ** 2 / 9)
+
+    def test_stride_rejected(self, zc706):
+        with pytest.raises(AlgorithmError):
+            implement(conv_info(stride=2), Algorithm.WINOGRAD, 4, zc706)
+
+    def test_deeper_line_buffer_than_conventional(self, zc706):
+        info = conv_info()
+        conv = implement(info, Algorithm.CONVENTIONAL, 4, zc706)
+        wino = implement(info, Algorithm.WINOGRAD, 4, zc706)
+        # conventional: K+S = 4 lines; winograd: alpha+m = 10 lines
+        assert wino.line_brams > conv.line_brams
+
+    def test_transformed_weights_inflate_storage(self, zc706):
+        info = conv_info(in_c=64, out_c=64, size=56)
+        conv = implement(info, Algorithm.CONVENTIONAL, 4, zc706)
+        wino = implement(info, Algorithm.WINOGRAD, 4, zc706)
+        alpha = WINOGRAD_M + 3 - 1
+        assert wino.weight_dram_bytes > conv.weight_dram_bytes
+        assert wino.weight_dram_bytes / conv.weight_dram_bytes == pytest.approx(
+            alpha**2 / 9, rel=0.05
+        )
+
+    def test_grouped_conv_work_scales_down(self, zc706):
+        full = implement(conv_info(in_c=16, out_c=32), Algorithm.WINOGRAD, 4, zc706)
+        grouped = implement(
+            conv_info(in_c=16, out_c=32, groups=2), Algorithm.WINOGRAD, 4, zc706
+        )
+        assert grouped.compute_cycles == pytest.approx(full.compute_cycles / 2, rel=0.01)
+
+
+class TestWeightModes:
+    def test_large_layer_has_no_resident_mode(self, zc706):
+        # AlexNet conv3-sized layer: weights exceed the resident cap
+        info = conv_info(in_c=256, out_c=384, size=13, pad=1)
+        modes = candidate_weight_modes(info, Algorithm.CONVENTIONAL, zc706)
+        assert WeightMode.RESIDENT not in modes
+        assert WeightMode.STREAM_FULLMAP in modes  # 13x13 maps buffer easily
+        assert WeightMode.STREAM_ROWS in modes
+
+    def test_small_layer_offers_resident_first(self, zc706):
+        info = conv_info()
+        modes = candidate_weight_modes(info, Algorithm.CONVENTIONAL, zc706)
+        assert modes[0] == WeightMode.RESIDENT
+
+    def test_fullmap_not_offered_for_huge_maps(self, zc706):
+        # VGG conv1_2-sized input (224x224x64) cannot buffer on chip
+        info = conv_info(in_c=64, out_c=64, size=224)
+        modes = candidate_weight_modes(info, Algorithm.CONVENTIONAL, zc706)
+        assert WeightMode.STREAM_FULLMAP not in modes
+
+    def test_stream_rows_refetches_per_row(self, zc706):
+        info = conv_info(in_c=256, out_c=384, size=13, pad=1)
+        impl = implement(
+            info, Algorithm.CONVENTIONAL, 16, zc706, weight_mode=WeightMode.STREAM_ROWS
+        )
+        assert not impl.weights_resident
+        out_rows = info.output_shape[1]
+        assert impl.weight_dram_bytes == info.weight_count * 2 * out_rows
+
+    def test_fullmap_streams_weights_once(self, zc706):
+        info = conv_info(in_c=256, out_c=384, size=13, pad=1)
+        impl = implement(
+            info,
+            Algorithm.CONVENTIONAL,
+            16,
+            zc706,
+            weight_mode=WeightMode.STREAM_FULLMAP,
+        )
+        assert impl.weight_dram_bytes == info.weight_count * 2
+        # barrier semantics: full compute time charged as fill
+        assert impl.fill_cycles == impl.compute_cycles
+
+    def test_winograd_stream_rows_refetches_per_tile_strip(self, zc706):
+        info = conv_info(in_c=256, out_c=384, size=13, pad=1)
+        impl = implement(
+            info, Algorithm.WINOGRAD, 16, zc706, weight_mode=WeightMode.STREAM_ROWS
+        )
+        assert not impl.weights_resident
+        strips = -(-info.output_shape[1] // WINOGRAD_M)
+        alpha2 = (WINOGRAD_M + 2) ** 2
+        transformed = 384 * 256 * alpha2 + 384
+        assert impl.weight_dram_bytes == transformed * 2 * strips
+
+    def test_invalid_mode_rejected(self, zc706):
+        info = conv_info(in_c=256, out_c=384, size=13, pad=1)
+        with pytest.raises(AlgorithmError):
+            implement(
+                info, Algorithm.CONVENTIONAL, 4, zc706, weight_mode=WeightMode.RESIDENT
+            )
+
+    def test_weight_banking_grows_with_parallelism(self, zc706):
+        info = conv_info(in_c=64, out_c=64, size=56)
+        small = implement(info, Algorithm.CONVENTIONAL, 4, zc706)
+        big = implement(info, Algorithm.CONVENTIONAL, 512, zc706)
+        assert big.weight_brams >= 256  # ceil(512/2) banks
+        assert big.weight_brams > small.weight_brams
+
+
+class TestPoolAndLRN:
+    def test_pool_uses_no_dsp(self, zc706):
+        impl = implement(pool_info(), Algorithm.POOL, 16, zc706)
+        assert impl.resources.dsp == 0
+        assert impl.compute_cycles == pytest.approx(
+            pool_info().output_size * 4 / 16, rel=0.01
+        )
+
+    def test_pool_wrong_algorithm(self, zc706):
+        with pytest.raises(AlgorithmError):
+            implement(pool_info(), Algorithm.CONVENTIONAL, 4, zc706)
+
+    def test_lrn_uses_dsp(self, zc706):
+        impl = implement(lrn_info(), Algorithm.LRN, 8, zc706)
+        assert impl.resources.dsp == 16  # 2 per lane
+        assert impl.weight_dram_bytes == 0
+
+    def test_lrn_wrong_algorithm(self, zc706):
+        with pytest.raises(AlgorithmError):
+            implement(lrn_info(), Algorithm.WINOGRAD, 4, zc706)
+
+    def test_fc_rejected(self, zc706):
+        net = Network("t", InputSpec(4, 2, 2), [FCLayer(name="f", out_features=2)])
+        with pytest.raises(UnsupportedLayerError):
+            implement(net[0], Algorithm.CONVENTIONAL, 1, zc706)
+
+
+class TestFillCycles:
+    def test_fill_is_window_rows_worth(self, zc706):
+        info = conv_info()
+        impl = implement(info, Algorithm.CONVENTIONAL, 8, zc706)
+        out_rows = info.output_shape[1]
+        per_row = -(-impl.compute_cycles // out_rows)
+        assert impl.fill_cycles == per_row * 4  # K + S lines
+
+    def test_fill_smaller_at_higher_parallelism(self, zc706):
+        info = conv_info()
+        slow = implement(info, Algorithm.CONVENTIONAL, 1, zc706)
+        fast = implement(info, Algorithm.CONVENTIONAL, 64, zc706)
+        assert fast.fill_cycles < slow.fill_cycles

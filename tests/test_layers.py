@@ -1,0 +1,175 @@
+"""Unit tests for the layer IR (shapes, ops, parameter counts)."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.layers import (
+    ConvLayer,
+    FCLayer,
+    InputSpec,
+    LRNLayer,
+    PoolLayer,
+    ReLULayer,
+    SoftmaxLayer,
+    conv_output_extent,
+    is_accelerated,
+    pool_output_extent,
+)
+
+
+class TestInputSpec:
+    def test_shape_and_size(self):
+        spec = InputSpec(3, 224, 224)
+        assert spec.shape == (3, 224, 224)
+        assert spec.size == 3 * 224 * 224
+
+    @pytest.mark.parametrize("bad", [(0, 1, 1), (1, -2, 1), (1, 1, 0)])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ShapeError):
+            InputSpec(*bad)
+
+
+class TestExtentHelpers:
+    def test_conv_extent_unit_stride(self):
+        assert conv_output_extent(224, 3, 1, 1) == 224
+
+    def test_conv_extent_stride(self):
+        # AlexNet conv1: 227, k=11, s=4 -> 55
+        assert conv_output_extent(227, 11, 4, 0) == 55
+
+    def test_conv_extent_floor(self):
+        assert conv_output_extent(7, 3, 2, 0) == 3
+
+    def test_pool_extent_ceil(self):
+        # Caffe pool uses ceil: 112, k=3, s=2 -> ceil(109/2)+1 = 56
+        assert pool_output_extent(112, 3, 2, 0) == 56
+
+    def test_window_does_not_fit(self):
+        with pytest.raises(ShapeError):
+            conv_output_extent(2, 5, 1, 0)
+        with pytest.raises(ShapeError):
+            pool_output_extent(2, 5, 1, 0)
+
+
+class TestConvLayer:
+    def test_output_shape_same_padding(self):
+        layer = ConvLayer(name="c", out_channels=64, kernel=3, pad=1)
+        assert layer.output_shape((3, 224, 224)) == (64, 224, 224)
+
+    def test_output_shape_stride(self):
+        layer = ConvLayer(name="c", out_channels=96, kernel=11, stride=4)
+        assert layer.output_shape((3, 227, 227)) == (96, 55, 55)
+
+    def test_macs_formula(self):
+        layer = ConvLayer(name="c", out_channels=4, kernel=3, pad=1)
+        # out 4x8x8, per output 2*3*3 macs
+        assert layer.macs((2, 8, 8)) == 4 * 8 * 8 * 2 * 9
+
+    def test_ops_is_twice_macs(self):
+        layer = ConvLayer(name="c", out_channels=4, kernel=3, pad=1)
+        assert layer.ops((2, 8, 8)) == 2 * layer.macs((2, 8, 8))
+
+    def test_weight_count_includes_bias(self):
+        layer = ConvLayer(name="c", out_channels=64, kernel=3)
+        assert layer.weight_count((3, 10, 10)) == 64 * 3 * 9 + 64
+
+    def test_groups_divide_macs_and_weights(self):
+        full = ConvLayer(name="c", out_channels=8, kernel=3, pad=1)
+        grouped = ConvLayer(name="c", out_channels=8, kernel=3, pad=1, groups=2)
+        assert grouped.macs((4, 8, 8)) == full.macs((4, 8, 8)) // 2
+        assert grouped.weight_count((4, 8, 8)) < full.weight_count((4, 8, 8))
+
+    def test_groups_must_divide_channels(self):
+        layer = ConvLayer(name="c", out_channels=8, kernel=3, groups=2)
+        with pytest.raises(ShapeError):
+            layer.output_shape((3, 8, 8))
+        with pytest.raises(ShapeError):
+            ConvLayer(name="c", out_channels=7, kernel=3, groups=2)
+
+    def test_winograd_compatible_stride(self):
+        assert ConvLayer(name="c", out_channels=1, kernel=3).winograd_compatible_stride
+        assert not ConvLayer(
+            name="c", out_channels=1, kernel=3, stride=2
+        ).winograd_compatible_stride
+
+    def test_renamed(self):
+        layer = ConvLayer(name="a", out_channels=1, kernel=3)
+        assert layer.renamed("b").name == "b"
+        assert layer.name == "a"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"out_channels": 0, "kernel": 3},
+            {"out_channels": 1, "kernel": 0},
+            {"out_channels": 1, "kernel": 3, "stride": 0},
+            {"out_channels": 1, "kernel": 3, "pad": -1},
+        ],
+    )
+    def test_rejects_bad_hyperparameters(self, kwargs):
+        with pytest.raises(ShapeError):
+            ConvLayer(name="c", **kwargs)
+
+
+class TestPoolLayer:
+    def test_ceil_output(self):
+        layer = PoolLayer(name="p", kernel=3, stride=2)
+        assert layer.output_shape((96, 55, 55)) == (96, 27, 27)
+
+    def test_even_pool(self):
+        layer = PoolLayer(name="p", kernel=2, stride=2)
+        assert layer.output_shape((64, 224, 224)) == (64, 112, 112)
+
+    def test_ops(self):
+        layer = PoolLayer(name="p", kernel=2, stride=2)
+        assert layer.ops((4, 8, 8)) == 4 * 4 * 4 * 4
+
+    def test_mode_validation(self):
+        with pytest.raises(ShapeError):
+            PoolLayer(name="p", kernel=2, mode="median")
+
+    def test_no_weights(self):
+        assert PoolLayer(name="p", kernel=2).weight_count((4, 8, 8)) == 0
+
+
+class TestLRNLayer:
+    def test_identity_shape(self):
+        layer = LRNLayer(name="n")
+        assert layer.output_shape((96, 55, 55)) == (96, 55, 55)
+
+    def test_local_size_must_be_odd(self):
+        with pytest.raises(ShapeError):
+            LRNLayer(name="n", local_size=4)
+
+    def test_ops_scale_with_local_size(self):
+        small = LRNLayer(name="n", local_size=3)
+        large = LRNLayer(name="n", local_size=7)
+        assert large.ops((4, 8, 8)) > small.ops((4, 8, 8))
+
+
+class TestFCLayer:
+    def test_output_shape(self):
+        layer = FCLayer(name="f", out_features=4096)
+        assert layer.output_shape((256, 6, 6)) == (4096, 1, 1)
+
+    def test_weight_count(self):
+        layer = FCLayer(name="f", out_features=10)
+        assert layer.weight_count((4, 2, 2)) == 10 * 16 + 10
+
+    def test_ops(self):
+        layer = FCLayer(name="f", out_features=10)
+        assert layer.ops((4, 2, 2)) == 2 * 10 * 16
+
+
+class TestMisc:
+    def test_relu_and_softmax_preserve_shape(self):
+        for layer in (ReLULayer(name="r"), SoftmaxLayer(name="s")):
+            assert layer.output_shape((5, 3, 3)) == (5, 3, 3)
+            assert layer.ops((5, 3, 3)) > 0
+
+    def test_is_accelerated(self):
+        assert is_accelerated(ConvLayer(name="c", out_channels=1, kernel=1))
+        assert is_accelerated(PoolLayer(name="p", kernel=2))
+        assert is_accelerated(LRNLayer(name="n"))
+        assert not is_accelerated(FCLayer(name="f", out_features=2))
+        assert not is_accelerated(SoftmaxLayer(name="s"))

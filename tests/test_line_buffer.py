@@ -1,0 +1,155 @@
+"""Tests for the circular line buffer and row-streaming convolution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ShapeError, SimulationError
+from repro.arch.line_buffer import (
+    BRAM18K_BITS,
+    CircularLineBuffer,
+    buffer_brams,
+    line_buffer_bits,
+    line_buffer_brams,
+    stream_conv2d,
+)
+from repro.nn.functional import conv2d
+
+
+class TestCircularLineBuffer:
+    def test_window_after_k_rows(self):
+        buf = CircularLineBuffer(depth=4, window=3, row_shape=(2, 5))
+        assert not buf.has_window
+        for i in range(3):
+            buf.push_row(np.full((2, 5), float(i)))
+        assert buf.has_window
+        rows = buf.window_rows()
+        assert [row[0, 0] for row in rows] == [0.0, 1.0, 2.0]
+
+    def test_advance_slides_window(self):
+        buf = CircularLineBuffer(depth=4, window=3, row_shape=(1, 2))
+        for i in range(4):
+            buf.push_row(np.full((1, 2), float(i)))
+        buf.advance(1)
+        assert [r[0, 0] for r in buf.window_rows()] == [1.0, 2.0, 3.0]
+
+    def test_wraparound_reuses_slots(self):
+        buf = CircularLineBuffer(depth=3, window=2, row_shape=(1, 1))
+        for i in range(3):
+            buf.push_row(np.array([[float(i)]]))
+        buf.advance(2)
+        buf.push_row(np.array([[3.0]]))
+        buf.push_row(np.array([[4.0]]))
+        assert [r[0, 0] for r in buf.window_rows()] == [2.0, 3.0]
+        assert buf.total_pushed == 5
+
+    def test_overflow_raises(self):
+        buf = CircularLineBuffer(depth=2, window=2, row_shape=(1, 1))
+        buf.push_row(np.zeros((1, 1)))
+        buf.push_row(np.zeros((1, 1)))
+        with pytest.raises(SimulationError):
+            buf.push_row(np.zeros((1, 1)))
+
+    def test_underflow_raises(self):
+        buf = CircularLineBuffer(depth=3, window=2, row_shape=(1, 1))
+        buf.push_row(np.zeros((1, 1)))
+        with pytest.raises(SimulationError):
+            buf.window_rows()
+        with pytest.raises(SimulationError):
+            buf.advance(2)
+
+    def test_shape_mismatch_raises(self):
+        buf = CircularLineBuffer(depth=3, window=2, row_shape=(2, 4))
+        with pytest.raises(ShapeError):
+            buf.push_row(np.zeros((2, 5)))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ShapeError):
+            CircularLineBuffer(depth=2, window=3, row_shape=(1, 1))
+        with pytest.raises(ShapeError):
+            CircularLineBuffer(depth=2, window=0, row_shape=(1, 1))
+
+    def test_invalid_advance(self):
+        buf = CircularLineBuffer(depth=3, window=1, row_shape=(1, 1))
+        buf.push_row(np.zeros((1, 1)))
+        with pytest.raises(ShapeError):
+            buf.advance(0)
+
+
+class TestStreamConv:
+    @pytest.mark.parametrize(
+        "channels,out_channels,h,w,k,stride,pad,relu",
+        [
+            (1, 1, 6, 6, 3, 1, 0, False),
+            (3, 4, 9, 7, 3, 1, 1, True),
+            (2, 2, 11, 11, 5, 2, 2, False),
+            (2, 3, 8, 8, 3, 2, 1, False),
+            (1, 2, 7, 9, 1, 1, 0, False),
+        ],
+    )
+    def test_matches_batch_conv(self, channels, out_channels, h, w, k, stride, pad, relu):
+        rng = np.random.default_rng(h * 10 + w)
+        data = rng.normal(size=(channels, h, w))
+        weights = rng.normal(size=(out_channels, channels, k, k))
+        bias = rng.normal(size=out_channels)
+        rows = (data[:, i, :] for i in range(h))
+        streamed = list(
+            stream_conv2d(rows, weights, bias, height=h, stride=stride, pad=pad, relu=relu)
+        )
+        expected = conv2d(data, weights, bias, stride=stride, pad=pad)
+        if relu:
+            expected = np.maximum(expected, 0)
+        assert len(streamed) == expected.shape[1]
+        np.testing.assert_allclose(np.stack(streamed, axis=1), expected, atol=1e-10)
+
+    def test_empty_source_raises(self):
+        with pytest.raises(ShapeError):
+            list(stream_conv2d(iter(()), np.zeros((1, 1, 3, 3)), None, height=5))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        h=st.integers(5, 12),
+        w=st.integers(5, 12),
+        k=st.sampled_from([1, 3, 5]),
+        stride=st.integers(1, 2),
+        pad=st.integers(0, 2),
+        seed=st.integers(0, 2**16),
+    )
+    def test_property_streaming_equals_batch(self, h, w, k, stride, pad, seed):
+        if h + 2 * pad < k or w + 2 * pad < k:
+            return
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(2, h, w))
+        weights = rng.normal(size=(2, 2, k, k))
+        rows = (data[:, i, :] for i in range(h))
+        streamed = list(
+            stream_conv2d(rows, weights, None, height=h, stride=stride, pad=pad)
+        )
+        expected = conv2d(data, weights, stride=stride, pad=pad)
+        np.testing.assert_allclose(np.stack(streamed, axis=1), expected, atol=1e-9)
+
+
+class TestBufferCosts:
+    def test_line_buffer_bits(self):
+        assert line_buffer_bits(4, 224, 64) == 4 * 224 * 64 * 16
+
+    def test_line_buffer_brams_bit_bound(self):
+        # VGG conv1_2 input buffer: 4 lines x 224 x 64ch x 16b
+        bits = 4 * 224 * 64 * 16
+        assert line_buffer_brams(4, 224, 64) == -(-bits // BRAM18K_BITS)
+
+    def test_line_buffer_brams_line_bound(self):
+        # tiny buffer still needs one BRAM per line
+        assert line_buffer_brams(10, 8, 1) == 10
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ShapeError):
+            line_buffer_bits(0, 4, 4)
+
+    def test_buffer_brams(self):
+        assert buffer_brams(0) == 0
+        assert buffer_brams(1) == 1
+        assert buffer_brams(BRAM18K_BITS) == 1
+        assert buffer_brams(BRAM18K_BITS + 1) == 2
+        with pytest.raises(ShapeError):
+            buffer_brams(-1)

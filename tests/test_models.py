@@ -1,0 +1,146 @@
+"""Tests for the built-in model zoo (shape fidelity to the publications)."""
+
+import pytest
+
+from repro.nn import models
+from repro.nn.layers import ConvLayer, FCLayer, LRNLayer, PoolLayer
+
+
+class TestVGG:
+    def test_vgg16_conv_count(self):
+        net = models.vgg16()
+        assert len(net.conv_infos()) == 13
+
+    def test_vgg19_conv_count(self):
+        net = models.vgg19()
+        assert len(net.conv_infos()) == 16
+
+    def test_vgg19_with_fc_layer_count(self):
+        net = models.vgg19(include_fc=True)
+        fc = [i for i in net if isinstance(i.layer, FCLayer)]
+        assert len(fc) == 3
+        assert net.output_shape == (1000, 1, 1)
+
+    def test_vgg_feature_output(self):
+        # after 5 pools: 224 / 32 = 7
+        assert models.vgg19().output_shape == (512, 7, 7)
+
+    def test_vgg19_total_ops_scale(self):
+        # VGG-19 conv layers are ~39 GOP (2 ops per MAC)
+        gop = models.vgg19().total_ops() / 1e9
+        assert 35 < gop < 43
+
+    def test_all_vgg_convs_are_3x3_stride_1(self):
+        for info in models.vgg19().conv_infos():
+            assert info.layer.kernel == 3
+            assert info.layer.stride == 1
+            assert info.layer.pad == 1
+
+
+class TestVGGPrefix:
+    def test_prefix_composition(self):
+        net = models.vgg_fused_prefix()
+        names = [info.name for info in net]
+        assert names == [
+            "conv1_1", "conv1_2", "pool1", "conv2_1", "conv2_2", "pool2", "conv3_1",
+        ]
+
+    def test_prefix_min_transfer_under_2mb(self):
+        # The paper's tightest Figure 5 constraint (2 MB) must be feasible.
+        net = models.vgg_fused_prefix()
+        assert net.min_fused_transfer_bytes() <= 2 * 2**20
+
+    def test_prefix_unfused_transfer_tens_of_mb(self):
+        # "without fusion architecture, at least 34 MB ... is required"
+        net = models.vgg_fused_prefix()
+        assert net.feature_map_bytes() > 30 * 2**20
+
+
+class TestAlexNet:
+    def test_layer_types(self):
+        net = models.alexnet()
+        kinds = [type(info.layer).__name__ for info in net]
+        assert kinds.count("ConvLayer") == 5
+        assert kinds.count("LRNLayer") == 2
+        assert kinds.count("PoolLayer") == 3
+
+    def test_conv1_is_strided(self):
+        conv1 = models.alexnet().layer("conv1").layer
+        assert isinstance(conv1, ConvLayer)
+        assert conv1.kernel == 11 and conv1.stride == 4
+
+    def test_known_shapes(self):
+        net = models.alexnet()
+        assert net.layer("conv1").output_shape == (96, 55, 55)
+        assert net.layer("pool1").output_shape == (96, 27, 27)
+        assert net.layer("conv2").output_shape == (256, 27, 27)
+        assert net.layer("pool5").output_shape == (256, 6, 6)
+
+    def test_grouped_variant(self):
+        net = models.alexnet(grouped=True)
+        assert net.layer("conv2").layer.groups == 2
+        assert net.layer("conv3").layer.groups == 1
+        # shapes identical to ungrouped
+        assert net.output_shape == models.alexnet().output_shape
+
+    def test_fused_transfer_near_340kb(self):
+        # paper: "a 340KB transfer constraint (the total size of the first
+        # layer input feature map and the last layer output feature map)"
+        net = models.alexnet()
+        assert net.min_fused_transfer_bytes() <= 340 * 1024
+
+    def test_with_fc(self):
+        net = models.alexnet(include_fc=True)
+        assert net.output_shape == (1000, 1, 1)
+
+
+class TestCatalog:
+    def test_catalog_constructs_everything(self):
+        for name, ctor in models.catalog().items():
+            net = ctor()
+            assert len(net) > 0, name
+
+    def test_tiny_cnn_is_small(self):
+        assert models.tiny_cnn().total_ops() < 10e6
+
+
+class TestGoogLeNetZoo:
+    def test_googlenet_in_catalog(self):
+        assert "googlenet" in models.catalog()
+
+    def test_prefix_sizes(self):
+        assert len(models.googlenet_prefix(1)) == 8
+        assert len(models.googlenet_prefix(2)) == 9
+
+
+class TestNiN:
+    def test_shapes(self):
+        net = models.nin()
+        assert net.output_shape == (1000, 1, 1)
+        assert net.layer("conv1").output_shape[1:] == (55, 55)
+
+    def test_1x1_layers_present(self):
+        net = models.nin()
+        ones = [i for i in net.conv_infos() if i.layer.kernel == 1]
+        assert len(ones) == 8
+
+    def test_1x1_convs_are_winograd_illegal(self):
+        from repro.perf.implement import Algorithm, candidate_algorithms
+
+        net = models.nin()
+        info = net.layer("cccp1")
+        assert candidate_algorithms(info) == [Algorithm.CONVENTIONAL]
+
+
+class TestZFNet:
+    def test_shapes(self):
+        net = models.zfnet()
+        assert net.layer("conv1").output_shape == (96, 110, 110)
+        assert net.output_shape == (256, 7, 7)
+
+    def test_with_fc(self):
+        assert models.zfnet(include_fc=True).output_shape == (1000, 1, 1)
+
+    def test_conv1_strided(self):
+        conv1 = models.zfnet().layer("conv1").layer
+        assert conv1.kernel == 7 and conv1.stride == 2

@@ -1,0 +1,123 @@
+"""Unit tests for the Network container and shape inference."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.layers import ConvLayer, FCLayer, InputSpec, PoolLayer, SoftmaxLayer
+from repro.nn.network import Network
+
+
+def small_net():
+    return Network(
+        "net",
+        InputSpec(3, 16, 16),
+        [
+            ConvLayer(name="c1", out_channels=4, kernel=3, pad=1),
+            PoolLayer(name="p1", kernel=2, stride=2),
+            ConvLayer(name="c2", out_channels=8, kernel=3, pad=1),
+            FCLayer(name="f1", out_features=10),
+            SoftmaxLayer(name="sm"),
+        ],
+    )
+
+
+class TestShapeInference:
+    def test_chained_shapes(self):
+        net = small_net()
+        assert net[0].output_shape == (4, 16, 16)
+        assert net[1].output_shape == (4, 8, 8)
+        assert net[2].output_shape == (8, 8, 8)
+        assert net[3].output_shape == (10, 1, 1)
+        assert net.output_shape == (10, 1, 1)
+
+    def test_input_shapes_propagate(self):
+        net = small_net()
+        assert net[0].input_shape == (3, 16, 16)
+        assert net[2].input_shape == (4, 8, 8)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ShapeError):
+            Network(
+                "bad",
+                InputSpec(3, 8, 8),
+                [
+                    ConvLayer(name="c", out_channels=4, kernel=3, pad=1),
+                    ConvLayer(name="c", out_channels=4, kernel=3, pad=1),
+                ],
+            )
+
+    def test_incompatible_layer_rejected(self):
+        with pytest.raises(ShapeError):
+            Network(
+                "bad",
+                InputSpec(3, 4, 4),
+                [ConvLayer(name="c", out_channels=4, kernel=7)],
+            )
+
+
+class TestAccessors:
+    def test_len_iter_getitem(self):
+        net = small_net()
+        assert len(net) == 5
+        names = [info.name for info in net]
+        assert names == ["c1", "p1", "c2", "f1", "sm"]
+        assert net[1].name == "p1"
+
+    def test_lookup_by_name(self):
+        net = small_net()
+        assert net.layer("c2").index == 2
+        with pytest.raises(ShapeError):
+            net.layer("nope")
+
+    def test_conv_infos(self):
+        assert [i.name for i in small_net().conv_infos()] == ["c1", "c2"]
+
+
+class TestSlicing:
+    def test_prefix(self):
+        net = small_net().prefix(3)
+        assert len(net) == 3
+        assert net.output_shape == (8, 8, 8)
+
+    def test_prefix_out_of_range(self):
+        with pytest.raises(ShapeError):
+            small_net().prefix(9)
+
+    def test_accelerated_prefix_stops_at_fc(self):
+        net = small_net().accelerated_prefix()
+        assert [info.name for info in net] == ["c1", "p1", "c2"]
+
+    def test_slice_adjusts_input_spec(self):
+        net = small_net().slice(2, 3)
+        assert net.input_spec.shape == (4, 8, 8)
+        assert net[0].output_shape == (8, 8, 8)
+
+    def test_slice_from_zero_keeps_spec(self):
+        net = small_net().slice(0, 2)
+        assert net.input_spec.shape == (3, 16, 16)
+
+
+class TestMetrics:
+    def test_total_ops_is_sum(self):
+        net = small_net()
+        assert net.total_ops() == sum(info.ops for info in net)
+
+    def test_feature_map_bytes(self):
+        net = small_net().prefix(2)
+        expected = 2 * (
+            (3 * 16 * 16 + 4 * 16 * 16) + (4 * 16 * 16 + 4 * 8 * 8)
+        )
+        assert net.feature_map_bytes() == expected
+
+    def test_min_fused_transfer(self):
+        net = small_net().prefix(3)
+        assert net.min_fused_transfer_bytes() == 2 * (3 * 16 * 16 + 8 * 8 * 8)
+
+    def test_fused_less_than_unfused(self):
+        net = small_net().prefix(3)
+        assert net.min_fused_transfer_bytes() < net.feature_map_bytes()
+
+    def test_summary_mentions_layers(self):
+        text = small_net().summary()
+        for name in ("c1", "p1", "c2", "f1"):
+            assert name in text

@@ -1,0 +1,65 @@
+"""Tests for the Winograd numerical-stability analysis."""
+
+import pytest
+
+from repro.algorithms.fixed_point import Q16
+from repro.algorithms.numerics import (
+    TransformMetrics,
+    empirical_error,
+    stability_table,
+    transform_metrics,
+)
+
+
+class TestStaticMetrics:
+    def test_f23_is_benign(self):
+        metrics = transform_metrics(2, 3)
+        assert metrics.alpha == 4
+        assert metrics.amplification < 50
+
+    def test_amplification_grows_with_tile(self):
+        amps = [transform_metrics(m, 3).amplification for m in (2, 4, 6, 8)]
+        assert amps == sorted(amps)
+        # F(8,3) is drastically worse than F(2,3) — why nobody ships it
+        assert amps[-1] > 20 * amps[0]
+
+    def test_dynamic_range_grows_with_tile(self):
+        bits = [transform_metrics(m, 3).dynamic_range_bits for m in (2, 4, 6)]
+        assert bits == sorted(bits)
+
+    def test_metrics_fields_positive(self):
+        metrics = transform_metrics(4, 3)
+        assert isinstance(metrics, TransformMetrics)
+        for field in ("max_abs_bt", "max_abs_g", "max_abs_at",
+                      "norm_bt", "norm_g", "norm_at"):
+            assert getattr(metrics, field) > 0
+
+
+class TestEmpiricalError:
+    def test_float_error_is_tiny(self):
+        assert empirical_error(4, 3, fmt=None) < 1e-9
+
+    def test_quantized_error_ordering_matches_amplification(self):
+        # the measured error must follow the static amplification ranking
+        errors = {m: empirical_error(m, 3, fmt=Q16) for m in (2, 4, 8)}
+        assert errors[2] < errors[4] < errors[8]
+        # and F(2,3) is near-exact at 16 bits
+        assert errors[2] < 16 * Q16.resolution
+
+    def test_larger_tiles_err_more_at_16_bits(self):
+        small = empirical_error(2, 3, fmt=Q16, trials=4)
+        large = empirical_error(8, 3, fmt=Q16, trials=4)
+        assert large >= small
+
+    def test_deterministic(self):
+        a = empirical_error(4, 3, seed=7)
+        b = empirical_error(4, 3, seed=7)
+        assert a == b
+
+
+class TestStabilityTable:
+    def test_rows_in_order(self):
+        rows = stability_table(configurations=((2, 3), (4, 3)))
+        assert [r[0].m for r in rows] == [2, 4]
+        for metrics, error in rows:
+            assert error >= 0

@@ -1,0 +1,67 @@
+"""Tests for the pipeline timing composition."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.arch.pipeline import (
+    dataflow_group_latency,
+    pipeline_efficiency,
+    three_phase_latency,
+)
+
+
+class TestThreePhase:
+    def test_single_round_is_sum(self):
+        assert three_phase_latency(10, 20, 5, rounds=1) == 35
+
+    def test_steady_state_at_bottleneck(self):
+        # 10 rounds of (10, 20, 5): 20*10 + 15 fill/drain
+        assert three_phase_latency(10, 20, 5, rounds=10) == 215
+
+    def test_load_bound(self):
+        assert three_phase_latency(50, 20, 5, rounds=4) == 50 * 4 + 25
+
+    def test_hiding_is_effective(self):
+        overlapped = three_phase_latency(10, 20, 10, rounds=100)
+        serial = 100 * (10 + 20 + 10)
+        assert overlapped < serial
+
+    def test_invalid(self):
+        with pytest.raises(ShapeError):
+            three_phase_latency(1, 1, 1, rounds=0)
+        with pytest.raises(ShapeError):
+            three_phase_latency(-1, 1, 1)
+
+
+class TestDataflow:
+    def test_slowest_stage_dominates(self):
+        assert dataflow_group_latency([100, 500, 200]) == 500
+
+    def test_fills_add(self):
+        assert dataflow_group_latency([100, 500], [10, 20]) == 530
+
+    def test_single_stage(self):
+        assert dataflow_group_latency([42]) == 42
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            dataflow_group_latency([])
+        with pytest.raises(ShapeError):
+            dataflow_group_latency([1, -2])
+        with pytest.raises(ShapeError):
+            dataflow_group_latency([1, 2], [1])
+        with pytest.raises(ShapeError):
+            dataflow_group_latency([1, 2], [1, -1])
+
+
+class TestEfficiency:
+    def test_balanced_is_one(self):
+        assert pipeline_efficiency([10, 10, 10]) == pytest.approx(1.0)
+
+    def test_imbalanced_below_one(self):
+        assert pipeline_efficiency([10, 100]) == pytest.approx(0.55)
+
+    def test_zero_stages(self):
+        assert pipeline_efficiency([0, 0]) == 1.0
+        with pytest.raises(ShapeError):
+            pipeline_efficiency([])

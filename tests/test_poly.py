@@ -1,0 +1,130 @@
+"""Tests for exact rational polynomial/matrix arithmetic."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.algorithms.poly import (
+    Polynomial,
+    identity,
+    mat_inverse,
+    mat_mul,
+    mat_transpose,
+    max_abs,
+    max_denominator,
+    to_numpy,
+    vandermonde,
+)
+
+
+class TestPolynomial:
+    def test_degree_and_normalization(self):
+        assert Polynomial([1, 2, 0]).degree == 1
+        assert Polynomial([]).degree == -1
+        assert Polynomial([0, 0]).degree == -1
+
+    def test_evaluation_horner(self):
+        p = Polynomial([1, 2, 3])  # 1 + 2x + 3x^2
+        assert p(0) == 1
+        assert p(2) == 1 + 4 + 12
+        assert p(Fraction(1, 2)) == Fraction(1) + 1 + Fraction(3, 4)
+
+    def test_addition_and_subtraction(self):
+        a = Polynomial([1, 1])
+        b = Polynomial([0, 2, 5])
+        assert (a + b).coefficients == (1, 3, 5)
+        assert (b - a).coefficients == (-1, 1, 5)
+
+    def test_multiplication(self):
+        a = Polynomial([1, 1])  # 1 + x
+        b = Polynomial([1, -1])  # 1 - x
+        assert (a * b).coefficients == (1, 0, -1)
+
+    def test_scalar_multiplication(self):
+        p = Polynomial([1, 2]) * 3
+        assert p.coefficients == (3, 6)
+        assert (3 * Polynomial([1, 2])).coefficients == (3, 6)
+
+    def test_zero_product(self):
+        assert (Polynomial([]) * Polynomial([1, 2])).degree == -1
+
+    def test_from_roots(self):
+        p = Polynomial.from_roots([1, -1])
+        assert p.coefficients == (-1, 0, 1)  # x^2 - 1
+        assert p(1) == 0 and p(-1) == 0
+
+    def test_coefficient_beyond_degree_is_zero(self):
+        assert Polynomial([1]).coefficient(5) == 0
+
+    def test_equality_and_hash(self):
+        assert Polynomial([1, 2]) == Polynomial([1, 2, 0])
+        assert hash(Polynomial([1])) == hash(Polynomial([1]))
+
+    def test_float_coefficients_rejected(self):
+        with pytest.raises(AlgorithmError):
+            Polynomial([0.5])
+
+
+class TestMatrices:
+    def test_vandermonde_rows(self):
+        m = vandermonde([0, 1, 2], 3, infinity=False)
+        assert m[0] == [1, 0, 0]
+        assert m[1] == [1, 1, 1]
+        assert m[2] == [1, 2, 4]
+
+    def test_vandermonde_infinity_row(self):
+        m = vandermonde([0], 3, infinity=True)
+        assert m[-1] == [0, 0, 1]
+
+    def test_identity_and_mul(self):
+        a = [[Fraction(1), Fraction(2)], [Fraction(3), Fraction(4)]]
+        assert mat_mul(identity(2), a) == a
+        assert mat_mul(a, identity(2)) == a
+
+    def test_mul_dimension_check(self):
+        with pytest.raises(AlgorithmError):
+            mat_mul([[Fraction(1)]], [[Fraction(1)], [Fraction(2)]])
+
+    def test_transpose(self):
+        a = [[Fraction(1), Fraction(2)], [Fraction(3), Fraction(4)]]
+        assert mat_transpose(a) == [[1, 3], [2, 4]]
+
+    def test_inverse_roundtrip(self):
+        points = [0, 1, -1, 2]
+        m = vandermonde(points, 4, infinity=False)
+        inv = mat_inverse(m)
+        assert mat_mul(m, inv) == identity(4)
+        assert mat_mul(inv, m) == identity(4)
+
+    def test_inverse_with_infinity_row(self):
+        m = vandermonde([0, 1, -1], 4, infinity=True)
+        inv = mat_inverse(m)
+        assert mat_mul(m, inv) == identity(4)
+
+    def test_singular_rejected(self):
+        singular = [[Fraction(1), Fraction(2)], [Fraction(2), Fraction(4)]]
+        with pytest.raises(AlgorithmError):
+            mat_inverse(singular)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(AlgorithmError):
+            mat_inverse([[Fraction(1), Fraction(2)]])
+
+    def test_inverse_needs_pivoting(self):
+        m = [
+            [Fraction(0), Fraction(1)],
+            [Fraction(1), Fraction(0)],
+        ]
+        assert mat_inverse(m) == m
+
+    def test_to_numpy(self):
+        arr = to_numpy([[Fraction(1, 2), Fraction(3)]])
+        np.testing.assert_allclose(arr, [[0.5, 3.0]])
+
+    def test_max_denominator_and_abs(self):
+        m = [[Fraction(1, 6), Fraction(-5, 2)]]
+        assert max_denominator(m) == 6
+        assert max_abs(m) == Fraction(5, 2)
+        assert max_denominator([]) == 1

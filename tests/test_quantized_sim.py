@@ -1,0 +1,73 @@
+"""Tests for the quantized (16-bit fixed) simulation mode."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.fixed_point import FixedPointFormat, Q16
+from repro.hardware.device import get_device
+from repro.nn import models
+from repro.nn.functional import forward, init_weights
+from repro.optimizer.dp import optimize
+from repro.sim.simulator import simulate_strategy
+
+
+@pytest.fixture(scope="module")
+def setup():
+    net = models.tiny_cnn()
+    dev = get_device("testchip")
+    strategy = optimize(net, dev, net.feature_map_bytes())
+    rng = np.random.default_rng(11)
+    weights = init_weights(net, rng, scale=0.05)
+    data = rng.uniform(-0.5, 0.5, net.input_spec.shape)
+    return net, strategy, weights, data
+
+
+class TestQuantizedSimulation:
+    def test_outputs_are_format_representable(self, setup):
+        net, strategy, weights, data = setup
+        result = simulate_strategy(strategy, data, weights, quantize=Q16)
+        np.testing.assert_array_equal(Q16.quantize(result.output), result.output)
+
+    def test_close_to_float_reference(self, setup):
+        net, strategy, weights, data = setup
+        quantized = simulate_strategy(strategy, data, weights, quantize=Q16)
+        reference = forward(net, data, weights)
+        # a handful of LSBs of accumulated rounding across three layers
+        assert np.abs(quantized.output - reference).max() < 50 * Q16.resolution
+
+    def test_coarser_format_more_error(self, setup):
+        net, strategy, weights, data = setup
+        reference = forward(net, data, weights)
+        fine = simulate_strategy(strategy, data, weights, quantize=Q16)
+        coarse = simulate_strategy(
+            strategy, data, weights, quantize=FixedPointFormat(7, 4)
+        )
+        fine_err = np.abs(fine.output - reference).max()
+        coarse_err = np.abs(coarse.output - reference).max()
+        assert coarse_err > fine_err
+
+    def test_latency_unaffected_by_quantization(self, setup):
+        _, strategy, weights, data = setup
+        plain = simulate_strategy(strategy, data, weights)
+        quantized = simulate_strategy(strategy, data, weights, quantize=Q16)
+        assert plain.latency_cycles == quantized.latency_cycles
+
+    def test_winograd_and_conventional_agree_under_quantization(self, setup):
+        """The heterogeneous datapath must not diverge between engines:
+        both algorithms see the same quantized operands."""
+        net, strategy, weights, data = setup
+        from repro.baselines.homogeneous import homogeneous_optimize
+        from repro.perf.implement import Algorithm
+
+        dev = strategy.device
+        conventional = homogeneous_optimize(
+            net, dev, net.feature_map_bytes(), Algorithm.CONVENTIONAL
+        )
+        wino = homogeneous_optimize(
+            net, dev, net.feature_map_bytes(), Algorithm.WINOGRAD
+        )
+        out_conv = simulate_strategy(conventional, data, weights, quantize=Q16)
+        out_wino = simulate_strategy(wino, data, weights, quantize=Q16)
+        # engines compute in float between quantization points, so the
+        # only divergence is sub-LSB rounding at the FIFO boundaries
+        assert np.abs(out_conv.output - out_wino.output).max() <= 2 * Q16.resolution

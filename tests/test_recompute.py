@@ -1,0 +1,73 @@
+"""Tests for the recompute-vs-reuse pyramid analysis."""
+
+import pytest
+
+from repro.baselines.recompute import analyze_group, summarize
+from repro.nn import models
+from repro.nn.layers import ConvLayer, InputSpec, PoolLayer
+from repro.nn.network import Network
+
+
+@pytest.fixture
+def stack():
+    return Network(
+        "stack",
+        InputSpec(1, 32, 32),
+        [
+            ConvLayer(name="c1", out_channels=1, kernel=3, pad=1),
+            ConvLayer(name="c2", out_channels=1, kernel=3, pad=1),
+            ConvLayer(name="c3", out_channels=1, kernel=3, pad=1),
+        ],
+    )
+
+
+class TestAnalyzeGroup:
+    def test_last_layer_never_recomputed(self, stack):
+        layers = analyze_group(stack, 0, 3)
+        assert layers[-1].recompute_factor == 1.0
+        assert layers[-1].recompute_macs == layers[-1].reuse_macs
+
+    def test_earlier_layers_recompute_more(self, stack):
+        layers = analyze_group(stack, 0, 3)
+        factors = [l.recompute_factor for l in layers]
+        assert factors[0] > factors[1] > factors[2]
+        # c2's output: a 3-row window slides by 1 per group row
+        assert layers[1].rows_needed_per_output_row == 3
+
+    def test_deeper_fusion_recomputes_more(self, stack):
+        shallow = summarize(analyze_group(stack, 0, 2))
+        deep = summarize(analyze_group(stack, 0, 3))
+        assert deep.recompute_overhead > shallow.recompute_overhead
+
+    def test_single_layer_group_has_no_overhead(self, stack):
+        summary = summarize(analyze_group(stack, 0, 1))
+        assert summary.recompute_overhead == 1.0
+
+    def test_stride_reduces_slide_amplification(self):
+        net = Network(
+            "s",
+            InputSpec(1, 32, 32),
+            [
+                ConvLayer(name="c1", out_channels=1, kernel=3, pad=1),
+                PoolLayer(name="p1", kernel=2, stride=2),
+                ConvLayer(name="c2", out_channels=1, kernel=3, pad=1),
+            ],
+        )
+        layers = analyze_group(net, 0, 3)
+        # c1's output window (pool needs 2+(3-1)*2=6 rows) slides 2 per
+        # group row thanks to the pool stride
+        assert layers[0].stride_rows == 2
+
+    def test_vgg_prefix_overhead_substantial(self):
+        net = models.vgg_fused_prefix()
+        summary = summarize(analyze_group(net, 0, len(net)))
+        # recomputation through 7 fused layers is ruinously expensive —
+        # the quantitative case for reuse buffers / line buffers
+        assert summary.recompute_overhead > 3.0
+        assert summary.total_reuse_brams > 0
+
+    def test_empty_range_rejected(self, stack):
+        from repro.errors import ShapeError
+
+        with pytest.raises(ShapeError):
+            analyze_group(stack, 1, 1)

@@ -1,0 +1,41 @@
+"""Tests for the table formatting helpers."""
+
+import pytest
+
+from repro.reporting import format_ratio, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(
+            ["name", "value"], [["a", 1], ["longer", 22]], title="demo"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_numeric_cells_right_aligned(self):
+        text = format_table(["n"], [[1], [1000]])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("1")
+        assert rows[1].endswith("1,000")
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[3.14159]])
+        assert "3.14" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_no_title(self):
+        text = format_table(["a"], [[1]])
+        assert not text.startswith("\n")
+
+
+class TestFormatRatio:
+    def test_speedup_style(self):
+        assert format_ratio(1.994) == "1.99x"
+        assert format_ratio(10.0) == "10.00x"

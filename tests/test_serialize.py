@@ -1,0 +1,91 @@
+"""Tests for strategy save/load round-tripping."""
+
+import json
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.hardware.device import get_device
+from repro.nn import models
+from repro.optimizer.dp import optimize
+from repro.optimizer.serialize import (
+    SCHEMA_VERSION,
+    load_strategy,
+    save_strategy,
+    strategy_from_dict,
+    strategy_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    net = models.tiny_cnn()
+    dev = get_device("testchip")
+    strategy = optimize(net, dev, net.feature_map_bytes())
+    return net, dev, strategy
+
+
+class TestRoundTrip:
+    def test_save_load_identical_cost(self, setup, tmp_path):
+        net, dev, strategy = setup
+        path = save_strategy(strategy, tmp_path / "s.json")
+        reloaded = load_strategy(path, net)
+        assert reloaded.latency_cycles == strategy.latency_cycles
+        assert reloaded.feature_transfer_bytes == strategy.feature_transfer_bytes
+        assert reloaded.boundaries == strategy.boundaries
+
+    def test_choices_preserved(self, setup, tmp_path):
+        net, dev, strategy = setup
+        path = save_strategy(strategy, tmp_path / "s.json")
+        reloaded = load_strategy(path, net)
+        for a, b in zip(strategy.choices(), reloaded.choices()):
+            assert a == b
+
+    def test_dict_schema(self, setup):
+        _, _, strategy = setup
+        payload = strategy_to_dict(strategy)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["device"] == "testchip"
+        total_layers = sum(len(g["layers"]) for g in payload["groups"])
+        assert total_layers == len(strategy.network)
+
+    def test_explicit_device_override(self, setup, tmp_path):
+        net, dev, strategy = setup
+        path = save_strategy(strategy, tmp_path / "s.json")
+        reloaded = load_strategy(path, net, device=dev)
+        assert reloaded.device is dev
+
+    def test_file_is_valid_json(self, setup, tmp_path):
+        _, _, strategy = setup
+        path = save_strategy(strategy, tmp_path / "s.json")
+        json.loads(path.read_text())
+
+
+class TestValidation:
+    def test_wrong_schema_version(self, setup):
+        net, _, strategy = setup
+        payload = strategy_to_dict(strategy)
+        payload["schema_version"] = 999
+        with pytest.raises(OptimizationError):
+            strategy_from_dict(payload, net)
+
+    def test_layer_name_mismatch(self, setup):
+        net, _, strategy = setup
+        payload = strategy_to_dict(strategy)
+        payload["groups"][0]["layers"][0]["name"] = "imposter"
+        with pytest.raises(OptimizationError):
+            strategy_from_dict(payload, net)
+
+    def test_stale_latency_detected(self, setup):
+        net, _, strategy = setup
+        payload = strategy_to_dict(strategy)
+        payload["latency_cycles"] = 1
+        with pytest.raises(OptimizationError, match="cost model"):
+            strategy_from_dict(payload, net)
+
+    def test_wrong_network_rejected(self, setup, tmp_path):
+        _, _, strategy = setup
+        path = save_strategy(strategy, tmp_path / "s.json")
+        other = models.alexnet()
+        with pytest.raises(OptimizationError):
+            load_strategy(path, other)

@@ -1,0 +1,111 @@
+"""Tests for the strategy-level simulator (functional + timing)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.hardware.device import get_device
+from repro.nn import models
+from repro.nn.functional import forward, init_weights
+from repro.optimizer.dp import optimize
+from repro.sim.simulator import simulate_strategy
+
+
+@pytest.fixture(scope="module")
+def setup():
+    net = models.tiny_cnn()
+    dev = get_device("testchip")
+    strategy = optimize(net, dev, net.feature_map_bytes())
+    weights = init_weights(net)
+    rng = np.random.default_rng(3)
+    data = rng.normal(size=net.input_spec.shape)
+    result = simulate_strategy(strategy, data, weights)
+    return net, dev, strategy, weights, data, result
+
+
+class TestFunctional:
+    def test_output_matches_reference_forward(self, setup):
+        net, _, _, weights, data, result = setup
+        expected = forward(net, data, weights)
+        np.testing.assert_allclose(result.output, expected, atol=1e-9)
+
+    def test_output_shape(self, setup):
+        net, _, _, _, _, result = setup
+        assert result.output.shape == net.output_shape
+
+    def test_mixed_net_all_layer_types(self, mixed_net, mixed_weights, testchip, rng):
+        strategy = optimize(mixed_net, testchip, mixed_net.feature_map_bytes())
+        data = rng.normal(size=mixed_net.input_spec.shape)
+        result = simulate_strategy(strategy, data, mixed_weights)
+        expected = forward(mixed_net, data, mixed_weights)
+        np.testing.assert_allclose(result.output, expected, atol=1e-8)
+
+    def test_random_weights_when_omitted(self, setup):
+        _, _, strategy, _, data, _ = setup
+        result = simulate_strategy(strategy, data)
+        assert np.isfinite(result.output).all()
+
+    def test_bad_input_shape_rejected(self, setup):
+        _, _, strategy, _, _, _ = setup
+        with pytest.raises(SimulationError):
+            simulate_strategy(strategy, np.zeros((1, 2, 2)))
+
+
+class TestTiming:
+    def test_latency_positive_and_reasonable(self, setup):
+        _, _, strategy, _, _, result = setup
+        assert result.latency_cycles > 0
+        # Row-level simulation should land within 3x of the analytic model
+        # (the analytic fills are deliberately conservative).
+        ratio = result.latency_cycles / strategy.latency_cycles
+        assert 0.2 < ratio < 3.0
+
+    def test_groups_execute_sequentially(self, setup):
+        _, _, strategy, _, _, result = setup
+        assert len(result.group_traces) == len(strategy.designs)
+        previous_end = 0.0
+        for trace in result.group_traces:
+            assert trace.start_cycle == pytest.approx(previous_end)
+            assert trace.end_cycle > trace.start_cycle
+            previous_end = trace.end_cycle
+        assert result.latency_cycles == pytest.approx(previous_end)
+
+    def test_layer_traces_cover_layers(self, setup):
+        net, _, strategy, _, _, result = setup
+        names = [t.layer_name for trace in result.group_traces for t in trace.layers]
+        assert names == [info.name for info in net]
+
+    def test_busy_cycles_match_cost_model(self, setup):
+        _, _, strategy, _, _, result = setup
+        impls = [i for d in strategy.designs for i in d.implementations]
+        traces = [t for g in result.group_traces for t in g.layers]
+        for impl, trace in zip(impls, traces):
+            assert trace.busy_cycles == impl.compute_cycles
+
+    def test_utilizations_bounded(self, setup):
+        _, _, _, _, _, result = setup
+        for trace in result.group_traces:
+            assert 0.0 <= trace.dram_utilization <= 1.0 + 1e-9
+            for layer in trace.layers:
+                assert 0.0 <= layer.utilization <= 1.0 + 1e-9
+
+    def test_bottleneck_layer_is_slowest(self, setup):
+        _, _, _, _, _, result = setup
+        for trace in result.group_traces:
+            slowest = max(trace.layers, key=lambda t: t.busy_cycles)
+            assert trace.bottleneck_layer.busy_cycles == slowest.busy_cycles
+
+    def test_latency_seconds(self, setup):
+        _, dev, _, _, _, result = setup
+        assert result.latency_seconds(dev.frequency_hz) == pytest.approx(
+            result.latency_cycles / dev.frequency_hz
+        )
+
+
+class TestReport:
+    def test_report_mentions_layers_and_groups(self, setup):
+        net, _, _, _, _, result = setup
+        text = result.report()
+        assert "simulated latency" in text
+        for info in net:
+            assert info.name in text

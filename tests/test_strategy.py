@@ -1,0 +1,138 @@
+"""Tests for the Strategy IR and its validation/reporting."""
+
+import pytest
+
+from repro.errors import OptimizationError, ResourceError
+from repro.hardware.device import get_device
+from repro.nn import models
+from repro.optimizer.branch_and_bound import GroupSearch
+from repro.optimizer.dp import optimize
+from repro.optimizer.strategy import Strategy
+
+
+@pytest.fixture
+def testchip():
+    return get_device("testchip")
+
+
+@pytest.fixture
+def tiny():
+    return models.tiny_cnn()
+
+
+@pytest.fixture
+def strategy(tiny, testchip):
+    return optimize(tiny, testchip, tiny.feature_map_bytes())
+
+
+class TestConstruction:
+    def test_groups_must_tile(self, tiny, testchip):
+        search = GroupSearch(tiny, testchip)
+        designs = [search.fusion(0, 2), search.fusion(2, 4)]
+        Strategy(tiny, testchip, [(0, 2), (2, 4)], designs)  # ok
+        with pytest.raises(OptimizationError):
+            Strategy(tiny, testchip, [(0, 2), (3, 4)], designs)
+        with pytest.raises(OptimizationError):
+            Strategy(tiny, testchip, [(0, 2)], designs[:1])
+
+    def test_design_length_must_match_range(self, tiny, testchip):
+        search = GroupSearch(tiny, testchip)
+        wrong = [search.fusion(0, 1), search.fusion(2, 4)]
+        with pytest.raises(OptimizationError):
+            Strategy(tiny, testchip, [(0, 2), (2, 4)], wrong)
+
+    def test_empty_rejected(self, tiny, testchip):
+        with pytest.raises(OptimizationError):
+            Strategy(tiny, testchip, [], [])
+
+
+class TestMetrics:
+    def test_latency_is_sum_of_groups(self, strategy):
+        assert strategy.latency_cycles == sum(
+            d.latency_cycles for d in strategy.designs
+        )
+
+    def test_transfer_sums(self, strategy):
+        assert strategy.feature_transfer_bytes == sum(
+            d.feature_transfer_bytes for d in strategy.designs
+        )
+
+    def test_total_ops_matches_network(self, strategy, tiny):
+        assert strategy.total_ops == tiny.total_ops()
+
+    def test_effective_gops(self, strategy, testchip):
+        expected = strategy.total_ops / strategy.latency_seconds() / 1e9
+        assert strategy.effective_gops() == pytest.approx(expected)
+
+    def test_peak_resources_dominate_groups(self, strategy):
+        peak = strategy.peak_resources
+        for design in strategy.designs:
+            assert design.resources.fits(peak)
+
+    def test_choices_cover_all_layers(self, strategy, tiny):
+        choices = strategy.choices()
+        assert [c.layer_name for c in choices] == [info.name for info in tiny]
+        assert all(c.parallelism >= 1 for c in choices)
+
+    def test_group_ids_ascend(self, strategy):
+        ids = [c.group_id for c in strategy.choices()]
+        assert ids == sorted(ids)
+
+
+class TestValidation:
+    def test_valid_strategy_passes(self, strategy):
+        strategy.validate()
+        strategy.validate(strategy.feature_transfer_bytes)
+
+    def test_transfer_violation_raises(self, strategy):
+        with pytest.raises(OptimizationError):
+            strategy.validate(strategy.feature_transfer_bytes - 1)
+
+    def test_resource_violation_raises(self, tiny, testchip):
+        search = GroupSearch(tiny, testchip)
+        designs = [search.fusion(i, i + 1) for i in range(len(tiny))]
+        starved = testchip.with_bandwidth(testchip.bandwidth_bytes_per_s)
+        from dataclasses import replace
+        from repro.hardware.resources import ResourceVector
+
+        starved = replace(starved, resources=ResourceVector(1, 1, 100, 100))
+        bad = Strategy(
+            tiny, starved, [(i, i + 1) for i in range(len(tiny))], designs
+        )
+        with pytest.raises(ResourceError):
+            bad.validate()
+
+
+class TestReport:
+    def test_report_lists_every_layer(self, strategy, tiny):
+        text = strategy.report()
+        for info in tiny:
+            assert info.name in text
+
+    def test_report_has_utilization_and_transfer(self, strategy):
+        text = strategy.report()
+        assert "utilization" in text
+        assert "feature-map transfer" in text
+        assert "ms" in text
+
+    def test_repr(self, strategy):
+        assert "Strategy(" in repr(strategy)
+
+
+class TestBreakdown:
+    def test_one_entry_per_group(self, strategy):
+        breakdown = strategy.breakdown()
+        assert len(breakdown) == len(strategy.designs)
+        assert [entry["range"] for entry in breakdown] == [
+            tuple(b) for b in strategy.boundaries
+        ]
+
+    def test_latency_composition(self, strategy):
+        for entry in strategy.breakdown():
+            expected = (
+                max(entry["compute_cycles"], entry["transfer_cycles"])
+                + entry["fill_cycles"]
+            )
+            assert entry["latency_cycles"] == expected
+            assert entry["bottleneck"] in ("compute", "bandwidth")
+            assert 0.0 <= entry["fill_share"] <= 1.0

@@ -1,0 +1,112 @@
+"""Tests for the Winograd tile-size exploration extension.
+
+The paper fixes F(4x4, 3x3) and notes "there are multiple tile size
+choices for Winograd algorithm"; the extension searches m in {2, 4, 6}
+per layer.  Exploration can only improve (or match) the uniform-tile
+optimum, and the search must stay consistent with the exhaustive oracle.
+"""
+
+import pytest
+
+from repro.hardware.device import get_device
+from repro.nn import models
+from repro.optimizer.branch_and_bound import GroupSearch
+from repro.optimizer.dp import optimize
+from repro.optimizer.exhaustive import best_group_design
+from repro.perf.implement import (
+    Algorithm,
+    WINOGRAD_M,
+    candidate_winograd_tiles,
+    implement,
+)
+
+
+@pytest.fixture
+def testchip():
+    return get_device("testchip")
+
+
+@pytest.fixture
+def tiny():
+    return models.tiny_cnn()
+
+
+class TestCandidates:
+    def test_default_is_uniform_paper_tile(self, tiny):
+        assert candidate_winograd_tiles(tiny[0]) == [WINOGRAD_M]
+
+    def test_exploration_offers_multiple(self, tiny):
+        tiles = candidate_winograd_tiles(tiny[0], explore=True)
+        assert WINOGRAD_M in tiles
+        assert len(tiles) >= 2
+
+    def test_tiles_capped_by_output_rows(self, testchip):
+        from repro.nn.layers import ConvLayer, InputSpec
+        from repro.nn.network import Network
+
+        net = Network(
+            "small",
+            InputSpec(2, 5, 5),
+            [ConvLayer(name="c", out_channels=2, kernel=3, pad=1)],
+        )
+        tiles = candidate_winograd_tiles(net[0], explore=True)
+        assert all(m <= 5 for m in tiles)
+
+
+class TestCostModel:
+    def test_larger_tile_fewer_mults_when_divisible(self, testchip):
+        from repro.nn.layers import ConvLayer, InputSpec
+        from repro.nn.network import Network
+
+        # 24x24 output divides by 2, 4 and 6 evenly
+        net = Network(
+            "d",
+            InputSpec(4, 24, 24),
+            [ConvLayer(name="c", out_channels=4, kernel=3, pad=1)],
+        )
+        computes = {
+            m: implement(
+                net[0], Algorithm.WINOGRAD, 8, testchip, winograd_m=m
+            ).compute_cycles
+            for m in (2, 4, 6)
+        }
+        assert computes[6] < computes[4] < computes[2]
+
+    def test_larger_tile_costs_more_fabric(self, tiny, testchip):
+        small = implement(tiny[0], Algorithm.WINOGRAD, 8, testchip, winograd_m=2)
+        large = implement(tiny[0], Algorithm.WINOGRAD, 8, testchip, winograd_m=6)
+        assert large.resources.lut > small.resources.lut
+        assert large.resources.bram18k > small.resources.bram18k
+
+    def test_tile_recorded_on_implementation(self, tiny, testchip):
+        impl = implement(tiny[0], Algorithm.WINOGRAD, 8, testchip, winograd_m=6)
+        assert impl.winograd_m == 6
+        conv = implement(tiny[0], Algorithm.CONVENTIONAL, 8, testchip)
+        assert conv.winograd_m == 0
+
+    def test_invalid_tile_rejected(self, tiny, testchip):
+        from repro.errors import AlgorithmError
+
+        with pytest.raises(AlgorithmError):
+            implement(tiny[0], Algorithm.WINOGRAD, 8, testchip, winograd_m=1)
+
+
+class TestSearch:
+    def test_exploration_never_worse(self, tiny, testchip):
+        uniform = GroupSearch(tiny, testchip).fusion(0, len(tiny))
+        explored = GroupSearch(
+            tiny, testchip, explore_tile_sizes=True
+        ).fusion(0, len(tiny))
+        assert explored.latency_cycles <= uniform.latency_cycles
+
+    def test_matches_exhaustive_oracle_with_exploration(self, tiny, testchip):
+        bb = GroupSearch(tiny, testchip, explore_tile_sizes=True).fusion(0, 2)
+        oracle = best_group_design(tiny, 0, 2, testchip, explore_tile_sizes=True)
+        assert bb.latency_cycles == oracle.latency_cycles
+
+    def test_optimize_flag(self, tiny, testchip):
+        budget = tiny.feature_map_bytes()
+        uniform = optimize(tiny, testchip, budget)
+        explored = optimize(tiny, testchip, budget, explore_tile_sizes=True)
+        assert explored.latency_cycles <= uniform.latency_cycles
+        explored.validate(budget)

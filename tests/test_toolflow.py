@@ -1,0 +1,91 @@
+"""Tests for the end-to-end tool-flow."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OptimizationError
+from repro.nn import models
+from repro.nn.caffe import network_to_prototxt
+from repro.toolflow import compile_model
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    net = models.tiny_cnn()
+    return compile_model(net, device="testchip")
+
+
+class TestCompileModel:
+    def test_from_network_object(self, tiny_result):
+        assert tiny_result.strategy.latency_cycles > 0
+        assert len(tiny_result.project.files) >= 4
+
+    def test_from_prototxt_text(self):
+        text = network_to_prototxt(models.tiny_cnn())
+        result = compile_model(text, device="testchip")
+        assert len(result.network) == len(models.tiny_cnn())
+
+    def test_from_prototxt_file(self, tmp_path):
+        path = tmp_path / "model.prototxt"
+        path.write_text(network_to_prototxt(models.tiny_cnn()))
+        result = compile_model(path, device="testchip")
+        assert result.network.name == "tiny_cnn"
+
+    def test_writes_output_dir(self, tmp_path):
+        compile_model(
+            models.tiny_cnn(), device="testchip", output_dir=tmp_path / "hls"
+        )
+        assert (tmp_path / "hls" / "build.tcl").exists()
+
+    def test_accelerated_only_strips_fc(self):
+        result = compile_model(models.tiny_cnn(), device="testchip")
+        # tiny_cnn has no FC; use alexnet with FC to check stripping
+        from repro.nn.layers import is_accelerated
+
+        net = models.tiny_cnn()
+        assert all(is_accelerated(layer) for layer in result.network.layers)
+
+    def test_transfer_constraint_respected(self):
+        net = models.tiny_cnn()
+        budget = net.min_fused_transfer_bytes()
+        result = compile_model(net, device="testchip", transfer_constraint_bytes=budget)
+        assert result.strategy.feature_transfer_bytes <= budget
+
+    def test_default_constraint_is_unfused_traffic(self):
+        net = models.tiny_cnn()
+        result = compile_model(net, device="testchip")
+        assert result.strategy.feature_transfer_bytes <= net.feature_map_bytes()
+
+    def test_invalid_model_input(self):
+        with pytest.raises(OptimizationError):
+            compile_model("no-such-file.prototxt", device="testchip")
+
+    def test_empty_network_rejected(self):
+        from repro.nn.layers import FCLayer, InputSpec
+        from repro.nn.network import Network
+
+        fc_only = Network(
+            "fc", InputSpec(4, 2, 2), [FCLayer(name="f", out_features=2)]
+        )
+        with pytest.raises(OptimizationError):
+            compile_model(fc_only, device="testchip")
+
+
+class TestSimulationHook:
+    def test_simulate_default_input(self, tiny_result):
+        sim = tiny_result.simulate()
+        assert sim.output.shape == tiny_result.network.output_shape
+
+    def test_simulate_matches_reference(self, tiny_result):
+        from repro.nn.functional import forward, init_weights
+
+        net = tiny_result.network
+        weights = init_weights(net)
+        data = np.random.default_rng(5).normal(size=net.input_spec.shape)
+        sim = tiny_result.simulate(data, weights)
+        np.testing.assert_allclose(sim.output, forward(net, data, weights), atol=1e-9)
+
+    def test_summary_text(self, tiny_result):
+        text = tiny_result.summary()
+        assert "tool-flow result" in text
+        assert "generated sources" in text
