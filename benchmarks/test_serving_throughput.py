@@ -1,0 +1,78 @@
+"""Serving throughput: requests/sec and tail latency vs fleet size.
+
+Drives the same saturating open-loop trace (6x one replica's peak
+full-batch rate, seeded Poisson arrivals) through 1, 2 and 4 replicas of
+the compiled VGG-E prefix strategy with dynamic batching, and records
+the scaling curve.  The virtual clock makes every number exactly
+reproducible across machines.
+
+Expected shape: throughput scales near-linearly with replicas (>= 3x at
+4 replicas) while the p99 latency collapses as queueing drains; every
+latency stays above the single-image pipeline floor.
+"""
+
+import numpy as np
+
+from repro.optimizer.dp import optimize
+from repro.reporting import format_table
+from repro.serve.scheduler import FleetScheduler
+from repro.sim.simulator import build_service_model
+
+from conftest import write_result
+
+REPLICA_COUNTS = (1, 2, 4)
+NUM_REQUESTS = 240
+LOAD = 6.0
+MAX_BATCH = 8
+
+
+def test_serving_throughput_scaling(vgg_prefix, zc706):
+    strategy = optimize(
+        vgg_prefix, zc706, vgg_prefix.feature_map_bytes(zc706.element_bytes)
+    )
+    floor = build_service_model(strategy).single_image_cycles
+
+    rows = []
+    throughput = {}
+    p99s = {}
+    for replicas in REPLICA_COUNTS:
+        fleet = FleetScheduler.for_strategy(
+            strategy, replicas=replicas, max_batch=MAX_BATCH,
+            policy="least_loaded",
+        )
+        metrics = fleet.run_open_loop(
+            NUM_REQUESTS, load=LOAD, rng=np.random.default_rng(0)
+        ).metrics
+        throughput[replicas] = metrics.requests_per_second
+        p99s[replicas] = metrics.p99_latency_cycles
+        assert metrics.requests == NUM_REQUESTS
+        assert metrics.p99_latency_cycles >= metrics.p50_latency_cycles
+        assert metrics.p50_latency_cycles >= floor * (1 - 1e-12)
+        rows.append(
+            [
+                replicas,
+                f"{metrics.requests_per_second:.1f}",
+                f"{throughput[replicas] / throughput[1]:.2f}x",
+                f"{metrics.p50_latency_cycles / 1e6:.1f}",
+                f"{metrics.p99_latency_cycles / 1e6:.1f}",
+                f"{metrics.mean_batch_size:.2f}",
+                f"{metrics.achieved_gops:.0f}",
+            ]
+        )
+
+    assert throughput[2] > throughput[1]
+    assert throughput[4] >= 3.0 * throughput[1]
+    assert p99s[4] < p99s[1]
+
+    table = format_table(
+        ["replicas", "req/s", "scaling", "p50 (Mcyc)", "p99 (Mcyc)",
+         "mean batch", "GOPS"],
+        rows,
+        title=(
+            f"{strategy.network.name} serving on {zc706.name}: "
+            f"{NUM_REQUESTS} requests, open-loop load {LOAD:.0f}x, "
+            f"max batch {MAX_BATCH} "
+            f"(single-image floor {floor / 1e6:.2f} Mcycles)"
+        ),
+    )
+    write_result("serving_throughput.txt", table)

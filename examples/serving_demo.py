@@ -1,0 +1,76 @@
+"""Serving demo: a batched FPGA fleet behind the paper's VGG strategy.
+
+Compiles the VGG-E fused prefix (the paper's Figure 5 / Table 1 case
+study) for the ZC706, then drives an open-loop synthetic arrival trace —
+heavy enough to saturate a single board — through fleets of 1 and 4
+accelerator replicas with dynamic batching.
+
+Run with::
+
+    PYTHONPATH=src python examples/serving_demo.py [--requests N]
+
+Equivalent CLI: ``repro serve-sim vgg19_prefix7 --replicas 4 --load 6``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.nn import models
+from repro.toolflow import compile_model
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=240,
+                        help="synthetic requests per fleet size (default 240)")
+    parser.add_argument("--load", type=float, default=6.0,
+                        help="offered load vs one replica's peak rate")
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print("compiling the VGG-E fused prefix for the ZC706 ...")
+    compiled = compile_model(models.vgg_fused_prefix(), device="zc706")
+    strategy = compiled.strategy
+    print(
+        f"  {len(strategy.designs)} fusion group(s), single-image latency "
+        f"{strategy.latency_cycles:,} cycles "
+        f"({strategy.latency_seconds() * 1e3:.2f} ms), "
+        f"{strategy.effective_gops():.1f} analytic GOPS"
+    )
+
+    throughput = {}
+    for replicas in (1, 4):
+        fleet = compiled.serve(replicas=replicas, max_batch=args.max_batch,
+                               policy="least_loaded")
+        result = fleet.run_open_loop(
+            num_requests=args.requests,
+            load=args.load,
+            rng=np.random.default_rng(args.seed),
+        )
+        metrics = result.metrics
+        throughput[replicas] = metrics.requests_per_second
+        floor = fleet.service_model.single_image_cycles
+        print()
+        print(f"--- {replicas} replica(s), open-loop load {args.load:.1f}x ---")
+        print(metrics.summary())
+        assert metrics.p99_latency_cycles >= metrics.p50_latency_cycles
+        assert metrics.p50_latency_cycles >= floor * (1 - 1e-12), (
+            "a request can never beat the single-image pipeline latency"
+        )
+
+    speedup = throughput[4] / throughput[1]
+    print()
+    print(
+        f"scaling 1 -> 4 replicas: {throughput[1]:,.1f} -> "
+        f"{throughput[4]:,.1f} req/s ({speedup:.2f}x)"
+    )
+    assert speedup >= 3.0, "4 replicas should give >= 3x under saturating load"
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,8 @@ Subpackages: :mod:`repro.nn` (CNN substrate), :mod:`repro.algorithms`
 (convolution algorithms incl. general Winograd), :mod:`repro.hardware`
 (device/roofline/power models), :mod:`repro.arch` (fusion architecture),
 :mod:`repro.perf` (cost models), :mod:`repro.optimizer` (the strategy
-search), :mod:`repro.baselines`, :mod:`repro.codegen`, :mod:`repro.sim`.
+search), :mod:`repro.baselines`, :mod:`repro.codegen`, :mod:`repro.sim`,
+:mod:`repro.serve` (batched multi-replica serving runtime).
 """
 
 from repro.errors import (

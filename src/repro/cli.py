@@ -6,6 +6,7 @@ Usage (also via ``python -m repro``)::
     repro devices                     # list the FPGA device catalog
     repro compile MODEL [options]     # prototxt/zoo-name -> strategy + HLS
     repro sweep MODEL [options]       # latency vs transfer-constraint table
+    repro serve-sim MODEL [options]   # batched multi-replica serving sim
     repro winograd M R                # print F(M, R) transform matrices
 
 ``MODEL`` is a prototxt path or a model-zoo name (``repro models``).
@@ -18,6 +19,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro import __version__
 from repro.errors import ReproError
 from repro.hardware.device import DEVICES, get_device
 from repro.nn import models
@@ -25,6 +27,7 @@ from repro.nn.caffe import network_from_prototxt
 from repro.nn.network import Network
 from repro.optimizer.dp import optimize_many
 from repro.reporting import format_ratio, format_table
+from repro.serve.scheduler import Policy
 from repro.toolflow import compile_model
 
 MB = 2**20
@@ -156,6 +159,38 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_sim(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    network = _load_model(args.model)
+    result = compile_model(
+        network, device=args.device, transfer_constraint_bytes=args.transfer
+    )
+    fleet = result.serve(
+        replicas=args.replicas,
+        policy=args.policy,
+        max_batch=args.max_batch,
+        max_wait_cycles=args.max_wait,
+    )
+    print(
+        f"serving {network.name} on {args.replicas} x {args.device} "
+        f"(policy {args.policy}, max batch {args.max_batch}, "
+        f"strategy latency {result.strategy.latency_cycles:,} cycles)"
+    )
+    print(
+        f"open-loop trace: {args.requests} requests at {args.load:.2f}x one "
+        f"replica's peak rate (seed {args.seed})"
+    )
+    serving = fleet.run_open_loop(
+        num_requests=args.requests,
+        load=args.load,
+        rng=np.random.default_rng(args.seed),
+    )
+    print()
+    print(serving.summary())
+    return 0
+
+
 def _cmd_winograd(args: argparse.Namespace) -> int:
     from repro.algorithms.poly import to_numpy
     from repro.algorithms.winograd import exact_transform_matrices, winograd_transform
@@ -178,6 +213,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Heterogeneous conventional/Winograd CNN-to-FPGA tool-flow "
         "(DAC 2017 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -219,6 +257,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_p.set_defaults(func=_cmd_sweep)
 
+    serve_p = sub.add_parser(
+        "serve-sim", help="simulate a batched multi-replica serving fleet"
+    )
+    serve_p.add_argument("model", help="prototxt path or model-zoo name")
+    serve_p.add_argument("--device", default="zc706", choices=sorted(DEVICES))
+    serve_p.add_argument(
+        "--transfer", type=_parse_size, default=None,
+        help="feature-map transfer constraint for the compile step",
+    )
+    serve_p.add_argument(
+        "--replicas", type=int, default=1, help="accelerator instances (default 1)"
+    )
+    serve_p.add_argument(
+        "--requests", type=int, default=200,
+        help="synthetic requests to serve (default 200)",
+    )
+    serve_p.add_argument(
+        "--load", type=float, default=1.5,
+        help="offered load as a multiple of one replica's peak full-batch "
+        "rate (default 1.5: saturates a single replica)",
+    )
+    serve_p.add_argument(
+        "--max-batch", type=int, default=8, help="dynamic batch size cap"
+    )
+    serve_p.add_argument(
+        "--max-wait", type=float, default=None,
+        help="partial-batch deadline in cycles "
+        "(default: half the single-image latency)",
+    )
+    serve_p.add_argument(
+        "--policy", default="least_loaded",
+        choices=[p.value for p in Policy],
+        help="batch placement policy",
+    )
+    serve_p.add_argument(
+        "--seed", type=int, default=0, help="arrival-trace RNG seed"
+    )
+    serve_p.set_defaults(func=_cmd_serve_sim)
+
     wino_p = sub.add_parser("winograd", help="print F(m, r) transform matrices")
     wino_p.add_argument("m", type=int)
     wino_p.add_argument("r", type=int)
@@ -231,7 +308,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except ReproError as exc:
+    except (ReproError, OSError) as exc:
+        # One clean line, no traceback: bad prototxt, unknown device,
+        # infeasible strategy, unwritable output directory, ...
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -1,0 +1,51 @@
+"""Batched, multi-accelerator inference serving on compiled strategies.
+
+The tool-flow ends at a compiled per-layer strategy; this package turns
+that artifact into a *service*: a simulated fleet of accelerator
+replicas behind a dynamic batcher and a dispatch policy, driven by a
+virtual clock so every throughput/latency number is exactly
+reproducible.
+
+Typical use::
+
+    from repro.toolflow import compile_model
+
+    fleet = compile_model("vgg19_prefix7", device="zc706").serve(
+        replicas=4, max_batch=8, policy="least_loaded")
+    result = fleet.run_open_loop(num_requests=500, load=4.0)
+    print(result.summary())
+
+Or from the command line: ``repro serve-sim vgg19_prefix7 --replicas 4``.
+"""
+
+from repro.serve.batcher import DynamicBatcher, InferenceRequest, ServingError
+from repro.serve.metrics import (
+    RequestRecord,
+    ServingMetrics,
+    aggregate_metrics,
+    percentile,
+)
+from repro.serve.runtime import AcceleratorReplica, ReplicaStats, build_fleet
+from repro.serve.scheduler import (
+    FleetScheduler,
+    Policy,
+    ServingResult,
+    synthetic_arrivals,
+)
+
+__all__ = [
+    "AcceleratorReplica",
+    "DynamicBatcher",
+    "FleetScheduler",
+    "InferenceRequest",
+    "Policy",
+    "ReplicaStats",
+    "RequestRecord",
+    "ServingError",
+    "ServingMetrics",
+    "ServingResult",
+    "aggregate_metrics",
+    "build_fleet",
+    "percentile",
+    "synthetic_arrivals",
+]

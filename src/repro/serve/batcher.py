@@ -1,0 +1,116 @@
+"""Dynamic batching queue for the serving runtime.
+
+Requests are collected into batches under two limits, the standard
+dynamic-batching contract of inference servers:
+
+* **max batch size** — a batch never exceeds ``max_batch`` requests;
+  once that many are pending the batch is ready immediately.
+* **max wait deadline** — a partial batch becomes ready once its
+  *oldest* request has waited ``max_wait_cycles``, bounding the queueing
+  latency a lone request can suffer in exchange for amortization.
+
+Batching pays on this hardware because the accelerator loads each fusion
+group's resident weights once per batch (see
+:class:`repro.sim.simulator.GroupServiceModel`): a batch of B images
+costs far less than B single-image passes on weight-heavy groups.
+
+The batcher is a pure data structure over the *virtual* clock — it never
+reads wall time.  The scheduler drives it with explicit ``now`` values,
+which keeps every serving simulation exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from repro.errors import ReproError
+
+
+class ServingError(ReproError):
+    """The serving runtime was misconfigured or misused."""
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One inference request against the compiled model.
+
+    Attributes:
+        request_id: Dense id, assigned in arrival order.
+        arrival_cycle: Virtual-clock cycle the request entered the system.
+    """
+
+    request_id: int
+    arrival_cycle: float
+
+
+class DynamicBatcher:
+    """FIFO queue that groups requests into deadline-bounded batches."""
+
+    def __init__(self, max_batch: int = 8, max_wait_cycles: float = 0.0):
+        if max_batch < 1:
+            raise ServingError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_cycles < 0:
+            raise ServingError(
+                f"max_wait_cycles must be >= 0, got {max_wait_cycles}"
+            )
+        self.max_batch = max_batch
+        self.max_wait_cycles = max_wait_cycles
+        self._pending: Deque[InferenceRequest] = deque()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending(self) -> List[InferenceRequest]:
+        """The queued requests, oldest first (a copy)."""
+        return list(self._pending)
+
+    def add(self, request: InferenceRequest) -> None:
+        """Enqueue a request (requests must arrive in time order)."""
+        if self._pending and request.arrival_cycle < self._pending[-1].arrival_cycle:
+            raise ServingError(
+                f"request {request.request_id} arrives at "
+                f"{request.arrival_cycle}, before the previous arrival "
+                f"{self._pending[-1].arrival_cycle}"
+            )
+        self._pending.append(request)
+
+    def has_full_batch(self) -> bool:
+        """True when a batch can be cut without waiting for the deadline."""
+        return len(self._pending) >= self.max_batch
+
+    def next_deadline(self) -> Optional[float]:
+        """When the oldest pending request's wait budget expires.
+
+        None when the queue is empty.  A full batch is ready regardless
+        of this deadline.
+        """
+        if not self._pending:
+            return None
+        return self._pending[0].arrival_cycle + self.max_wait_cycles
+
+    def ready_at(self, now: float) -> bool:
+        """Whether a batch should be cut at virtual time ``now``."""
+        if not self._pending:
+            return False
+        return self.has_full_batch() or now >= self.next_deadline()
+
+    def pop_batch(self, now: float) -> List[InferenceRequest]:
+        """Cut and return the next batch (oldest ``max_batch`` requests).
+
+        Raises:
+            ServingError: If no batch is ready at ``now`` — the caller's
+                virtual clock is ahead of or behind the queue state.
+        """
+        if not self.ready_at(now):
+            raise ServingError(
+                f"no batch ready at cycle {now}: {len(self._pending)} pending, "
+                f"deadline {self.next_deadline()}"
+            )
+        batch = [
+            self._pending.popleft()
+            for _ in range(min(self.max_batch, len(self._pending)))
+        ]
+        return batch

@@ -1,0 +1,164 @@
+"""Serving metrics: per-request records and fleet-level aggregates.
+
+Every served request leaves one :class:`RequestRecord` on the virtual
+clock; :class:`ServingMetrics` folds the records plus the replicas'
+counters into the numbers an operator watches — queue wait, service
+time, p50/p95/p99 latency, throughput, and achieved GOPS against the
+optimizer's analytic prediction for the same strategy.
+
+Percentiles use the nearest-rank definition (the smallest value with at
+least ``q`` percent of samples at or below it), so small hand-computed
+traces in tests have exact expected values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import List, Sequence, Tuple
+
+from repro.serve.batcher import ServingError
+from repro.serve.runtime import ReplicaStats
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (q in [0, 100])."""
+    if not values:
+        raise ServingError("percentile of an empty sample")
+    if not 0 <= q <= 100:
+        raise ServingError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(1, ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Lifecycle of one request, all times in virtual cycles."""
+
+    request_id: int
+    arrival_cycle: float
+    dispatch_cycle: float  # batch handed to (and started on) a replica
+    completion_cycle: float
+    replica_id: int
+    batch_size: int
+
+    @property
+    def queue_cycles(self) -> float:
+        """Time spent waiting in the batcher and for a replica."""
+        return self.dispatch_cycle - self.arrival_cycle
+
+    @property
+    def service_cycles(self) -> float:
+        """Time the batch occupied the replica."""
+        return self.completion_cycle - self.dispatch_cycle
+
+    @property
+    def latency_cycles(self) -> float:
+        """End-to-end: arrival to completion."""
+        return self.completion_cycle - self.arrival_cycle
+
+
+@dataclass(frozen=True)
+class ServingMetrics:
+    """Aggregated outcome of one serving run."""
+
+    requests: int
+    makespan_cycles: float  # first arrival -> last completion
+    mean_queue_cycles: float
+    max_queue_cycles: float
+    mean_service_cycles: float
+    mean_batch_size: float
+    p50_latency_cycles: float
+    p95_latency_cycles: float
+    p99_latency_cycles: float
+    replica_stats: Tuple[ReplicaStats, ...]
+    frequency_hz: float
+    ops_per_request: float
+    single_image_cycles: float
+    reference_gops: float  # the optimizer's analytic effective GOPS
+
+    @property
+    def throughput_per_mcycle(self) -> float:
+        """Completed requests per million cycles of makespan."""
+        if self.makespan_cycles <= 0:
+            return 0.0
+        return self.requests / self.makespan_cycles * 1e6
+
+    @property
+    def requests_per_second(self) -> float:
+        """Throughput at the device clock."""
+        if self.makespan_cycles <= 0:
+            return 0.0
+        return self.requests / (self.makespan_cycles / self.frequency_hz)
+
+    @property
+    def achieved_gops(self) -> float:
+        """Arithmetic throughput actually sustained by the fleet."""
+        if self.makespan_cycles <= 0:
+            return 0.0
+        seconds = self.makespan_cycles / self.frequency_hz
+        return self.ops_per_request * self.requests / seconds / 1e9
+
+    def summary(self) -> str:
+        """Human-readable metrics block (what ``repro serve-sim`` prints)."""
+        replicas = len(self.replica_stats)
+        lines = [
+            f"served {self.requests} requests on {replicas} replica(s) "
+            f"in {self.makespan_cycles:,.0f} cycles "
+            f"({self.makespan_cycles / self.frequency_hz * 1e3:.2f} ms "
+            f"at {self.frequency_hz / 1e6:.0f} MHz)",
+            f"throughput: {self.requests_per_second:,.1f} req/s "
+            f"({self.throughput_per_mcycle:.3f} req/Mcycle), "
+            f"mean batch {self.mean_batch_size:.2f}",
+            f"latency cycles: p50 {self.p50_latency_cycles:,.0f}  "
+            f"p95 {self.p95_latency_cycles:,.0f}  "
+            f"p99 {self.p99_latency_cycles:,.0f}  "
+            f"(single-image floor {self.single_image_cycles:,.0f})",
+            f"queue wait cycles: mean {self.mean_queue_cycles:,.0f}  "
+            f"max {self.max_queue_cycles:,.0f}; "
+            f"mean service {self.mean_service_cycles:,.0f}",
+            f"achieved {self.achieved_gops:.1f} GOPS vs analytic "
+            f"{self.reference_gops:.1f} GOPS per replica",
+        ]
+        for stats in self.replica_stats:
+            lines.append(
+                f"  replica {stats.replica_id}: {stats.requests} requests in "
+                f"{stats.batches} batches, busy {stats.busy_cycles:,.0f} cycles "
+                f"({stats.utilization(self.makespan_cycles) * 100:.1f}%)"
+            )
+        return "\n".join(lines)
+
+
+def aggregate_metrics(
+    records: Sequence[RequestRecord],
+    replica_stats: Sequence[ReplicaStats],
+    frequency_hz: float,
+    ops_per_request: float,
+    single_image_cycles: float,
+    reference_gops: float,
+) -> ServingMetrics:
+    """Fold request records + replica counters into a ServingMetrics."""
+    if not records:
+        raise ServingError("cannot aggregate metrics over zero requests")
+    latencies = [r.latency_cycles for r in records]
+    queues = [r.queue_cycles for r in records]
+    services = [r.service_cycles for r in records]
+    first_arrival = min(r.arrival_cycle for r in records)
+    last_completion = max(r.completion_cycle for r in records)
+    return ServingMetrics(
+        requests=len(records),
+        makespan_cycles=last_completion - first_arrival,
+        mean_queue_cycles=sum(queues) / len(queues),
+        max_queue_cycles=max(queues),
+        mean_service_cycles=sum(services) / len(services),
+        mean_batch_size=sum(r.batch_size for r in records) / len(records),
+        p50_latency_cycles=percentile(latencies, 50),
+        p95_latency_cycles=percentile(latencies, 95),
+        p99_latency_cycles=percentile(latencies, 99),
+        replica_stats=tuple(replica_stats),
+        frequency_hz=frequency_hz,
+        ops_per_request=ops_per_request,
+        single_image_cycles=single_image_cycles,
+        reference_gops=reference_gops,
+    )

@@ -1,0 +1,103 @@
+"""Accelerator replica: executes request batches on the timing model.
+
+One :class:`AcceleratorReplica` stands for one FPGA board (or one
+partition of a board) programmed with the compiled strategy.  It
+executes batches through the same streaming-engine timing the
+single-image simulator replays — service time comes from
+:class:`repro.sim.simulator.ServiceModel`, i.e. the row-level pipeline
+recurrence with the per-group resident-weight preload paid once per
+batch — but tracks only *time*, not feature maps, so a replica can
+serve thousands of requests in microseconds of host time.
+
+Replicas live entirely on the scheduler's virtual clock: ``execute``
+takes the dispatch cycle and returns the span the batch occupied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.optimizer.strategy import Strategy
+from repro.serve.batcher import InferenceRequest, ServingError
+from repro.sim.simulator import ServiceModel, build_service_model
+
+
+@dataclass(frozen=True)
+class ReplicaStats:
+    """Lifetime counters of one replica, frozen at report time."""
+
+    replica_id: int
+    batches: int
+    requests: int
+    busy_cycles: float
+
+    def utilization(self, makespan_cycles: float) -> float:
+        """Busy fraction over the serving window."""
+        return self.busy_cycles / makespan_cycles if makespan_cycles > 0 else 0.0
+
+
+class AcceleratorReplica:
+    """One accelerator instance executing batches back to back."""
+
+    def __init__(self, replica_id: int, service_model: ServiceModel):
+        self.replica_id = replica_id
+        self.service_model = service_model
+        self.busy_until = 0.0
+        self.busy_cycles = 0.0
+        self.batches = 0
+        self.requests = 0
+
+    @classmethod
+    def for_strategy(cls, replica_id: int, strategy: Strategy) -> "AcceleratorReplica":
+        """Build a replica programmed with ``strategy``."""
+        return cls(replica_id, build_service_model(strategy))
+
+    def batch_cycles(self, batch_size: int) -> float:
+        """Service time of one batch on this replica."""
+        return self.service_model.batch_cycles(batch_size)
+
+    def execute(
+        self, batch: Sequence[InferenceRequest], dispatch_cycle: float
+    ) -> Tuple[float, float]:
+        """Run a batch, starting no earlier than ``dispatch_cycle``.
+
+        The replica serves batches strictly in dispatch order: if it is
+        still busy, the batch waits for the previous one to drain.
+
+        Returns:
+            ``(start_cycle, completion_cycle)`` of the batch.
+        """
+        if not batch:
+            raise ServingError("cannot execute an empty batch")
+        start = max(dispatch_cycle, self.busy_until)
+        service = self.batch_cycles(len(batch))
+        end = start + service
+        self.busy_until = end
+        self.busy_cycles += service
+        self.batches += 1
+        self.requests += len(batch)
+        return start, end
+
+    def stats(self) -> ReplicaStats:
+        return ReplicaStats(
+            replica_id=self.replica_id,
+            batches=self.batches,
+            requests=self.requests,
+            busy_cycles=self.busy_cycles,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"AcceleratorReplica(id={self.replica_id}, "
+            f"busy_until={self.busy_until:.0f}, requests={self.requests})"
+        )
+
+
+def build_fleet(
+    service_model: ServiceModel, replicas: int
+) -> List[AcceleratorReplica]:
+    """Instantiate ``replicas`` identical accelerator instances."""
+    if replicas < 1:
+        raise ServingError(f"a fleet needs >= 1 replica, got {replicas}")
+    return [AcceleratorReplica(i, service_model) for i in range(replicas)]

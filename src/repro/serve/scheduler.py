@@ -1,0 +1,269 @@
+"""Fleet scheduler: dispatches dynamic batches across accelerator replicas.
+
+The scheduler runs a deterministic event loop over a **virtual clock**
+measured in accelerator cycles.  Nothing reads wall time: arrivals are
+an explicit trace, service times come from the strategy's
+:class:`~repro.sim.simulator.ServiceModel`, and every run of the same
+trace produces bit-identical metrics — throughput and tail-latency
+numbers are reproducible artifacts, like the paper's tables.
+
+Dispatch rule (see ``docs/serving.md`` for the full queueing model):
+
+* a **full** batch (``max_batch`` pending) is dispatched as soon as a
+  replica is available under the policy;
+* a **partial** batch is dispatched once its oldest request has waited
+  ``max_wait_cycles`` *and* the policy's replica is available;
+* requests that arrive at or before the dispatch instant join the batch
+  up to capacity — later ones start the next batch.
+
+Two placement policies:
+
+* ``round_robin`` — replicas take batches in strict rotation.  Simple
+  and fair under uniform load, but a batch can queue behind a busy
+  replica while another sits idle.
+* ``least_loaded`` — each batch goes to the replica that frees up
+  earliest (ties to the lowest id), the classic join-shortest-queue
+  flavour for batch service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.optimizer.strategy import Strategy
+from repro.serve.batcher import DynamicBatcher, InferenceRequest, ServingError
+from repro.serve.metrics import RequestRecord, ServingMetrics, aggregate_metrics
+from repro.serve.runtime import AcceleratorReplica, build_fleet
+from repro.sim.simulator import ServiceModel, build_service_model
+
+
+class Policy(str, Enum):
+    """Batch-to-replica placement policy."""
+
+    ROUND_ROBIN = "round_robin"
+    LEAST_LOADED = "least_loaded"
+
+
+@dataclass(frozen=True)
+class ServingResult:
+    """Everything one serving run produced."""
+
+    records: Tuple[RequestRecord, ...]
+    metrics: ServingMetrics
+
+    def summary(self) -> str:
+        return self.metrics.summary()
+
+
+def synthetic_arrivals(
+    num_requests: int,
+    mean_interarrival_cycles: float,
+    rng: Optional[np.random.Generator] = None,
+    pattern: str = "poisson",
+) -> List[float]:
+    """Open-loop arrival trace starting at cycle 0.
+
+    Args:
+        num_requests: Trace length.
+        mean_interarrival_cycles: Mean gap between arrivals; the offered
+            load is ``1 / mean_interarrival_cycles`` requests per cycle,
+            independent of how fast the fleet drains (open loop).
+        rng: Seeded generator (defaults to seed 0) — traces are
+            reproducible by construction.
+        pattern: ``poisson`` (exponential gaps), ``uniform`` (gaps in
+            [0, 2*mean)), or ``constant``.
+    """
+    if num_requests < 1:
+        raise ServingError(f"need >= 1 request, got {num_requests}")
+    if mean_interarrival_cycles < 0:
+        raise ServingError("mean interarrival must be >= 0")
+    rng = rng or np.random.default_rng(0)
+    if pattern == "poisson":
+        gaps = rng.exponential(mean_interarrival_cycles, num_requests)
+    elif pattern == "uniform":
+        gaps = rng.uniform(0, 2 * mean_interarrival_cycles, num_requests)
+    elif pattern == "constant":
+        gaps = np.full(num_requests, float(mean_interarrival_cycles))
+    else:
+        raise ServingError(f"unknown arrival pattern {pattern!r}")
+    times = np.cumsum(gaps)
+    times -= times[0]  # first request arrives at cycle 0
+    return [float(t) for t in times]
+
+
+class FleetScheduler:
+    """Serves request traces against N replicas of one compiled design."""
+
+    def __init__(
+        self,
+        service_model: ServiceModel,
+        replicas: int = 1,
+        policy: Union[str, Policy] = Policy.LEAST_LOADED,
+        max_batch: int = 8,
+        max_wait_cycles: Optional[float] = None,
+        frequency_hz: float = 1e6,
+        ops_per_request: float = 0.0,
+        reference_gops: float = 0.0,
+    ):
+        """
+        Args:
+            service_model: Batched timing model of the compiled strategy.
+            replicas: Number of identical accelerator instances.
+            policy: ``round_robin`` or ``least_loaded``.
+            max_batch: Dynamic batching size cap.
+            max_wait_cycles: Deadline for partial batches; defaults to
+                half the single-image latency — small enough that an
+                idle fleet stays interactive, large enough to form
+                batches under load.
+            frequency_hz: Accelerator clock, for seconds-based metrics.
+            ops_per_request: Arithmetic ops one request represents.
+            reference_gops: The optimizer's analytic effective GOPS of
+                one replica, reported next to the achieved number.
+        """
+        self.policy = Policy(policy)
+        if max_wait_cycles is None:
+            max_wait_cycles = 0.5 * service_model.single_image_cycles
+        self.service_model = service_model
+        self.max_batch = max_batch
+        self.max_wait_cycles = max_wait_cycles
+        self.num_replicas = replicas
+        self.frequency_hz = frequency_hz
+        self.ops_per_request = ops_per_request
+        self.reference_gops = reference_gops
+        # build_fleet validates replicas >= 1; the batcher validates
+        # max_batch / max_wait_cycles.
+        build_fleet(service_model, replicas)
+        DynamicBatcher(max_batch, max_wait_cycles)
+
+    @classmethod
+    def for_strategy(
+        cls,
+        strategy: Strategy,
+        replicas: int = 1,
+        policy: Union[str, Policy] = Policy.LEAST_LOADED,
+        max_batch: int = 8,
+        max_wait_cycles: Optional[float] = None,
+    ) -> "FleetScheduler":
+        """Build a fleet serving ``strategy``, metrics wired to its device."""
+        return cls(
+            build_service_model(strategy),
+            replicas=replicas,
+            policy=policy,
+            max_batch=max_batch,
+            max_wait_cycles=max_wait_cycles,
+            frequency_hz=strategy.device.frequency_hz,
+            ops_per_request=strategy.total_ops,
+            reference_gops=strategy.effective_gops(),
+        )
+
+    # -- capacity helpers ----------------------------------------------------
+
+    def per_request_capacity_cycles(self) -> float:
+        """Cycles one request costs a replica when batches run full."""
+        return self.service_model.batch_cycles(self.max_batch) / self.max_batch
+
+    def saturating_interarrival(self, load: float = 1.0) -> float:
+        """Mean interarrival that offers ``load`` x one replica's peak rate."""
+        if load <= 0:
+            raise ServingError(f"load must be positive, got {load}")
+        return self.per_request_capacity_cycles() / load
+
+    # -- the event loop ------------------------------------------------------
+
+    def _next_replica(self, fleet: List[AcceleratorReplica], rotation: int):
+        if self.policy is Policy.ROUND_ROBIN:
+            return fleet[rotation % len(fleet)]
+        return min(fleet, key=lambda r: (r.busy_until, r.replica_id))
+
+    def run(self, arrival_cycles: Sequence[float]) -> ServingResult:
+        """Serve an arrival trace to completion and aggregate metrics."""
+        if len(arrival_cycles) == 0:
+            raise ServingError("cannot serve an empty arrival trace")
+        arrivals = sorted(float(t) for t in arrival_cycles)
+        if arrivals[0] < 0:
+            raise ServingError("arrival cycles must be non-negative")
+        requests = [
+            InferenceRequest(request_id=i, arrival_cycle=t)
+            for i, t in enumerate(arrivals)
+        ]
+        fleet = build_fleet(self.service_model, self.num_replicas)
+        batcher = DynamicBatcher(self.max_batch, self.max_wait_cycles)
+        records: List[RequestRecord] = []
+        clock = 0.0
+        rotation = 0
+        next_arrival = 0
+        while next_arrival < len(requests) or len(batcher):
+            if not len(batcher):
+                # Idle: jump the clock to the next arrival.
+                clock = max(clock, requests[next_arrival].arrival_cycle)
+                while (
+                    next_arrival < len(requests)
+                    and requests[next_arrival].arrival_cycle <= clock
+                ):
+                    batcher.add(requests[next_arrival])
+                    next_arrival += 1
+                continue
+            # When would the pending batch be dispatched?
+            target = self._next_replica(fleet, rotation)
+            if batcher.has_full_batch():
+                dispatch_at = max(clock, target.busy_until)
+            else:
+                dispatch_at = max(clock, batcher.next_deadline(), target.busy_until)
+            # Arrivals at or before that instant join the batch first
+            # (they may fill it and move the dispatch earlier).
+            if (
+                not batcher.has_full_batch()
+                and next_arrival < len(requests)
+                and requests[next_arrival].arrival_cycle <= dispatch_at
+            ):
+                clock = max(clock, requests[next_arrival].arrival_cycle)
+                batcher.add(requests[next_arrival])
+                next_arrival += 1
+                continue
+            clock = dispatch_at
+            batch = batcher.pop_batch(clock)
+            start, end = target.execute(batch, clock)
+            rotation += 1
+            for request in batch:
+                records.append(
+                    RequestRecord(
+                        request_id=request.request_id,
+                        arrival_cycle=request.arrival_cycle,
+                        dispatch_cycle=start,
+                        completion_cycle=end,
+                        replica_id=target.replica_id,
+                        batch_size=len(batch),
+                    )
+                )
+        records.sort(key=lambda r: r.request_id)
+        metrics = aggregate_metrics(
+            records,
+            [replica.stats() for replica in fleet],
+            frequency_hz=self.frequency_hz,
+            ops_per_request=self.ops_per_request,
+            single_image_cycles=self.service_model.single_image_cycles,
+            reference_gops=self.reference_gops,
+        )
+        return ServingResult(records=tuple(records), metrics=metrics)
+
+    def run_open_loop(
+        self,
+        num_requests: int,
+        load: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+        pattern: str = "poisson",
+    ) -> ServingResult:
+        """Serve a synthetic open-loop trace.
+
+        ``load`` is the offered rate relative to one replica's peak
+        full-batch throughput: ``load=1.0`` saturates a single replica,
+        ``load=4.0`` offers enough traffic to keep four busy.
+        """
+        arrivals = synthetic_arrivals(
+            num_requests, self.saturating_interarrival(load), rng, pattern
+        )
+        return self.run(arrivals)

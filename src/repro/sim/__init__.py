@@ -8,13 +8,22 @@ validated against the analytic latency of the optimizer's cost model).
 """
 
 from repro.sim.engines import layer_stream
-from repro.sim.simulator import SimulationResult, simulate_strategy
+from repro.sim.simulator import (
+    GroupServiceModel,
+    ServiceModel,
+    SimulationResult,
+    build_service_model,
+    simulate_strategy,
+)
 from repro.sim.trace import GroupTrace, LayerTrace
 
 __all__ = [
+    "GroupServiceModel",
     "GroupTrace",
     "LayerTrace",
+    "ServiceModel",
     "SimulationResult",
+    "build_service_model",
     "layer_stream",
     "simulate_strategy",
 ]

@@ -22,7 +22,7 @@ compared, in tests) to the analytic latency of the optimizer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -118,14 +118,24 @@ def _last_needed_input_row(info: LayerInfo, out_row: int) -> int:
     return min(max(needed_padded - pad, 0), in_rows - 1)
 
 
-def _group_timing(
-    group_id: int,
-    infos: List[LayerInfo],
-    impls: List[Implementation],
-    device,
-    start_cycle: float,
-) -> GroupTrace:
-    """Row-level pipeline timing of one group."""
+@dataclass(frozen=True)
+class _DramTerms:
+    """Shared-DRAM channel terms of one group, per image."""
+
+    in_rows: int
+    dram_per_head_row: float  # cycles per head input row (stores amortized in)
+    preload_cycles: float  # one-time resident-weight load
+    store_bytes: int
+
+    @property
+    def per_image_cycles(self) -> float:
+        """DRAM busy cycles one image costs, excluding the preload."""
+        return self.in_rows * self.dram_per_head_row
+
+
+def _group_dram_terms(
+    infos: List[LayerInfo], impls: List[Implementation], device
+) -> _DramTerms:
     bytes_per_cycle = device.bytes_per_cycle
     head = infos[0]
     tail = infos[-1]
@@ -143,7 +153,29 @@ def _group_timing(
     dram_per_head_row = (
         head_row_bytes + (store_bytes + weight_stream_bytes) / max(in_rows, 1)
     ) / bytes_per_cycle
-    preload_cycles = weight_preload_bytes / bytes_per_cycle
+    return _DramTerms(
+        in_rows=in_rows,
+        dram_per_head_row=dram_per_head_row,
+        preload_cycles=weight_preload_bytes / bytes_per_cycle,
+        store_bytes=store_bytes,
+    )
+
+
+def _group_timing(
+    group_id: int,
+    infos: List[LayerInfo],
+    impls: List[Implementation],
+    device,
+    start_cycle: float,
+) -> GroupTrace:
+    """Row-level pipeline timing of one group."""
+    bytes_per_cycle = device.bytes_per_cycle
+    tail = infos[-1]
+    dram = _group_dram_terms(infos, impls, device)
+    in_rows = dram.in_rows
+    store_bytes = dram.store_bytes
+    dram_per_head_row = dram.dram_per_head_row
+    preload_cycles = dram.preload_cycles
 
     # Availability time of each head input row.
     input_ready = [
@@ -190,11 +222,103 @@ def _group_timing(
     )
 
 
+@dataclass(frozen=True)
+class GroupServiceModel:
+    """Batched service-time model of one fusion group.
+
+    Derived from the same row-level timing recurrence the single-image
+    simulator replays, split into the three terms a serving runtime
+    needs: the one-time resident-weight preload, the full pipeline
+    latency of the first image, and the steady-state initiation interval
+    of each further image streamed back-to-back (bounded by the slowest
+    engine or by the shared DRAM channel, whichever binds).
+    """
+
+    group_id: int
+    preload_cycles: float
+    first_image_cycles: float
+    steady_interval_cycles: float
+
+    def batch_cycles(self, batch_size: int) -> float:
+        """Cycles to push ``batch_size`` images through this group.
+
+        The resident weights are loaded once per batch — the
+        amortization dynamic batching exists to buy.
+        """
+        if batch_size < 1:
+            raise SimulationError(f"batch size must be >= 1, got {batch_size}")
+        return (
+            self.preload_cycles
+            + self.first_image_cycles
+            + (batch_size - 1) * self.steady_interval_cycles
+        )
+
+
+@dataclass(frozen=True)
+class ServiceModel:
+    """Timing-only execution model of a whole strategy, batch-aware.
+
+    ``batch_cycles(1)`` equals the single-image simulator latency (the
+    groups run back to back); larger batches amortize each group's
+    weight preload and pipeline fill across the batch.
+    """
+
+    groups: Tuple["GroupServiceModel", ...]
+
+    def batch_cycles(self, batch_size: int) -> float:
+        """Service cycles for one batch of ``batch_size`` images."""
+        return sum(group.batch_cycles(batch_size) for group in self.groups)
+
+    @property
+    def single_image_cycles(self) -> float:
+        """Latency of a lone image — the floor of any request latency."""
+        return self.batch_cycles(1)
+
+    def throughput_per_cycle(self, batch_size: int) -> float:
+        """Steady-state images per cycle when serving full batches."""
+        return batch_size / self.batch_cycles(batch_size)
+
+
+def build_service_model(strategy: Strategy) -> ServiceModel:
+    """Derive the batched service-time model of a strategy.
+
+    Purely analytic — no functional execution — so a serving simulation
+    can price millions of requests without touching the engines.
+    """
+    network = strategy.network
+    groups = []
+    for group_id, ((start, stop), design) in enumerate(
+        zip(strategy.boundaries, strategy.designs)
+    ):
+        infos = [network[i] for i in range(start, stop)]
+        impls = list(design.implementations)
+        trace = _group_timing(group_id, infos, impls, strategy.device, 0.0)
+        dram = _group_dram_terms(infos, impls, strategy.device)
+        first = trace.end_cycle - dram.preload_cycles
+        # Steady state: one image per bottleneck drain — the slowest
+        # engine's busy time or the DRAM channel, whichever is larger —
+        # never worse than re-filling the whole pipeline.
+        steady = max(
+            max(impl.compute_cycles for impl in impls),
+            dram.per_image_cycles,
+        )
+        groups.append(
+            GroupServiceModel(
+                group_id=group_id,
+                preload_cycles=dram.preload_cycles,
+                first_image_cycles=first,
+                steady_interval_cycles=min(steady, first),
+            )
+        )
+    return ServiceModel(groups=tuple(groups))
+
+
 def simulate_strategy(
     strategy: Strategy,
     data: np.ndarray,
     weights: Optional[Dict[str, Dict[str, np.ndarray]]] = None,
     quantize=None,
+    rng: Optional[np.random.Generator] = None,
 ) -> SimulationResult:
     """Execute a strategy on an input image.
 
@@ -206,6 +330,8 @@ def simulate_strategy(
             FixedPointFormat`; when given, the input, every weight and
             every inter-layer FIFO row are rounded/saturated to the
             format — the 16-bit fixed datapath of the paper's board.
+        rng: Generator for the random weights when ``weights`` is not
+            given; defaults to a fixed seed so results are reproducible.
 
     Returns:
         Functional output, end-to-end latency estimate, per-group traces.
@@ -216,7 +342,7 @@ def simulate_strategy(
             f"input shape {data.shape} != network input {network.input_spec.shape}"
         )
     if weights is None:
-        weights = init_weights(network)
+        weights = init_weights(network, rng)
     if quantize is not None:
         from repro.algorithms.fixed_point import quantize_model_weights
 

@@ -44,13 +44,41 @@ class CompileResult:
     project: GeneratedProject
 
     def simulate(
-        self, data: Optional[np.ndarray] = None, weights=None
+        self, data: Optional[np.ndarray] = None, weights=None, seed: int = 0
     ) -> SimulationResult:
-        """Run the cycle-approximate simulator on the compiled design."""
+        """Run the cycle-approximate simulator on the compiled design.
+
+        ``seed`` controls the generated input *and* the random weights
+        (when not supplied), so repeated runs are bit-identical and a
+        different seed gives an independent sample.
+        """
+        rng = np.random.default_rng(seed)
         if data is None:
-            rng = np.random.default_rng(0)
             data = rng.normal(0, 0.5, self.network.input_spec.shape)
-        return simulate_strategy(self.strategy, data, weights)
+        return simulate_strategy(self.strategy, data, weights, rng=rng)
+
+    def serve(
+        self,
+        replicas: int = 1,
+        policy: str = "least_loaded",
+        max_batch: int = 8,
+        max_wait_cycles: Optional[float] = None,
+    ) -> "FleetScheduler":
+        """Stand up a simulated serving fleet for this compiled design.
+
+        Returns a :class:`repro.serve.FleetScheduler` whose ``run`` /
+        ``run_open_loop`` methods serve request traces through
+        ``replicas`` copies of the accelerator with dynamic batching.
+        """
+        from repro.serve.scheduler import FleetScheduler
+
+        return FleetScheduler.for_strategy(
+            self.strategy,
+            replicas=replicas,
+            policy=policy,
+            max_batch=max_batch,
+            max_wait_cycles=max_wait_cycles,
+        )
 
     def summary(self) -> str:
         return "\n".join(

@@ -129,6 +129,84 @@ class TestSweep:
         assert "speedup vs [1]" in capsys.readouterr().out
 
 
+class TestServeSim:
+    def test_serves_and_prints_metrics(self, capsys):
+        code = main(
+            [
+                "serve-sim",
+                "tiny_cnn",
+                "--device",
+                "testchip",
+                "--replicas",
+                "2",
+                "--requests",
+                "40",
+                "--load",
+                "2.0",
+                "--max-batch",
+                "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 40 requests on 2 replica(s)" in out
+        assert "p50" in out and "p99" in out
+        assert "replica 1:" in out
+
+    def test_round_robin_policy(self, capsys):
+        code = main(
+            [
+                "serve-sim",
+                "tiny_cnn",
+                "--device",
+                "testchip",
+                "--requests",
+                "10",
+                "--policy",
+                "round_robin",
+            ]
+        )
+        assert code == 0
+        assert "round_robin" in capsys.readouterr().out
+
+    def test_unknown_model_is_clean_error(self, capsys):
+        assert main(["serve-sim", "no_such_model"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+
+class TestErgonomics:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+    def test_malformed_prototxt_one_line_error(self, capsys, tmp_path):
+        """A file that exists but does not parse: exit 1, no traceback."""
+        path = tmp_path / "bad.prototxt"
+        path.write_text("this is not { a prototxt")
+        assert main(["compile", str(path), "--device", "testchip"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_unreadable_model_path_is_clean_error(self, capsys, tmp_path):
+        missing = tmp_path / "nope" / "model.prototxt"
+        assert main(["compile", str(missing)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+    def test_unknown_device_rejected_with_usage(self):
+        """argparse validates the device catalog up front (exit 2)."""
+        with pytest.raises(SystemExit) as exc:
+            main(["serve-sim", "tiny_cnn", "--device", "nope"])
+        assert exc.value.code == 2
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -60,6 +60,41 @@ class TestRoundTrip:
         path = save_strategy(strategy, tmp_path / "s.json")
         json.loads(path.read_text())
 
+    def test_reloaded_strategy_simulates_identically(self, setup, tmp_path):
+        """A reloaded strategy is the same *executable* artifact.
+
+        Same seeded input and weights through the original and the
+        round-tripped strategy must give identical simulated latency
+        and identical functional output.
+        """
+        import numpy as np
+
+        from repro.nn.functional import init_weights
+        from repro.sim.simulator import simulate_strategy
+
+        net, _, strategy = setup
+        path = save_strategy(strategy, tmp_path / "s.json")
+        reloaded = load_strategy(path, net)
+        rng = np.random.default_rng(7)
+        data = rng.normal(0, 0.5, net.input_spec.shape)
+        weights = init_weights(net, np.random.default_rng(7))
+        original = simulate_strategy(strategy, data, weights)
+        roundtrip = simulate_strategy(reloaded, data, weights)
+        assert roundtrip.latency_cycles == original.latency_cycles
+        np.testing.assert_array_equal(roundtrip.output, original.output)
+
+    def test_reloaded_strategy_same_service_model(self, setup, tmp_path):
+        """Batched serving cost is preserved across the round trip."""
+        from repro.sim.simulator import build_service_model
+
+        net, _, strategy = setup
+        path = save_strategy(strategy, tmp_path / "s.json")
+        reloaded = load_strategy(path, net)
+        original = build_service_model(strategy)
+        roundtrip = build_service_model(reloaded)
+        for size in (1, 4, 16):
+            assert roundtrip.batch_cycles(size) == original.batch_cycles(size)
+
 
 class TestValidation:
     def test_wrong_schema_version(self, setup):

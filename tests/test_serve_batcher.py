@@ -1,0 +1,93 @@
+"""Tests for the dynamic batching queue (deadline + max-batch limits)."""
+
+import pytest
+
+from repro.serve.batcher import DynamicBatcher, InferenceRequest, ServingError
+
+
+def req(i, t):
+    return InferenceRequest(request_id=i, arrival_cycle=float(t))
+
+
+class TestValidation:
+    def test_max_batch_must_be_positive(self):
+        with pytest.raises(ServingError):
+            DynamicBatcher(max_batch=0)
+
+    def test_max_wait_must_be_non_negative(self):
+        with pytest.raises(ServingError):
+            DynamicBatcher(max_batch=1, max_wait_cycles=-1.0)
+
+    def test_arrivals_must_be_ordered(self):
+        batcher = DynamicBatcher(max_batch=4, max_wait_cycles=10)
+        batcher.add(req(0, 100))
+        with pytest.raises(ServingError):
+            batcher.add(req(1, 50))
+
+
+class TestDeadline:
+    def test_empty_queue_is_never_ready(self):
+        batcher = DynamicBatcher(max_batch=2, max_wait_cycles=10)
+        assert not batcher.ready_at(1e9)
+        assert batcher.next_deadline() is None
+
+    def test_partial_batch_waits_until_deadline(self):
+        batcher = DynamicBatcher(max_batch=4, max_wait_cycles=10)
+        batcher.add(req(0, 100))
+        assert batcher.next_deadline() == 110
+        assert not batcher.ready_at(100)
+        assert not batcher.ready_at(109.9)
+        assert batcher.ready_at(110)
+        assert batcher.ready_at(200)
+
+    def test_deadline_tracks_oldest_request(self):
+        batcher = DynamicBatcher(max_batch=4, max_wait_cycles=10)
+        batcher.add(req(0, 100))
+        batcher.add(req(1, 105))
+        # The *oldest* request's wait budget governs, not the newest.
+        assert batcher.next_deadline() == 110
+
+    def test_zero_wait_is_ready_immediately(self):
+        batcher = DynamicBatcher(max_batch=4, max_wait_cycles=0)
+        batcher.add(req(0, 42))
+        assert batcher.ready_at(42)
+
+    def test_full_batch_ready_before_deadline(self):
+        batcher = DynamicBatcher(max_batch=2, max_wait_cycles=1000)
+        batcher.add(req(0, 0))
+        batcher.add(req(1, 0))
+        assert batcher.has_full_batch()
+        assert batcher.ready_at(0)
+
+
+class TestPop:
+    def test_pop_before_ready_raises(self):
+        batcher = DynamicBatcher(max_batch=4, max_wait_cycles=10)
+        batcher.add(req(0, 100))
+        with pytest.raises(ServingError):
+            batcher.pop_batch(105)
+
+    def test_pop_is_fifo_and_capped(self):
+        batcher = DynamicBatcher(max_batch=2, max_wait_cycles=0)
+        for i in range(5):
+            batcher.add(req(i, i))
+        batch = batcher.pop_batch(10)
+        assert [r.request_id for r in batch] == [0, 1]
+        assert len(batcher) == 3
+        batch = batcher.pop_batch(10)
+        assert [r.request_id for r in batch] == [2, 3]
+
+    def test_partial_pop_at_deadline(self):
+        batcher = DynamicBatcher(max_batch=8, max_wait_cycles=10)
+        batcher.add(req(0, 0))
+        batcher.add(req(1, 5))
+        batch = batcher.pop_batch(10)
+        assert [r.request_id for r in batch] == [0, 1]
+        assert len(batcher) == 0
+
+    def test_deadline_advances_after_pop(self):
+        batcher = DynamicBatcher(max_batch=1, max_wait_cycles=10)
+        batcher.add(req(0, 0))
+        batcher.add(req(1, 7))
+        batcher.pop_batch(0)
+        assert batcher.next_deadline() == 17

@@ -1,0 +1,126 @@
+"""Metrics correctness against hand-computed request traces."""
+
+import pytest
+
+from repro.serve.batcher import ServingError
+from repro.serve.metrics import (
+    RequestRecord,
+    aggregate_metrics,
+    percentile,
+)
+from repro.serve.runtime import ReplicaStats
+
+
+class TestPercentile:
+    def test_nearest_rank_small_sample(self):
+        values = [10, 20, 30]
+        assert percentile(values, 50) == 20  # rank ceil(1.5) = 2
+        assert percentile(values, 95) == 30  # rank ceil(2.85) = 3
+        assert percentile(values, 0) == 10  # clamps to rank 1
+
+    def test_hundred_samples(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 99) == 99
+        assert percentile(values, 100) == 100
+
+    def test_unsorted_input(self):
+        assert percentile([5, 1, 3], 100) == 5
+
+    def test_empty_raises(self):
+        with pytest.raises(ServingError):
+            percentile([], 50)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ServingError):
+            percentile([1], 101)
+
+
+def record(rid, arrival, dispatch, completion, replica=0, batch=1):
+    return RequestRecord(
+        request_id=rid,
+        arrival_cycle=float(arrival),
+        dispatch_cycle=float(dispatch),
+        completion_cycle=float(completion),
+        replica_id=replica,
+        batch_size=batch,
+    )
+
+
+class TestRequestRecord:
+    def test_derived_times(self):
+        r = record(0, arrival=10, dispatch=25, completion=125)
+        assert r.queue_cycles == 15
+        assert r.service_cycles == 100
+        assert r.latency_cycles == 115
+
+
+class TestAggregation:
+    """Hand-computed trace: 2 requests batched together + 1 straggler.
+
+    Batch A: requests 0, 1 arrive at 0 and 10, dispatched at 10 on
+    replica 0, complete at 210 (service 200, batch size 2).
+    Request 2 arrives at 50, dispatched at 210, completes at 310
+    (service 100, batch size 1) on replica 0.
+    """
+
+    @pytest.fixture
+    def metrics(self):
+        records = [
+            record(0, 0, 10, 210, replica=0, batch=2),
+            record(1, 10, 10, 210, replica=0, batch=2),
+            record(2, 50, 210, 310, replica=0, batch=1),
+        ]
+        stats = [ReplicaStats(replica_id=0, batches=2, requests=3, busy_cycles=300)]
+        return aggregate_metrics(
+            records,
+            stats,
+            frequency_hz=100e6,
+            ops_per_request=1e6,
+            single_image_cycles=100.0,
+            reference_gops=1.0,
+        )
+
+    def test_counts_and_makespan(self, metrics):
+        assert metrics.requests == 3
+        assert metrics.makespan_cycles == 310  # first arrival 0 -> 310
+
+    def test_queue_and_service_means(self, metrics):
+        # queue waits: 10, 0, 160 ; services: 200, 200, 100
+        assert metrics.mean_queue_cycles == pytest.approx((10 + 0 + 160) / 3)
+        assert metrics.max_queue_cycles == 160
+        assert metrics.mean_service_cycles == pytest.approx(500 / 3)
+        assert metrics.mean_batch_size == pytest.approx(5 / 3)
+
+    def test_latency_percentiles(self, metrics):
+        # latencies: 210, 200, 260 -> sorted [200, 210, 260]
+        assert metrics.p50_latency_cycles == 210
+        assert metrics.p95_latency_cycles == 260
+        assert metrics.p99_latency_cycles == 260
+
+    def test_throughput(self, metrics):
+        assert metrics.throughput_per_mcycle == pytest.approx(3 / 310 * 1e6)
+        # 310 cycles at 100 MHz = 3.1 us for 3 requests.
+        assert metrics.requests_per_second == pytest.approx(3 / (310 / 100e6))
+
+    def test_achieved_gops(self, metrics):
+        # 3 Mops in 3.1 us = ~967.7 GOPS.
+        seconds = 310 / 100e6
+        assert metrics.achieved_gops == pytest.approx(3e6 / seconds / 1e9)
+
+    def test_replica_utilization(self, metrics):
+        assert metrics.replica_stats[0].utilization(310) == pytest.approx(300 / 310)
+
+    def test_summary_mentions_key_numbers(self, metrics):
+        text = metrics.summary()
+        assert "served 3 requests" in text
+        assert "p50" in text and "p99" in text
+        assert "replica 0" in text
+        assert "GOPS" in text
+
+    def test_empty_records_raise(self):
+        with pytest.raises(ServingError):
+            aggregate_metrics(
+                [], [], frequency_hz=1.0, ops_per_request=0,
+                single_image_cycles=0, reference_gops=0,
+            )

@@ -1,0 +1,126 @@
+"""Tests for the accelerator replica and the batched service model."""
+
+import numpy as np
+import pytest
+
+from repro.optimizer.dp import optimize
+from repro.serve.batcher import InferenceRequest, ServingError
+from repro.serve.runtime import AcceleratorReplica, build_fleet
+from repro.sim.simulator import (
+    GroupServiceModel,
+    ServiceModel,
+    build_service_model,
+    simulate_strategy,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_strategy():
+    from repro.nn import models
+    from repro.hardware.device import get_device
+
+    net = models.tiny_cnn()
+    dev = get_device("testchip")
+    return optimize(net, dev, net.feature_map_bytes(dev.element_bytes))
+
+
+def flat_model(preload=0.0, first=100.0, steady=100.0):
+    return ServiceModel(
+        groups=(
+            GroupServiceModel(
+                group_id=0,
+                preload_cycles=preload,
+                first_image_cycles=first,
+                steady_interval_cycles=steady,
+            ),
+        )
+    )
+
+
+class TestServiceModel:
+    def test_single_image_matches_simulator(self, tiny_strategy):
+        """batch_cycles(1) is the single-image simulator latency."""
+        model = build_service_model(tiny_strategy)
+        data = np.random.default_rng(0).normal(
+            0, 0.5, tiny_strategy.network.input_spec.shape
+        )
+        sim = simulate_strategy(tiny_strategy, data)
+        assert model.single_image_cycles == pytest.approx(
+            sim.latency_cycles, rel=1e-12
+        )
+
+    def test_batching_amortizes(self, tiny_strategy):
+        """A batch is cheaper than the same images served one by one."""
+        model = build_service_model(tiny_strategy)
+        for size in (2, 4, 8):
+            assert model.batch_cycles(size) < size * model.single_image_cycles
+
+    def test_batch_cycles_monotone(self, tiny_strategy):
+        model = build_service_model(tiny_strategy)
+        costs = [model.batch_cycles(b) for b in range(1, 9)]
+        assert costs == sorted(costs)
+        assert all(b > a for a, b in zip(costs, costs[1:]))
+
+    def test_steady_interval_bounded_by_pipeline(self, tiny_strategy):
+        for group in build_service_model(tiny_strategy).groups:
+            assert 0 < group.steady_interval_cycles <= group.first_image_cycles
+
+    def test_hand_computed_batch_cost(self):
+        model = flat_model(preload=10, first=100, steady=40)
+        assert model.batch_cycles(1) == 110
+        assert model.batch_cycles(4) == 10 + 100 + 3 * 40
+        assert model.throughput_per_cycle(4) == pytest.approx(4 / 230)
+
+    def test_batch_size_must_be_positive(self):
+        with pytest.raises(Exception):
+            flat_model().batch_cycles(0)
+
+
+class TestReplica:
+    def batch(self, ids, t=0.0):
+        return [InferenceRequest(i, t) for i in ids]
+
+    def test_execute_spans_service_time(self):
+        replica = AcceleratorReplica(0, flat_model(preload=10, first=100, steady=40))
+        start, end = replica.execute(self.batch([0, 1]), dispatch_cycle=5.0)
+        assert start == 5.0
+        assert end == 5.0 + 150.0  # 10 + 100 + 1 * 40
+        assert replica.busy_until == end
+
+    def test_back_to_back_batches_serialize(self):
+        replica = AcceleratorReplica(0, flat_model())
+        _, end1 = replica.execute(self.batch([0]), 0.0)
+        start2, end2 = replica.execute(self.batch([1]), 0.0)
+        assert start2 == end1
+        assert end2 == end1 + 100.0
+
+    def test_stats_accumulate(self):
+        replica = AcceleratorReplica(3, flat_model())
+        replica.execute(self.batch([0, 1, 2]), 0.0)
+        replica.execute(self.batch([3]), 0.0)
+        stats = replica.stats()
+        assert stats.replica_id == 3
+        assert stats.batches == 2
+        assert stats.requests == 4
+        assert stats.busy_cycles == pytest.approx(300 + 100)
+        assert stats.utilization(800) == pytest.approx(0.5)
+
+    def test_empty_batch_rejected(self):
+        replica = AcceleratorReplica(0, flat_model())
+        with pytest.raises(ServingError):
+            replica.execute([], 0.0)
+
+    def test_for_strategy(self, tiny_strategy):
+        replica = AcceleratorReplica.for_strategy(0, tiny_strategy)
+        model = build_service_model(tiny_strategy)
+        assert replica.batch_cycles(4) == model.batch_cycles(4)
+
+
+class TestFleet:
+    def test_build_fleet_ids(self):
+        fleet = build_fleet(flat_model(), 3)
+        assert [r.replica_id for r in fleet] == [0, 1, 2]
+
+    def test_fleet_needs_a_replica(self):
+        with pytest.raises(ServingError):
+            build_fleet(flat_model(), 0)
