@@ -27,13 +27,13 @@ from repro.errors import OptimizationError
 from repro.hardware.device import FPGADevice
 from repro.hardware.resources import ResourceVector
 from repro.nn.network import Network
+from repro.perf.cost import CostModel, EvalContext
 from repro.perf.group import GroupDesign, compose_group, fifo_overhead
 from repro.perf.implement import (
     Algorithm,
     Implementation,
     candidate_algorithms,
     candidate_parallelisms,
-    implement,
 )
 
 #: BRAM inflation of tile-based reuse buffers over circular line buffers
@@ -105,7 +105,11 @@ def _conventional_algorithm(info) -> Algorithm:
     return algorithms[0]  # pool / LRN engines
 
 
-def alwani_design(network: Network, device: FPGADevice) -> AlwaniDesign:
+def alwani_design(
+    network: Network,
+    device: FPGADevice,
+    context: Optional[CostModel] = None,
+) -> AlwaniDesign:
     """Build [1]'s single fused design for the whole layer stack.
 
     Allocation: every layer starts at minimum parallelism; repeatedly
@@ -113,9 +117,14 @@ def alwani_design(network: Network, device: FPGADevice) -> AlwaniDesign:
     (with tile-buffer overheads applied).  Stops at the balanced fixed
     point — the latency the MICRO'16 pipeline achieves.
 
+    The bump-the-bottleneck loop rebuilds every stage per iteration, so
+    routing through the shared evaluation layer (``context``) turns the
+    rebuilds into signature-keyed cache hits.
+
     Raises:
         OptimizationError: If the stack does not fit even minimally.
     """
+    cost = context if context is not None else EvalContext()
     infos = [network[i] for i in range(len(network))]
     algorithms = [_conventional_algorithm(info) for info in infos]
     ladders = [
@@ -125,7 +134,9 @@ def alwani_design(network: Network, device: FPGADevice) -> AlwaniDesign:
     levels = [0] * len(infos)
 
     def build_one(idx: int, level: int) -> Implementation:
-        raw = implement(infos[idx], algorithms[idx], ladders[idx][level], device)
+        raw = cost.implement(
+            infos[idx], algorithms[idx], ladders[idx][level], device
+        )
         return _tile_buffer_overhead(raw, boundary=idx > 0)
 
     def build(levels_now: Sequence[int]) -> List[Implementation]:

@@ -13,7 +13,7 @@ of resource".  These baselines quantify that:
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.errors import OptimizationError
 from repro.hardware.device import FPGADevice
@@ -22,6 +22,7 @@ from repro.nn.network import Network
 from repro.optimizer.branch_and_bound import GroupSearch
 from repro.optimizer.dp import FrontierOptimizer
 from repro.optimizer.strategy import Strategy
+from repro.perf.cost import CostModel
 from repro.perf.implement import Algorithm
 
 
@@ -39,6 +40,7 @@ def homogeneous_optimize(
     device: FPGADevice,
     transfer_constraint_bytes: int,
     algorithm: Algorithm,
+    context: Optional[CostModel] = None,
 ) -> Strategy:
     """Optimal fusion strategy with a single convolution algorithm.
 
@@ -49,7 +51,8 @@ def homogeneous_optimize(
     if algorithm not in (Algorithm.CONVENTIONAL, Algorithm.WINOGRAD):
         raise OptimizationError(f"{algorithm} is not a convolution algorithm")
     optimizer = FrontierOptimizer(
-        network, device, algorithm_filter=_pin_algorithm(algorithm)
+        network, device, algorithm_filter=_pin_algorithm(algorithm),
+        context=context,
     )
     plan = optimizer.best_plan(transfer_constraint_bytes)
     strategy = optimizer.materialize(plan)
@@ -57,14 +60,18 @@ def homogeneous_optimize(
     return strategy
 
 
-def unfused_optimize(network: Network, device: FPGADevice) -> Strategy:
+def unfused_optimize(
+    network: Network,
+    device: FPGADevice,
+    context: Optional[CostModel] = None,
+) -> Strategy:
     """Best layer-by-layer design: every layer forms its own group.
 
     This is the paper's "without fusion architecture" reference — for
     the VGG prefix it needs the full (tens of MB) feature-map transfer
     but gives every layer the whole device.
     """
-    search = GroupSearch(network, device)
+    search = GroupSearch(network, device, context=context)
     boundaries: List[Tuple[int, int]] = []
     designs = []
     for index in range(len(network)):
@@ -75,4 +82,7 @@ def unfused_optimize(network: Network, device: FPGADevice) -> Strategy:
             )
         boundaries.append((index, index + 1))
         designs.append(design)
-    return Strategy(network, device, boundaries, designs)
+    return Strategy(
+        network, device, boundaries, designs,
+        telemetry=search.context.stats,
+    )

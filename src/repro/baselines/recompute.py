@@ -123,7 +123,7 @@ class GroupRecomputeSummary:
 
 def summarize(layers: List[LayerRecompute]) -> GroupRecomputeSummary:
     return GroupRecomputeSummary(
-        total_reuse_macs=sum(l.reuse_macs for l in layers),
-        total_recompute_macs=sum(l.recompute_macs for l in layers),
-        total_reuse_brams=sum(l.reuse_brams for l in layers),
+        total_reuse_macs=sum(layer.reuse_macs for layer in layers),
+        total_recompute_macs=sum(layer.recompute_macs for layer in layers),
+        total_reuse_brams=sum(layer.reuse_brams for layer in layers),
     )

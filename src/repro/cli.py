@@ -114,8 +114,12 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         device=args.device,
         transfer_constraint_bytes=args.transfer,
         output_dir=Path(args.out) if args.out else None,
+        workers=args.workers,
     )
     print(result.strategy.report())
+    if args.stats and result.telemetry is not None:
+        print()
+        print(result.telemetry.summary())
     if args.out:
         print(f"\nHLS project written to {args.out}")
     if args.simulate:
@@ -129,7 +133,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     network = _load_model(args.model).accelerated_prefix()
     device = get_device(args.device)
     constraints = [_parse_size(c) for c in args.constraints.split(",")]
-    strategies = optimize_many(network, device, constraints)
+    strategies = optimize_many(network, device, constraints, workers=args.workers)
     baseline = None
     if args.baseline:
         from repro.baselines.alwani import alwani_design
@@ -156,6 +160,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             headers, rows, title=f"{network.name} on {device.name}"
         )
     )
+    if args.stats and strategies and strategies[-1].telemetry is not None:
+        print()
+        print(strategies[-1].telemetry.summary())
     return 0
 
 
@@ -240,6 +247,16 @@ def build_parser() -> argparse.ArgumentParser:
     compile_p.add_argument(
         "--simulate", action="store_true", help="run the cycle-approximate simulator"
     )
+    compile_p.add_argument(
+        "--stats", action="store_true",
+        help="print search telemetry (evaluations, cache hits, B&B nodes, "
+        "per-group wall time)",
+    )
+    compile_p.add_argument(
+        "--workers", type=int, default=None,
+        help="precompute fusion[i][j] searches with N threads "
+        "(strategy-preserving)",
+    )
     compile_p.set_defaults(func=_cmd_compile)
 
     sweep_p = sub.add_parser("sweep", help="latency vs transfer-constraint table")
@@ -254,6 +271,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline",
         action="store_true",
         help="also run the Alwani et al. [MICRO'16] baseline",
+    )
+    sweep_p.add_argument(
+        "--stats", action="store_true",
+        help="print search telemetry for the shared sweep search",
+    )
+    sweep_p.add_argument(
+        "--workers", type=int, default=None,
+        help="precompute fusion[i][j] searches with N threads "
+        "(strategy-preserving)",
     )
     sweep_p.set_defaults(func=_cmd_sweep)
 

@@ -19,6 +19,7 @@ from repro.hardware.resources import ResourceVector
 from repro.nn.network import Network
 from repro.optimizer.dp import optimize
 from repro.optimizer.strategy import Strategy
+from repro.perf.cost import EvalContext
 from repro.perf.implement import Algorithm
 
 
@@ -82,10 +83,16 @@ def bandwidth_sweep(
     factors: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
 ) -> List[SweepPoint]:
     """Optimal strategies across bandwidth-scaled device variants."""
+    # One signature-keyed context serves every variant: bandwidth does
+    # not change engine design points, only which ones the search picks,
+    # so later sweep points run almost entirely from cache.
+    context = EvalContext()
     points = []
     for factor in factors:
         variant = scale_bandwidth(device, factor)
-        strategy = optimize(network, variant, transfer_constraint_bytes)
+        strategy = optimize(
+            network, variant, transfer_constraint_bytes, context=context
+        )
         points.append(
             SweepPoint(label=f"{factor:g}x BW", device=variant, strategy=strategy)
         )

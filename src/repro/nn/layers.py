@@ -14,7 +14,7 @@ paper evaluates single-image inference latency).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Tuple
 
 from repro.errors import ShapeError

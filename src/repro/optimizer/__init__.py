@@ -14,21 +14,32 @@ parallelism>} minimizing end-to-end latency:
   exact Pareto-frontier formulation that is fast in Python;
 * :mod:`repro.optimizer.exhaustive` — a brute-force oracle used by the
   tests to certify optimality on small networks.
+
+All of them evaluate design points through the shared signature-keyed
+evaluation layer (:mod:`repro.perf.cost`): pass one
+:class:`~repro.perf.cost.EvalContext` to share ``implement()`` results
+and search telemetry across groups, constraint sweeps and devices.
 """
 
 from repro.optimizer.strategy import LayerChoice, Strategy
 from repro.optimizer.branch_and_bound import GroupSearch, fuse_group
 from repro.optimizer.dp import (
     TRANSFER_UNIT_BYTES,
+    FrontierOptimizer,
     optimize,
     optimize_many,
     optimize_tabular,
 )
 from repro.optimizer.serialize import load_strategy, save_strategy
+from repro.perf.cost import CostModel, EvalContext, SearchTelemetry
 
 __all__ = [
+    "CostModel",
+    "EvalContext",
+    "FrontierOptimizer",
     "GroupSearch",
     "LayerChoice",
+    "SearchTelemetry",
     "Strategy",
     "TRANSFER_UNIT_BYTES",
     "fuse_group",

@@ -30,6 +30,7 @@ from repro.hardware.device import FPGADevice
 from repro.nn.network import Network
 from repro.optimizer.branch_and_bound import GroupSearch
 from repro.optimizer.strategy import Strategy
+from repro.perf.cost import CostModel, EvalContext
 
 #: The paper's transfer-budget quantum: "we define the unit of transfer
 #: constraint as 10 KB".
@@ -81,22 +82,46 @@ class FrontierOptimizer:
         algorithm_filter=None,
         explore_tile_sizes: bool = False,
         node_budget: int = 250_000,
+        context: Optional[CostModel] = None,
+        workers: Optional[int] = None,
     ):
+        """Args:
+            context: Shared signature-keyed evaluation layer (created
+                privately when omitted); pass one to share
+                ``implement()`` results and telemetry across sweeps.
+            workers: When > 1, the independent ``fusion[i][j]`` group
+                searches are precomputed by a thread pool before the
+                first frontier query (safe: the context is the only
+                shared state).  The chosen strategies are identical to
+                the sequential search.
+        """
         if len(network) == 0:
             raise OptimizationError("cannot optimize an empty network")
         self.network = network
         self.device = device
+        self.context: CostModel = context if context is not None else EvalContext()
+        self.workers = workers
         self.search = GroupSearch(
             network,
             device,
             algorithm_filter=algorithm_filter,
             explore_tile_sizes=explore_tile_sizes,
             node_budget=node_budget,
+            context=self.context,
         )
         self._frontiers: Dict[Tuple[int, int], List[_Plan]] = {}
+        self._prewarmed = False
+
+    @property
+    def telemetry(self):
+        """Search telemetry accumulated in the shared context."""
+        return self.context.stats
 
     def frontier(self, start: int, stop: int) -> List[_Plan]:
         """Non-dominated plans for layers ``[start, stop)``."""
+        if self.workers is not None and self.workers > 1 and not self._prewarmed:
+            self._prewarmed = True
+            self.search.precompute(workers=self.workers)
         key = (start, stop)
         cached = self._frontiers.get(key)
         if cached is not None:
@@ -159,7 +184,13 @@ class FrontierOptimizer:
                     f"group [{start}:{stop}] became infeasible on materialize"
                 )
             designs.append(design)
-        return Strategy(self.network, self.device, list(plan.groups), designs)
+        return Strategy(
+            self.network,
+            self.device,
+            list(plan.groups),
+            designs,
+            telemetry=self.telemetry,
+        )
 
 
 def optimize(
@@ -168,6 +199,8 @@ def optimize(
     transfer_constraint_bytes: int,
     explore_tile_sizes: bool = False,
     node_budget: int = 250_000,
+    context: Optional[CostModel] = None,
+    workers: Optional[int] = None,
 ) -> Strategy:
     """Problem 1: minimal-latency strategy under a transfer constraint.
 
@@ -177,10 +210,15 @@ def optimize(
         node_budget: Per-group branch-and-bound node cap (see
             :class:`~repro.optimizer.branch_and_bound.GroupSearch`);
             lower it for a faster, near-optimal search on deep networks.
+        context: Shared :class:`~repro.perf.cost.EvalContext`; pass one
+            to reuse ``implement()`` results across calls (e.g. a DSE
+            sweep) and to collect telemetry externally.
+        workers: Precompute the independent ``fusion[i][j]`` searches
+            with a thread pool of this size (strategy-preserving).
     """
     optimizer = FrontierOptimizer(
         network, device, explore_tile_sizes=explore_tile_sizes,
-        node_budget=node_budget,
+        node_budget=node_budget, context=context, workers=workers,
     )
     plan = optimizer.best_plan(transfer_constraint_bytes)
     strategy = optimizer.materialize(plan)
@@ -192,14 +230,23 @@ def optimize_many(
     network: Network,
     device: FPGADevice,
     transfer_constraints_bytes: Sequence[int],
+    explore_tile_sizes: bool = False,
+    node_budget: int = 250_000,
+    context: Optional[CostModel] = None,
+    workers: Optional[int] = None,
 ) -> List[Strategy]:
     """Optimize under several transfer constraints, sharing the search.
 
-    Equivalent to calling :func:`optimize` per constraint but amortizes
-    the Algorithm-2 ``fusion[i][j]`` table across all of them — this is
-    how the Figure 5 sweep is produced.
+    Equivalent to calling :func:`optimize` per constraint — with the
+    same ``explore_tile_sizes``/``node_budget`` knobs honored — but
+    amortizes the Algorithm-2 ``fusion[i][j]`` table and the
+    signature-keyed evaluation cache across all of them; this is how
+    the Figure 5 sweep is produced.
     """
-    optimizer = FrontierOptimizer(network, device)
+    optimizer = FrontierOptimizer(
+        network, device, explore_tile_sizes=explore_tile_sizes,
+        node_budget=node_budget, context=context, workers=workers,
+    )
     strategies = []
     for constraint in transfer_constraints_bytes:
         plan = optimizer.best_plan(constraint)
@@ -209,9 +256,13 @@ def optimize_many(
     return strategies
 
 
-def minimum_transfer_bytes(network: Network, device: FPGADevice) -> int:
+def minimum_transfer_bytes(
+    network: Network,
+    device: FPGADevice,
+    context: Optional[CostModel] = None,
+) -> int:
     """Smallest feature-map transfer any feasible strategy achieves."""
-    optimizer = FrontierOptimizer(network, device)
+    optimizer = FrontierOptimizer(network, device, context=context)
     frontier = optimizer.frontier(0, len(network))
     if not frontier:
         raise OptimizationError("no feasible design fits the device")
@@ -219,10 +270,12 @@ def minimum_transfer_bytes(network: Network, device: FPGADevice) -> int:
 
 
 def transfer_latency_frontier(
-    network: Network, device: FPGADevice
+    network: Network,
+    device: FPGADevice,
+    context: Optional[CostModel] = None,
 ) -> List[Tuple[int, int]]:
     """The exact (transfer bytes, latency cycles) trade-off curve."""
-    optimizer = FrontierOptimizer(network, device)
+    optimizer = FrontierOptimizer(network, device, context=context)
     return [
         (plan.transfer_bytes, plan.latency_cycles)
         for plan in optimizer.frontier(0, len(network))
@@ -239,6 +292,7 @@ def optimize_tabular(
     device: FPGADevice,
     transfer_constraint_bytes: int,
     unit_bytes: int = TRANSFER_UNIT_BYTES,
+    context: Optional[CostModel] = None,
 ) -> Strategy:
     """The paper's Algorithm 1, verbatim structure.
 
@@ -252,7 +306,7 @@ def optimize_tabular(
     if n == 0:
         raise OptimizationError("cannot optimize an empty network")
     t_units = transfer_units(transfer_constraint_bytes, unit_bytes) + 1
-    search = GroupSearch(network, device)
+    search = GroupSearch(network, device, context=context)
 
     # fusion[i][j] and min_t[i][j] (inclusive j), as in the paper.
     fusion: List[List[Optional[float]]] = [[None] * n for _ in range(n)]
@@ -320,4 +374,7 @@ def optimize_tabular(
         if design is None:
             raise OptimizationError("backtracked group is infeasible")
         designs.append(design)
-    return Strategy(network, device, boundaries, designs)
+    return Strategy(
+        network, device, boundaries, designs,
+        telemetry=search.context.stats,
+    )

@@ -16,6 +16,7 @@ from repro.errors import OptimizationError
 from repro.arch.fusion import enumerate_groupings
 from repro.hardware.device import FPGADevice
 from repro.nn.network import Network
+from repro.perf.cost import CostModel, EvalContext
 from repro.perf.group import compose_group
 from repro.perf.implement import (
     Algorithm,
@@ -24,7 +25,6 @@ from repro.perf.implement import (
     candidate_parallelisms,
     candidate_weight_modes,
     candidate_winograd_tiles,
-    implement,
 )
 from repro.optimizer.strategy import Strategy
 
@@ -35,8 +35,10 @@ def _group_options(
     stop: int,
     device: FPGADevice,
     explore_tile_sizes: bool = False,
+    context: Optional[CostModel] = None,
 ):
     """Every feasible implementation tuple for one fused group."""
+    cost = context if context is not None else EvalContext()
     per_layer = []
     for index in range(start, stop):
         info = network[index]
@@ -50,7 +52,7 @@ def _group_options(
                 for mode in candidate_weight_modes(info, algo, device, m):
                     for p in candidate_parallelisms(info, algo, device):
                         layer_options.append(
-                            implement(
+                            cost.implement(
                                 info, algo, p, device,
                                 weight_mode=mode, winograd_m=m,
                             )
@@ -68,10 +70,13 @@ def best_group_design(
     stop: int,
     device: FPGADevice,
     explore_tile_sizes: bool = False,
+    context: Optional[CostModel] = None,
 ):
     """Exhaustive equivalent of Algorithm 2's fusion[start][stop-1]."""
     best = None
-    for design in _group_options(network, start, stop, device, explore_tile_sizes):
+    for design in _group_options(
+        network, start, stop, device, explore_tile_sizes, context
+    ):
         if best is None or design.latency_cycles < best.latency_cycles:
             best = design
     return best
@@ -82,6 +87,7 @@ def exhaustive_optimize(
     device: FPGADevice,
     transfer_constraint_bytes: int,
     max_parallelism_options: Optional[int] = None,
+    context: Optional[CostModel] = None,
 ) -> Strategy:
     """Exhaustive equivalent of the full optimizer (Problem 1).
 
@@ -89,10 +95,13 @@ def exhaustive_optimize(
         max_parallelism_options: Unused hook kept for call-compatibility
             with older tests; the full candidate ladder is always used so
             the oracle matches the real optimizer's search space.
+        context: Shared evaluation layer; one is created (and shared
+            across all enumerated groupings) when omitted.
     """
     n = len(network)
     if n == 0:
         raise OptimizationError("cannot optimize an empty network")
+    cost = context if context is not None else EvalContext()
     best_latency = None
     best: Optional[Tuple[List[Tuple[int, int]], list]] = None
     for grouping in enumerate_groupings(n, device.max_fusion_depth):
@@ -101,7 +110,7 @@ def exhaustive_optimize(
         transfer = 0
         latency = 0
         for start, stop in grouping:
-            design = best_group_design(network, start, stop, device)
+            design = best_group_design(network, start, stop, device, context=cost)
             if design is None:
                 feasible = False
                 break

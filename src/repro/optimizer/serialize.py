@@ -17,13 +17,14 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import List, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.errors import OptimizationError
 from repro.hardware.device import FPGADevice, get_device
 from repro.nn.network import Network
+from repro.perf.cost import CostModel, EvalContext
 from repro.perf.group import compose_group
-from repro.perf.implement import Algorithm, WeightMode, implement, WINOGRAD_M
+from repro.perf.implement import Algorithm, WeightMode, WINOGRAD_M
 from repro.optimizer.strategy import Strategy
 
 SCHEMA_VERSION = 1
@@ -66,7 +67,10 @@ def save_strategy(strategy: Strategy, path: Union[str, Path]) -> Path:
 
 
 def strategy_from_dict(
-    payload: dict, network: Network, device: Union[str, FPGADevice, None] = None
+    payload: dict,
+    network: Network,
+    device: Union[str, FPGADevice, None] = None,
+    context: Optional[CostModel] = None,
 ) -> Strategy:
     """Rebuild a strategy by re-evaluating every recorded choice.
 
@@ -75,6 +79,9 @@ def strategy_from_dict(
         network: The network the strategy was optimized for (must match
             the recorded layer names).
         device: Target device; defaults to the recorded catalog name.
+        context: Shared evaluation layer for the re-evaluation (the
+            drift check); sharing one across many loads amortizes the
+            cost-model calls for shape-identical layers.
 
     Raises:
         OptimizationError: On schema/network mismatches.
@@ -89,6 +96,7 @@ def strategy_from_dict(
         device = payload["device"]
     if isinstance(device, str):
         device = get_device(device)
+    cost = context if context is not None else EvalContext()
 
     boundaries: List[Tuple[int, int]] = []
     designs = []
@@ -104,7 +112,7 @@ def strategy_from_dict(
                     f"{entry['name']!r} in the strategy file"
                 )
             impls.append(
-                implement(
+                cost.implement(
                     info,
                     Algorithm(entry["algorithm"]),
                     entry["parallelism"],
@@ -128,7 +136,8 @@ def load_strategy(
     path: Union[str, Path],
     network: Network,
     device: Union[str, FPGADevice, None] = None,
+    context: Optional[CostModel] = None,
 ) -> Strategy:
     """Read a strategy JSON file and rebuild the Strategy."""
     payload = json.loads(Path(path).read_text())
-    return strategy_from_dict(payload, network, device)
+    return strategy_from_dict(payload, network, device, context=context)

@@ -10,13 +10,14 @@ group, giving total latency, transfer and per-group resource usage.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import OptimizationError, ResourceError
 from repro.hardware.device import FPGADevice
 from repro.hardware.resources import ResourceVector
 from repro.nn.layers import ConvLayer
 from repro.nn.network import Network
+from repro.perf.cost import SearchTelemetry
 from repro.perf.group import GroupDesign
 from repro.perf.implement import Algorithm
 
@@ -44,6 +45,7 @@ class Strategy:
         device: FPGADevice,
         boundaries: Sequence[Tuple[int, int]],
         designs: Sequence[GroupDesign],
+        telemetry: Optional[SearchTelemetry] = None,
     ):
         if len(boundaries) != len(designs):
             raise OptimizationError("one design required per group")
@@ -70,6 +72,10 @@ class Strategy:
         self.device = device
         self.boundaries = list(boundaries)
         self.designs = list(designs)
+        #: Telemetry of the search that produced this strategy (None for
+        #: hand-assembled strategies); see
+        #: :class:`repro.perf.cost.SearchTelemetry`.
+        self.telemetry = telemetry
 
     # -- aggregate metrics ----------------------------------------------------
 

@@ -3,9 +3,12 @@
 :mod:`repro.perf.implement` is the paper's ``implement(cnt, algo, p)``
 call (Algorithm 2, line 13): it evaluates the resource requirements and
 expected latency of running one layer with a given algorithm and hardware
-parallelism.  :mod:`repro.perf.group` composes per-layer implementations
-into a fused-group design with inter-layer pipelining and shared off-chip
-bandwidth.
+parallelism.  :mod:`repro.perf.cost` is the evaluation layer every search
+consumer goes through: a :class:`~repro.perf.cost.CostModel` protocol and
+the signature-keyed, telemetry-collecting
+:class:`~repro.perf.cost.EvalContext` memoizer.  :mod:`repro.perf.group`
+composes per-layer implementations into a fused-group design with
+inter-layer pipelining and shared off-chip bandwidth.
 """
 
 from repro.perf.implement import (
@@ -15,14 +18,26 @@ from repro.perf.implement import (
     candidate_parallelisms,
     implement,
 )
+from repro.perf.cost import (
+    CostModel,
+    EvalContext,
+    SearchTelemetry,
+    device_signature,
+    layer_signature,
+)
 from repro.perf.group import GroupDesign, compose_group
 
 __all__ = [
     "Algorithm",
+    "CostModel",
+    "EvalContext",
     "GroupDesign",
     "Implementation",
+    "SearchTelemetry",
     "candidate_algorithms",
     "candidate_parallelisms",
     "compose_group",
+    "device_signature",
     "implement",
+    "layer_signature",
 ]

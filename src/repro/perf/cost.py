@@ -1,0 +1,271 @@
+"""Signature-keyed cost evaluation layer (the shared ``implement()`` front end).
+
+The paper's whole optimizer rests on one primitive — ``implement(cnt,
+algo, p)`` — and historically every consumer (Algorithm 2's menus and
+search, the DP solvers, the exhaustive oracle, the Alwani baseline, the
+serialize drift check) called :func:`repro.perf.implement.implement`
+directly with its own ad-hoc cache keyed by layer *index*.  Deep
+networks repeat shapes heavily (VGG's conv3_2/3/4, conv4_2/3/4, ... are
+pairwise identical), so index-keyed caches re-evaluate the same design
+points over and over, and nothing in the system could report what a
+search actually did.
+
+This module replaces those ad-hoc caches with one first-class layer:
+
+* :func:`layer_signature` — a hashable identity of everything the cost
+  model reads from a layer: its hyper-parameters (kernel/stride/pad/
+  channels/...) and resolved input shape, but *not* its name or index.
+  Two shape-identical layers share a signature; a strided variant does
+  not.
+* :class:`CostModel` — the protocol every consumer programs against.
+* :class:`EvalContext` — the default implementation: memoizes
+  :class:`~repro.perf.implement.Implementation` results keyed by
+  ``(signature, algorithm, weight mode, winograd m, parallelism,
+  device)`` and is safely shareable across fusion groups, constraint
+  sweeps (``optimize_many``), device-variant DSE sweeps, and the
+  opt-in ``workers=N`` thread pool (its caches are guarded by a lock;
+  results are deterministic regardless of evaluation order).
+* :class:`SearchTelemetry` — counters the context and the searches
+  thread through it accumulate: cost-model evaluations, cache hits,
+  branch-and-bound nodes visited/pruned, and per-group wall times.
+  Surfaced on :class:`~repro.optimizer.strategy.Strategy` and printed
+  by ``repro compile --stats``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.hardware.device import FPGADevice
+from repro.nn.network import LayerInfo
+from repro.perf.implement import (
+    WINOGRAD_M,
+    Algorithm,
+    Implementation,
+    WeightMode,
+    implement,
+)
+
+try:  # pragma: no cover - Protocol exists on every supported Python
+    from typing import Protocol
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+
+def device_signature(device: FPGADevice) -> Hashable:
+    """Cost-relevant identity of a device.
+
+    ``implement()`` reads only the fabric resources, the datapath word
+    size and the DSP-per-MAC ratio — not the clock or the off-chip
+    bandwidth (those enter at group composition).  Keying on this subset
+    lets bandwidth-scaled DSE variants of one device share evaluation
+    entries.
+    """
+    return (device.resources, device.element_bytes, device.dsp_per_mac)
+
+
+def layer_signature(info: LayerInfo) -> Hashable:
+    """Cost-relevant identity of a layer: hyper-parameters + input shape.
+
+    The layer's name and position are deliberately excluded — the cost
+    model never reads them — so shape-identical layers (VGG's repeated
+    conv blocks) collapse onto one signature.  Layers are frozen
+    dataclasses, so stripping the name yields a hashable value whose
+    equality is exactly "same type, same hyper-parameters".  The output
+    shape is derived from the input shape and is therefore not part of
+    the key.
+    """
+    layer = info.layer
+    return (type(layer).__name__, replace(layer, name=""), info.input_shape)
+
+
+@dataclass
+class SearchTelemetry:
+    """What a strategy search did, accumulated across everything that
+    shared one :class:`EvalContext`.
+
+    Attributes:
+        evaluations: Cost-model runs (cache misses — actual
+            ``implement()`` executions).
+        cache_hits: Queries answered from the signature-keyed cache.
+        nodes_visited: Branch-and-bound nodes expanded (Algorithm 2).
+        nodes_pruned: Branch cuts taken by the admissible bounds
+            (incumbent cuts, resource floors, work-conservation floors
+            and node-budget stops each count once per cut).
+        groups_searched: ``fusion[i][j]`` queries actually searched
+            (cache hits on the fusion table are not re-searched).
+        wall_time_s: Total wall-clock time spent inside group searches.
+        group_wall_times: Per-group wall time, keyed by
+            ``(network, device, start, stop)``.
+    """
+
+    evaluations: int = 0
+    cache_hits: int = 0
+    nodes_visited: int = 0
+    nodes_pruned: int = 0
+    groups_searched: int = 0
+    wall_time_s: float = 0.0
+    group_wall_times: Dict[Tuple[str, str, int, int], float] = field(
+        default_factory=dict
+    )
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.evaluations + self.cache_hits
+        return self.cache_hits / total if total else 0.0
+
+    def summary(self, slowest: int = 5) -> str:
+        """Human-readable telemetry block (``repro compile --stats``)."""
+        lines = [
+            "search telemetry:",
+            f"  implement() evaluations: {self.evaluations:,}",
+            f"  cache hits:              {self.cache_hits:,} "
+            f"({self.hit_rate * 100:.1f}% hit rate)",
+            f"  B&B nodes visited:       {self.nodes_visited:,}",
+            f"  B&B nodes pruned:        {self.nodes_pruned:,}",
+            f"  groups searched:         {self.groups_searched:,}",
+            f"  search wall time:        {self.wall_time_s:.3f} s",
+        ]
+        if self.group_wall_times:
+            worst = sorted(
+                self.group_wall_times.items(), key=lambda kv: -kv[1]
+            )[:slowest]
+            lines.append(f"  slowest groups (top {len(worst)}):")
+            for (network, device, start, stop), seconds in worst:
+                lines.append(
+                    f"    {network}[{start}:{stop}] on {device}: {seconds:.3f} s"
+                )
+        return "\n".join(lines)
+
+
+class CostModel(Protocol):
+    """Protocol of the evaluation layer every search consumer uses.
+
+    Anything with this shape can stand in for :class:`EvalContext` —
+    e.g. a measurement-backed model, or an index-keyed context used to
+    quantify what signature sharing saves (see
+    ``benchmarks/test_optimizer_cache.py``).
+    """
+
+    stats: SearchTelemetry
+
+    def implement(
+        self,
+        info: LayerInfo,
+        algorithm: Algorithm,
+        parallelism: int,
+        device: FPGADevice,
+        weight_mode: Optional[WeightMode] = None,
+        winograd_m: int = WINOGRAD_M,
+    ) -> Implementation:
+        """Evaluate (or recall) one layer engine design point."""
+        ...  # pragma: no cover - protocol stub
+
+
+class EvalContext:
+    """Memoizing :class:`CostModel` shared across searches and sweeps.
+
+    Args:
+        share_identical_layers: When True (default) results are keyed by
+            :func:`layer_signature`, so shape-identical layers share
+            entries.  When False the layer index joins the key,
+            reproducing the legacy per-layer caching — kept for A/B
+            accounting in benchmarks.
+
+    The context is the *only* state shared between parallel
+    ``fusion[i][j]`` searches (``workers=N``); its cache and telemetry
+    mutations are lock-guarded, and since ``implement()`` is a pure
+    function of the key, concurrent searches are deterministic.
+    """
+
+    def __init__(self, share_identical_layers: bool = True):
+        self.share_identical_layers = share_identical_layers
+        self.stats = SearchTelemetry()
+        self._cache: Dict[Hashable, Implementation] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        """Number of distinct design points evaluated so far."""
+        return len(self._cache)
+
+    def key_for(
+        self,
+        info: LayerInfo,
+        algorithm: Algorithm,
+        parallelism: int,
+        device: FPGADevice,
+        weight_mode: Optional[WeightMode] = None,
+        winograd_m: int = WINOGRAD_M,
+    ) -> Hashable:
+        """The cache key one query resolves to (exposed for tests)."""
+        signature = layer_signature(info)
+        if not self.share_identical_layers:
+            signature = (info.index, signature)
+        return (
+            signature,
+            algorithm,
+            weight_mode,
+            winograd_m,
+            parallelism,
+            device_signature(device),
+        )
+
+    def implement(
+        self,
+        info: LayerInfo,
+        algorithm: Algorithm,
+        parallelism: int,
+        device: FPGADevice,
+        weight_mode: Optional[WeightMode] = None,
+        winograd_m: int = WINOGRAD_M,
+    ) -> Implementation:
+        """Drop-in replacement for :func:`repro.perf.implement.implement`."""
+        key = self.key_for(
+            info, algorithm, parallelism, device, weight_mode, winograd_m
+        )
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                # The cached engine was evaluated for a same-signature
+                # layer that may carry a different name; re-label so
+                # group composition and reports stay per-layer correct.
+                if cached.layer_name != info.name:
+                    cached = replace(cached, layer_name=info.name)
+                return cached
+        impl = implement(
+            info,
+            algorithm,
+            parallelism,
+            device,
+            weight_mode=weight_mode,
+            winograd_m=winograd_m,
+        )
+        with self._lock:
+            self.stats.evaluations += 1
+            self._cache[key] = impl
+        return impl
+
+    # -- telemetry hooks used by the searches -------------------------------
+
+    def record_search(
+        self,
+        network_name: str,
+        device_name: str,
+        start: int,
+        stop: int,
+        seconds: float,
+        nodes_visited: int,
+        nodes_pruned: int,
+    ) -> None:
+        """Fold one ``fusion[i][j]`` search's counters into the telemetry."""
+        with self._lock:
+            self.stats.groups_searched += 1
+            self.stats.nodes_visited += nodes_visited
+            self.stats.nodes_pruned += nodes_pruned
+            self.stats.wall_time_s += seconds
+            self.stats.group_wall_times[
+                (network_name, device_name, start, stop)
+            ] = seconds

@@ -32,7 +32,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.errors import AlgorithmError, UnsupportedLayerError
 from repro.arch.line_buffer import buffer_brams, line_buffer_brams

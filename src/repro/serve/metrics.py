@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import ceil
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.serve.batcher import ServingError
 from repro.serve.runtime import ReplicaStats

@@ -11,7 +11,8 @@ For every fusion group the simulator
 
    where ``need(l, i)`` is the last upstream row inside output row
    ``i``'s receptive window, ``row_cycles[l]`` comes from the same
-   ``implement()`` cost model the optimizer used, and the head layer's
+   ``implement()`` cost model the optimizer evaluated through the
+   shared evaluation layer (:mod:`repro.perf.cost`), and the head layer's
    rows arrive from a shared-DRAM rate limiter that also carries the
    tail layer's stores and any streamed weights.
 
@@ -29,7 +30,6 @@ import numpy as np
 from repro.errors import SimulationError
 from repro.arch.fusion import layer_window
 from repro.nn.functional import init_weights
-from repro.nn.layers import ConvLayer
 from repro.nn.network import LayerInfo
 from repro.perf.implement import Implementation
 from repro.optimizer.strategy import Strategy

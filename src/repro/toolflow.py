@@ -31,6 +31,7 @@ from repro.nn.caffe import network_from_prototxt
 from repro.nn.network import Network
 from repro.optimizer.dp import optimize
 from repro.optimizer.strategy import Strategy
+from repro.perf.cost import CostModel, SearchTelemetry
 from repro.sim.simulator import SimulationResult, simulate_strategy
 
 
@@ -42,6 +43,11 @@ class CompileResult:
     device: FPGADevice
     strategy: Strategy
     project: GeneratedProject
+
+    @property
+    def telemetry(self) -> Optional[SearchTelemetry]:
+        """Search telemetry of the optimize step (``repro compile --stats``)."""
+        return self.strategy.telemetry
 
     def simulate(
         self, data: Optional[np.ndarray] = None, weights=None, seed: int = 0
@@ -112,6 +118,8 @@ def compile_model(
     accelerated_only: bool = True,
     explore_tile_sizes: bool = False,
     weights: Optional[dict] = None,
+    workers: Optional[int] = None,
+    context: Optional[CostModel] = None,
 ) -> CompileResult:
     """Map a Caffe model (or Network) onto an FPGA.
 
@@ -128,9 +136,15 @@ def compile_model(
         weights: Optional trained parameters; when given the project
             includes quantized weight headers (Winograd kernels
             pre-transformed).
+        workers: Precompute the independent ``fusion[i][j]`` searches
+            with a thread pool of this size (strategy-preserving;
+            CLI ``--workers``).
+        context: Shared :class:`~repro.perf.cost.EvalContext` to reuse
+            cost evaluations across compiles (e.g. device sweeps).
 
     Returns:
         The strategy, the generated HLS project, and simulation hooks.
+        Search telemetry is available as ``result.telemetry``.
     """
     network = _resolve_network(model)
     if accelerated_only:
@@ -143,6 +157,7 @@ def compile_model(
     strategy = optimize(
         network, target, transfer_constraint_bytes,
         explore_tile_sizes=explore_tile_sizes,
+        workers=workers, context=context,
     )
     project = generate_project(strategy, output_dir=output_dir, weights=weights)
     return CompileResult(

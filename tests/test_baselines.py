@@ -8,7 +8,6 @@ from repro.baselines.homogeneous import homogeneous_optimize, unfused_optimize
 from repro.hardware.device import FPGADevice, get_device
 from repro.hardware.resources import ResourceVector
 from repro.nn import models
-from repro.nn.layers import ConvLayer
 from repro.optimizer.dp import optimize
 from repro.perf.implement import Algorithm
 

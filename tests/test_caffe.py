@@ -5,7 +5,6 @@ import pytest
 from repro.errors import ParseError
 from repro.nn import models
 from repro.nn.caffe import (
-    Message,
     network_from_prototxt,
     network_to_prototxt,
     parse_prototxt,

@@ -111,8 +111,6 @@ class TestTemplates:
         net = strategy.network
         info = net[0]
         renamed = info.layer.renamed("1bad-name")
-        from dataclasses import replace as dc_replace
-
         from repro.nn.network import Network
 
         net2 = Network("x", net.input_spec, [renamed])

@@ -1,0 +1,216 @@
+"""Tests for the signature-keyed evaluation layer (:mod:`repro.perf.cost`).
+
+Covers the three properties the refactor must preserve:
+
+1. *Correctness of sharing* — shape-identical layers resolve to the same
+   cache key, strided/shape-distinct layers do not, and cached results
+   are re-labelled for the querying layer.
+2. *Strategy preservation* — sharing a context (across calls, across
+   constraint sweeps, with ``share_identical_layers`` off, or with a
+   thread pool) never changes the chosen strategy; the optimizer still
+   matches the exhaustive oracle choice for choice.
+3. *Telemetry* — the context reports what the search actually did.
+"""
+
+import pytest
+
+from repro.hardware.device import get_device
+from repro.nn import models
+from repro.nn.layers import ConvLayer, InputSpec, PoolLayer
+from repro.nn.network import Network
+from repro.optimizer.dp import optimize, optimize_many
+from repro.optimizer.exhaustive import exhaustive_optimize
+from repro.perf.cost import EvalContext, device_signature, layer_signature
+from repro.perf.implement import Algorithm
+
+
+@pytest.fixture
+def testchip():
+    return get_device("testchip")
+
+
+@pytest.fixture
+def tiny():
+    return models.tiny_cnn()
+
+
+@pytest.fixture
+def repeated_net():
+    """Two shape-identical convs (c2, c3) plus a strided variant (c4)."""
+    layers = [
+        ConvLayer(name="c1", out_channels=8, kernel=3, pad=1),
+        ConvLayer(name="c2", out_channels=8, kernel=3, pad=1),
+        ConvLayer(name="c3", out_channels=8, kernel=3, pad=1),
+        ConvLayer(name="c4", out_channels=8, kernel=3, stride=2, pad=1),
+        PoolLayer(name="p1", kernel=2, stride=2),
+    ]
+    return Network("repeated", InputSpec(8, 16, 16), layers)
+
+
+def choice_triples(strategy):
+    return [
+        (c.layer_name, c.group_id, c.algorithm, c.parallelism)
+        for c in strategy.choices()
+    ]
+
+
+class TestSignatures:
+    def test_identical_layers_share_signature(self, repeated_net):
+        c2, c3 = repeated_net[1], repeated_net[2]
+        assert layer_signature(c2) == layer_signature(c3)
+
+    def test_strided_layer_distinct(self, repeated_net):
+        c3, c4 = repeated_net[2], repeated_net[3]
+        assert layer_signature(c3) != layer_signature(c4)
+
+    def test_different_types_distinct(self, repeated_net):
+        conv, pool = repeated_net[3], repeated_net[4]
+        assert layer_signature(conv) != layer_signature(pool)
+
+    def test_device_signature_ignores_bandwidth(self, testchip):
+        from dataclasses import replace
+
+        faster = replace(
+            testchip,
+            name="testchip_bw2x",
+            bandwidth_bytes_per_s=testchip.bandwidth_bytes_per_s * 2,
+        )
+        assert device_signature(testchip) == device_signature(faster)
+
+
+class TestEvalContext:
+    def test_identical_layers_share_cache_entry(self, repeated_net, testchip):
+        ctx = EvalContext()
+        c2, c3 = repeated_net[1], repeated_net[2]
+        first = ctx.implement(c2, Algorithm.CONVENTIONAL, 4, testchip)
+        second = ctx.implement(c3, Algorithm.CONVENTIONAL, 4, testchip)
+        assert ctx.stats.evaluations == 1
+        assert ctx.stats.cache_hits == 1
+        assert len(ctx) == 1
+        # The hit is re-labelled for the querying layer; all cost fields
+        # are identical because the layers are.
+        assert first.layer_name == "c2"
+        assert second.layer_name == "c3"
+        assert second.compute_cycles == first.compute_cycles
+        assert second.resources == first.resources
+
+    def test_strided_layer_gets_own_entry(self, repeated_net, testchip):
+        ctx = EvalContext()
+        ctx.implement(repeated_net[2], Algorithm.CONVENTIONAL, 4, testchip)
+        ctx.implement(repeated_net[3], Algorithm.CONVENTIONAL, 4, testchip)
+        assert ctx.stats.evaluations == 2
+        assert ctx.stats.cache_hits == 0
+
+    def test_index_keyed_mode_disables_sharing(self, repeated_net, testchip):
+        ctx = EvalContext(share_identical_layers=False)
+        ctx.implement(repeated_net[1], Algorithm.CONVENTIONAL, 4, testchip)
+        ctx.implement(repeated_net[2], Algorithm.CONVENTIONAL, 4, testchip)
+        assert ctx.stats.evaluations == 2
+        # ... but repeat queries on the same layer still hit.
+        ctx.implement(repeated_net[1], Algorithm.CONVENTIONAL, 4, testchip)
+        assert ctx.stats.cache_hits == 1
+
+    def test_results_match_direct_implement(self, tiny, testchip):
+        from repro.perf.implement import implement
+
+        ctx = EvalContext()
+        info = tiny.conv_infos()[0]
+        direct = implement(info, Algorithm.CONVENTIONAL, 4, testchip)
+        via_ctx = ctx.implement(info, Algorithm.CONVENTIONAL, 4, testchip)
+        assert via_ctx == direct
+
+
+class TestStrategyPreservation:
+    def test_matches_exhaustive_oracle_choice_for_choice(self, tiny, testchip):
+        budget = tiny.feature_map_bytes()
+        shared = EvalContext()
+        ours = optimize(tiny, testchip, budget, context=shared)
+        oracle = exhaustive_optimize(tiny, testchip, budget, context=shared)
+        assert ours.latency_cycles == oracle.latency_cycles
+        assert ours.feature_transfer_bytes == oracle.feature_transfer_bytes
+        assert choice_triples(ours) == choice_triples(oracle)
+
+    def test_sharing_does_not_change_strategy(self, repeated_net, testchip):
+        budget = repeated_net.feature_map_bytes()
+        fresh = optimize(repeated_net, testchip, budget)
+        shared = optimize(
+            repeated_net, testchip, budget, context=EvalContext()
+        )
+        legacy = optimize(
+            repeated_net,
+            testchip,
+            budget,
+            context=EvalContext(share_identical_layers=False),
+        )
+        assert choice_triples(fresh) == choice_triples(shared)
+        assert choice_triples(fresh) == choice_triples(legacy)
+        assert fresh.latency_cycles == shared.latency_cycles == legacy.latency_cycles
+
+    def test_warm_context_reused_across_calls(self, tiny, testchip):
+        budget = tiny.feature_map_bytes()
+        ctx = EvalContext()
+        cold = optimize(tiny, testchip, budget, context=ctx)
+        evaluations_after_cold = ctx.stats.evaluations
+        warm = optimize(tiny, testchip, budget, context=ctx)
+        assert choice_triples(cold) == choice_triples(warm)
+        # The second run answers every implement() query from cache.
+        assert ctx.stats.evaluations == evaluations_after_cold
+
+    def test_workers_preserve_strategy(self, tiny, testchip):
+        budget = tiny.feature_map_bytes()
+        serial = optimize(tiny, testchip, budget)
+        threaded = optimize(tiny, testchip, budget, workers=2)
+        assert choice_triples(serial) == choice_triples(threaded)
+        assert serial.latency_cycles == threaded.latency_cycles
+
+    def test_optimize_many_honors_knobs(self, tiny, testchip):
+        budgets = [tiny.min_fused_transfer_bytes(), tiny.feature_map_bytes()]
+        batch = optimize_many(
+            tiny, testchip, budgets, explore_tile_sizes=True, node_budget=50_000
+        )
+        for budget, strategy in zip(budgets, batch):
+            single = optimize(
+                tiny,
+                testchip,
+                budget,
+                explore_tile_sizes=True,
+                node_budget=50_000,
+            )
+            assert choice_triples(strategy) == choice_triples(single)
+
+
+class TestTelemetry:
+    def test_strategy_carries_telemetry(self, tiny, testchip):
+        strategy = optimize(tiny, testchip, tiny.feature_map_bytes())
+        stats = strategy.telemetry
+        assert stats is not None
+        assert stats.evaluations > 0
+        assert stats.cache_hits > 0
+        assert stats.nodes_visited > 0
+        assert stats.nodes_pruned > 0
+        assert stats.groups_searched > 0
+        assert stats.wall_time_s >= 0.0
+        assert 0.0 < stats.hit_rate < 1.0
+
+    def test_summary_mentions_all_counters(self, tiny, testchip):
+        strategy = optimize(tiny, testchip, tiny.feature_map_bytes())
+        text = strategy.telemetry.summary()
+        for needle in (
+            "implement() evaluations",
+            "cache hits",
+            "B&B nodes visited",
+            "B&B nodes pruned",
+            "groups searched",
+            "wall time",
+            "slowest groups",
+        ):
+            assert needle in text
+
+    def test_sweep_shares_one_context(self, tiny, testchip):
+        budgets = [tiny.min_fused_transfer_bytes(), tiny.feature_map_bytes()]
+        ctx = EvalContext()
+        strategies = optimize_many(tiny, testchip, budgets, context=ctx)
+        assert all(s.telemetry is ctx.stats for s in strategies)
+        # fusion[i][j] is searched once per group, not once per budget.
+        n = len(tiny.accelerated_prefix())
+        assert ctx.stats.groups_searched <= n * (n + 1) // 2

@@ -7,7 +7,6 @@ from repro.hardware.device import DEVICES, FPGADevice, get_device
 from repro.hardware.power import PowerModel, device_power_model
 from repro.hardware.resources import ResourceVector
 from repro.hardware.roofline import (
-    RooflinePoint,
     attainable_performance,
     bandwidth_roof_gops,
     ctc_ratio,

@@ -8,7 +8,6 @@ serialization.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.hardware.device import get_device

@@ -1,9 +1,7 @@
 """Tests for the built-in model zoo (shape fidelity to the publications)."""
 
-import pytest
-
 from repro.nn import models
-from repro.nn.layers import ConvLayer, FCLayer, LRNLayer, PoolLayer
+from repro.nn.layers import ConvLayer, FCLayer
 
 
 class TestVGG:

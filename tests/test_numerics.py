@@ -1,6 +1,5 @@
 """Tests for the Winograd numerical-stability analysis."""
 
-import pytest
 
 from repro.algorithms.fixed_point import Q16
 from repro.algorithms.numerics import (

@@ -29,7 +29,7 @@ class TestAnalyzeGroup:
 
     def test_earlier_layers_recompute_more(self, stack):
         layers = analyze_group(stack, 0, 3)
-        factors = [l.recompute_factor for l in layers]
+        factors = [layer.recompute_factor for layer in layers]
         assert factors[0] > factors[1] > factors[2]
         # c2's output: a 3-row window slides by 1 per group row
         assert layers[1].rows_needed_per_output_row == 3
