@@ -11,6 +11,8 @@ space: 9 stages instead of ~40 inner layers).
 
 import time
 
+import pytest
+
 from repro.nn import models
 from repro.optimizer.dp import optimize
 from repro.reporting import format_table
@@ -20,6 +22,7 @@ from conftest import MB, write_result
 CONSTRAINT = 4 * MB
 
 
+@pytest.mark.heavy
 def test_googlenet_module_strategy(benchmark, zc706):
     network = models.googlenet_prefix(2)
 

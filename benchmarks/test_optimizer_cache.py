@@ -16,6 +16,8 @@ strategy-preserving), and records the evaluation counts and wall time.
 
 import time
 
+import pytest
+
 from repro.nn import models
 from repro.optimizer.dp import optimize_many
 from repro.perf.cost import EvalContext, layer_signature
@@ -39,6 +41,7 @@ def _run_sweep(network, device, context):
     return strategies, time.perf_counter() - began
 
 
+@pytest.mark.heavy
 def test_signature_cache_reduces_evaluations(zc706):
     network = models.vgg19().accelerated_prefix()
 

@@ -6,6 +6,8 @@ the VGG-E prefix and AlexNet, plus the amortized per-constraint cost of
 the Figure 5 sweep where the fusion table is shared.
 """
 
+import pytest
+
 from repro.optimizer.dp import FrontierOptimizer, optimize, optimize_many
 
 from conftest import ALEXNET_CONSTRAINT, FIG5_CONSTRAINTS_MB, MB, write_result
@@ -43,6 +45,7 @@ def test_vgg_sweep_amortized(benchmark, vgg_prefix, zc706):
     )
 
 
+@pytest.mark.heavy
 def test_alexnet_optimizer_runtime(benchmark, alexnet, zc706):
     strategy = benchmark.pedantic(
         optimize,

@@ -1,0 +1,67 @@
+"""Multi-FPGA partitioning: VGG-E split across a two-board fleet.
+
+Runs the acceptance scenario end to end: the cut-point DP places the
+VGG-E prefix across two zc706 boards joined by a 2 GB/s link, and the
+pipelined fleet must beat the single-board optimum both analytically
+(bottleneck interval vs single-device latency) and under the serving
+simulator's saturating open-loop trace.  The regenerated plan table and
+serving comparison land in ``benchmarks/results/partition_vgg.txt``.
+"""
+
+import numpy as np
+
+from repro.toolflow import compile_model, partition_model
+
+from conftest import write_result
+
+NUM_REQUESTS = 240
+LOAD = 2.5
+MAX_BATCH = 8
+
+
+def test_partition_vgg_two_boards(vgg_prefix, zc706):
+    plan = partition_model(vgg_prefix, devices="zc706,zc706")
+
+    # The DP must actually use the second board and beat one board's
+    # latency at steady state.
+    assert plan.num_stages == 2
+    assert plan.baseline_latency_seconds is not None
+    assert plan.bottleneck_seconds < plan.baseline_latency_seconds
+    speedup = plan.pipelined_speedup()
+    assert speedup > 1.5
+
+    # Serving comparison on the same saturating trace: one pipelined
+    # 2-board fleet vs the single-board fleet it replaces.
+    single = compile_model(vgg_prefix, device=zc706)
+    pipeline_metrics = (
+        plan.serve(max_batch=MAX_BATCH)
+        .run_open_loop(NUM_REQUESTS, load=LOAD, rng=np.random.default_rng(0))
+        .metrics
+    )
+    single_metrics = (
+        single.serve(replicas=1, max_batch=MAX_BATCH)
+        .run_open_loop(NUM_REQUESTS, load=LOAD, rng=np.random.default_rng(0))
+        .metrics
+    )
+    assert pipeline_metrics.requests == NUM_REQUESTS
+    served_speedup = (
+        pipeline_metrics.requests_per_second
+        / single_metrics.requests_per_second
+    )
+    assert served_speedup > 1.2
+
+    lines = [
+        plan.report(),
+        "",
+        f"serving comparison ({NUM_REQUESTS} requests, open-loop load "
+        f"{LOAD}x, max batch {MAX_BATCH}):",
+        f"  1 x zc706           : "
+        f"{single_metrics.requests_per_second:,.1f} req/s, "
+        f"p99 {single_metrics.p99_latency_cycles / 1e6:.1f} Mcyc",
+        f"  zc706+zc706 pipeline: "
+        f"{pipeline_metrics.requests_per_second:,.1f} req/s, "
+        f"p99 {pipeline_metrics.p99_latency_cycles / 1e6:.1f} Mcyc",
+        f"  served speedup      : {served_speedup:.2f}x "
+        f"(analytic {speedup:.2f}x)",
+    ]
+    write_result("partition_vgg.txt", "\n".join(lines))

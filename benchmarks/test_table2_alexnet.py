@@ -11,6 +11,8 @@ Winograd, "the DSPs saved by Winograd algorithm are exploited by
 conventional convolutional layers"; total BRAM ~767.5, LUT ~149 k.
 """
 
+import pytest
+
 from repro.optimizer.dp import optimize
 from repro.perf.implement import Algorithm
 from repro.reporting import format_table
@@ -18,6 +20,7 @@ from repro.reporting import format_table
 from conftest import ALEXNET_CONSTRAINT, write_result
 
 
+@pytest.mark.heavy
 def test_table2_alexnet(benchmark, alexnet, zc706):
     strategy = benchmark.pedantic(
         optimize, args=(alexnet, zc706, ALEXNET_CONSTRAINT), rounds=1, iterations=1

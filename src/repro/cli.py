@@ -6,15 +6,19 @@ Usage (also via ``python -m repro``)::
     repro devices                     # list the FPGA device catalog
     repro compile MODEL [options]     # prototxt/zoo-name -> strategy + HLS
     repro sweep MODEL [options]       # latency vs transfer-constraint table
+    repro partition MODEL [options]   # split a model across a device fleet
     repro serve-sim MODEL [options]   # batched multi-replica serving sim
     repro winograd M R                # print F(M, R) transform matrices
 
 ``MODEL`` is a prototxt path or a model-zoo name (``repro models``).
+``repro compile``, ``sweep`` and ``partition`` accept ``--json`` for
+machine-readable output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -116,6 +120,20 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         output_dir=Path(args.out) if args.out else None,
         workers=args.workers,
     )
+    if args.json:
+        from repro.optimizer.serialize import strategy_to_dict
+
+        strategy = result.strategy
+        payload = strategy_to_dict(strategy)
+        payload["latency_seconds"] = strategy.latency_seconds()
+        payload["effective_gops"] = strategy.effective_gops()
+        if args.stats and result.telemetry is not None:
+            payload["telemetry"] = result.telemetry.to_dict()
+        if args.simulate:
+            sim = result.simulate()
+            payload["simulated_cycles"] = sim.latency_cycles
+        print(json.dumps(payload, indent=2))
+        return 0
     print(result.strategy.report())
     if args.stats and result.telemetry is not None:
         print()
@@ -139,6 +157,30 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         from repro.baselines.alwani import alwani_design
 
         baseline = alwani_design(network, device)
+    if args.json:
+        entries = []
+        for constraint, strategy in zip(constraints, strategies):
+            entry = {
+                "constraint_bytes": constraint,
+                "latency_cycles": strategy.latency_cycles,
+                "latency_seconds": strategy.latency_seconds(),
+                "groups": len(strategy.designs),
+                "effective_gops": strategy.effective_gops(),
+            }
+            if baseline is not None:
+                entry["speedup_vs_baseline"] = (
+                    baseline.latency_cycles / strategy.latency_cycles
+                )
+            entries.append(entry)
+        payload = {
+            "network": network.name,
+            "device": device.name,
+            "rows": entries,
+        }
+        if args.stats and strategies and strategies[-1].telemetry is not None:
+            payload["telemetry"] = strategies[-1].telemetry.to_dict()
+        print(json.dumps(payload, indent=2))
+        return 0
     rows = []
     for constraint, strategy in zip(constraints, strategies):
         row = [
@@ -163,6 +205,52 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.stats and strategies and strategies[-1].telemetry is not None:
         print()
         print(strategies[-1].telemetry.summary())
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    from repro.partition import DeviceFleet, Link
+    from repro.sim.gantt import render_fleet_gantt
+    from repro.toolflow import partition_model
+
+    network = _load_model(args.model)
+    link = Link(
+        bandwidth_bytes_per_s=args.link_gbs * 1e9,
+        latency_s=args.link_latency_us * 1e-6,
+    )
+    fleet = DeviceFleet.from_spec(args.devices, link=link)
+    plan = partition_model(
+        network,
+        devices=fleet,
+        transfer_constraint_bytes=args.transfer,
+        workers=args.workers,
+    )
+    if args.json:
+        payload = plan.to_dict()
+        if args.stats and plan.telemetry is not None:
+            payload["telemetry"] = plan.telemetry.to_dict()
+        if args.simulate:
+            sim = plan.simulate()
+            payload["simulated_latency_seconds"] = sim.latency_seconds
+            payload["simulated_interval_seconds"] = sim.pipeline_interval_seconds
+        print(json.dumps(payload, indent=2))
+    else:
+        print(fleet.describe())
+        print()
+        print(plan.report())
+        if args.stats and plan.telemetry is not None:
+            print()
+            print(plan.telemetry.summary())
+        if args.simulate:
+            sim = plan.simulate()
+            print()
+            print(sim.report())
+            print()
+            print(render_fleet_gantt(sim))
+    if args.save:
+        path = plan.save(args.save)
+        if not args.json:
+            print(f"\npartition plan written to {path}")
     return 0
 
 
@@ -257,6 +345,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="precompute fusion[i][j] searches with N threads "
         "(strategy-preserving)",
     )
+    compile_p.add_argument(
+        "--json", action="store_true",
+        help="emit the strategy as JSON instead of the report table",
+    )
     compile_p.set_defaults(func=_cmd_compile)
 
     sweep_p = sub.add_parser("sweep", help="latency vs transfer-constraint table")
@@ -281,7 +373,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="precompute fusion[i][j] searches with N threads "
         "(strategy-preserving)",
     )
+    sweep_p.add_argument(
+        "--json", action="store_true",
+        help="emit the sweep rows as JSON instead of the table",
+    )
     sweep_p.set_defaults(func=_cmd_sweep)
+
+    part_p = sub.add_parser(
+        "partition", help="split a model across a fleet of FPGAs"
+    )
+    part_p.add_argument("model", help="prototxt path or model-zoo name")
+    part_p.add_argument(
+        "--devices", default="zc706,zc706",
+        help="comma-separated fleet in pipeline order, e.g. zc706,zcu102 "
+        "(default: zc706,zc706)",
+    )
+    part_p.add_argument(
+        "--link-gbs", type=float, default=2.0,
+        help="board-to-board link bandwidth in GB/s (default 2.0)",
+    )
+    part_p.add_argument(
+        "--link-latency-us", type=float, default=0.0,
+        help="per-transfer link setup latency in microseconds",
+    )
+    part_p.add_argument(
+        "--transfer", type=_parse_size, default=None,
+        help="per-stage feature-map transfer constraint, e.g. 2MB "
+        "(default: unconstrained on every board)",
+    )
+    part_p.add_argument(
+        "--simulate", action="store_true",
+        help="run the fleet simulator and print the pipeline Gantt chart",
+    )
+    part_p.add_argument(
+        "--stats", action="store_true",
+        help="print search telemetry (stage queries, cuts considered, ...)",
+    )
+    part_p.add_argument(
+        "--workers", type=int, default=None,
+        help="precompute fusion searches with N threads",
+    )
+    part_p.add_argument(
+        "--save", default=None, metavar="PATH",
+        help="write the partition plan JSON here",
+    )
+    part_p.add_argument(
+        "--json", action="store_true",
+        help="emit the plan as JSON instead of the report table",
+    )
+    part_p.set_defaults(func=_cmd_partition)
 
     serve_p = sub.add_parser(
         "serve-sim", help="simulate a batched multi-replica serving fleet"

@@ -40,3 +40,7 @@ class CodegenError(ReproError):
 
 class SimulationError(ReproError):
     """The cycle-approximate simulator hit an inconsistent state."""
+
+
+class PartitionError(ReproError):
+    """A network could not be partitioned onto the given device fleet."""

@@ -10,6 +10,16 @@ uses are included with their public datasheet numbers:
 * **vc707** — Virtex-7 XC7VX485T, used for the Figure 1 roofline
   motivation with a 4.5 GB/s bandwidth roof.
 
+Two larger boards extend the catalog beyond the paper so heterogeneous
+fleets (:mod:`repro.partition`) and device-space exploration have real
+targets:
+
+* **zcu102** — Zynq UltraScale+ ZU9EG evaluation board (datasheet
+  fabric numbers, DDR4 at a nominal 19.2 GB/s, 200 MHz).
+* **vc709** — Virtex-7 XC7VX690T connectivity board (2940 BRAM18K,
+  3600 DSP48E; dual DDR3 SODIMMs taken at a conservative 12.8 GB/s
+  sustained, run at 150 MHz).
+
 A deliberately tiny ``testchip`` device keeps unit tests fast and makes
 resource-exhaustion paths easy to exercise.
 """
@@ -112,6 +122,12 @@ DEVICES: Dict[str, FPGADevice] = {
         resources=ResourceVector(bram18k=1824, dsp=2520, ff=548_160, lut=274_080),
         bandwidth_bytes_per_s=19.2e9,
         frequency_hz=200e6,
+    ),
+    "vc709": FPGADevice(
+        name="vc709",
+        resources=ResourceVector(bram18k=2940, dsp=3600, ff=866_400, lut=433_200),
+        bandwidth_bytes_per_s=12.8e9,
+        frequency_hz=150e6,
     ),
     "testchip": FPGADevice(
         name="testchip",

@@ -229,11 +229,18 @@ def tiny_cnn(height: int = 16, width: int = 16) -> Network:
 
 
 def catalog() -> dict:
-    """Name -> constructor for every built-in model."""
+    """Name -> constructor for every built-in model.
+
+    ``vgg_e`` is the paper's VGGNet-E case study at its evaluation
+    scale — the seven-layer fused prefix every figure and table uses
+    (identical to ``vgg19_prefix7``).  The full configuration-E network
+    is ``vgg19``.
+    """
     return {
         "vgg16": vgg16,
         "vgg19": vgg19,
         "vgg19_prefix7": vgg_fused_prefix,
+        "vgg_e": vgg_fused_prefix,
         "alexnet": alexnet,
         "googlenet": googlenet,
         "googlenet_prefix2": googlenet_prefix,

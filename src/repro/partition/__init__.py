@@ -1,0 +1,34 @@
+"""Multi-FPGA model partitioning: split one network across a device fleet.
+
+The layer between the single-device optimizer and the serving runtime:
+
+* :mod:`repro.partition.fleet` — the hardware model (devices + links);
+* :mod:`repro.partition.cut` — the cut-point DP minimizing the pipeline
+  bottleneck, built on the existing single-device DP and the shared
+  evaluation layer;
+* :mod:`repro.partition.plan` — the :class:`PartitionPlan` artifact with
+  per-stage strategies, serialization, and simulate/serve hooks.
+"""
+
+from repro.partition.cut import CutOptimizer, partition_network
+from repro.partition.fleet import DEFAULT_LINK_BANDWIDTH, DeviceFleet, Link
+from repro.partition.plan import (
+    PartitionPlan,
+    StagePlacement,
+    StageTransfer,
+    load_plan,
+    plan_from_dict,
+)
+
+__all__ = [
+    "CutOptimizer",
+    "DEFAULT_LINK_BANDWIDTH",
+    "DeviceFleet",
+    "Link",
+    "PartitionPlan",
+    "StagePlacement",
+    "StageTransfer",
+    "load_plan",
+    "partition_network",
+    "plan_from_dict",
+]

@@ -1,0 +1,160 @@
+"""Device fleet model: an ordered chain of FPGAs joined by links.
+
+A :class:`DeviceFleet` describes the hardware a partitioned network runs
+on: boards in pipeline order (possibly heterogeneous — mixed catalog
+entries are fine) and one :class:`Link` between each adjacent pair.  A
+link carries the cut feature-map tensor from the producing board to the
+consuming board; its bandwidth and latency price the cut in the
+partition DP (:mod:`repro.partition.cut`) exactly the way the off-chip
+DRAM bandwidth prices fusion-group traffic on a single device.
+
+The default link is a 2 GB/s serial board-to-board connection with zero
+setup latency — the ballpark of a bonded multi-gigabit transceiver
+(Aurora-class) or 10/25 GbE between boards; slower than any board's DRAM
+channel, which is what makes cut placement a real optimization problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.errors import PartitionError
+from repro.hardware.device import FPGADevice, get_device
+
+#: Default board-to-board link bandwidth (bytes/second).
+DEFAULT_LINK_BANDWIDTH = 2.0e9
+
+
+@dataclass(frozen=True)
+class Link:
+    """A point-to-point connection between two adjacent fleet devices.
+
+    Attributes:
+        bandwidth_bytes_per_s: Sustained transfer rate of the link.
+        latency_s: Fixed per-transfer setup latency (protocol framing,
+            DMA descriptor setup); paid once per tensor moved.
+    """
+
+    bandwidth_bytes_per_s: float = DEFAULT_LINK_BANDWIDTH
+    latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise PartitionError("link bandwidth must be positive")
+        if self.latency_s < 0:
+            raise PartitionError("link latency must be non-negative")
+
+    def transfer_seconds(self, num_bytes: int) -> float:
+        """Time to move ``num_bytes`` across the link."""
+        if num_bytes < 0:
+            raise PartitionError("transfer size must be non-negative")
+        return self.latency_s + num_bytes / self.bandwidth_bytes_per_s
+
+
+class DeviceFleet:
+    """An ordered pipeline of FPGA devices joined by links.
+
+    Args:
+        devices: Boards in pipeline order (stage ``s`` of a partition
+            runs on ``devices[s]``).
+        links: One link per adjacent device pair (``len(devices) - 1``
+            entries); defaults to :data:`DEFAULT_LINK_BANDWIDTH` links.
+        name: Optional fleet label for reports.
+    """
+
+    def __init__(
+        self,
+        devices: Sequence[FPGADevice],
+        links: Optional[Sequence[Link]] = None,
+        name: Optional[str] = None,
+    ):
+        if not devices:
+            raise PartitionError("a fleet needs at least one device")
+        self.devices: Tuple[FPGADevice, ...] = tuple(devices)
+        if links is None:
+            links = [Link() for _ in range(len(self.devices) - 1)]
+        if len(links) != len(self.devices) - 1:
+            raise PartitionError(
+                f"a {len(self.devices)}-device fleet needs "
+                f"{len(self.devices) - 1} links, got {len(links)}"
+            )
+        self.links: Tuple[Link, ...] = tuple(links)
+        self.name = name or "+".join(d.name for d in self.devices)
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: Union[str, Sequence[Union[str, FPGADevice]]],
+        link: Optional[Link] = None,
+    ) -> "DeviceFleet":
+        """Build a fleet from ``"zc706,zcu102"`` or a device sequence.
+
+        Args:
+            spec: Comma-separated catalog names, or a sequence of names
+                and/or :class:`FPGADevice` objects.
+            link: Link used between every adjacent pair (default link
+                otherwise).
+        """
+        if isinstance(spec, str):
+            names = [part.strip() for part in spec.split(",") if part.strip()]
+            if not names:
+                raise PartitionError(f"empty fleet spec {spec!r}")
+            devices: List[FPGADevice] = [get_device(name) for name in names]
+        else:
+            devices = [
+                entry if isinstance(entry, FPGADevice) else get_device(entry)
+                for entry in spec
+            ]
+        links = None
+        if link is not None:
+            links = [link for _ in range(len(devices) - 1)]
+        return cls(devices, links)
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __iter__(self):
+        return iter(self.devices)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """True when every stage runs on the same device model."""
+        return len({d.name for d in self.devices}) == 1
+
+    @property
+    def reference_frequency_hz(self) -> float:
+        """Clock the pipelined serving metrics are reported in.
+
+        The first device's clock: for homogeneous fleets (the common
+        case) every stage shares it, and for heterogeneous fleets all
+        stage/link times are converted onto it so one virtual clock
+        spans the whole pipeline.
+        """
+        return self.devices[0].frequency_hz
+
+    def describe(self) -> str:
+        """One line per device and link, in pipeline order."""
+        lines = [f"fleet {self.name}: {len(self.devices)} device(s)"]
+        for index, device in enumerate(self.devices):
+            lines.append(
+                f"  stage {index}: {device.name} "
+                f"({device.resources.dsp} DSP, "
+                f"{device.bandwidth_bytes_per_s / 1e9:.1f} GB/s DRAM, "
+                f"{device.frequency_hz / 1e6:.0f} MHz)"
+            )
+            if index < len(self.links):
+                link = self.links[index]
+                lines.append(
+                    f"    link {index}: "
+                    f"{link.bandwidth_bytes_per_s / 1e9:.1f} GB/s"
+                    + (
+                        f", {link.latency_s * 1e6:.1f} us latency"
+                        if link.latency_s
+                        else ""
+                    )
+                )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"DeviceFleet({self.name!r}, devices={len(self.devices)})"

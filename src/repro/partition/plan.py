@@ -1,0 +1,387 @@
+"""PartitionPlan: the artifact a multi-FPGA partition search produces.
+
+A plan assigns a contiguous layer range of one network to every used
+fleet device — each range carrying the full single-device
+:class:`~repro.optimizer.strategy.Strategy` the existing DP chose for it
+— plus the inter-device transfers crossing each cut.  It is to the
+partition layer what ``Strategy`` is to the single-device optimizer: the
+serializable hand-off between search, simulation, code generation and
+serving.
+
+Timing is expressed in **seconds**, not cycles: a heterogeneous fleet
+has no single clock, so stage latencies convert through each device's
+frequency and link transfers through link bandwidth.  In steady state a
+pipelined fleet emits one image per *bottleneck interval* — the slowest
+stage or link — while a single image still pays the sum of every stage
+and transfer end to end.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.nn.network import Network
+from repro.optimizer.serialize import strategy_from_dict, strategy_to_dict
+from repro.optimizer.strategy import Strategy
+from repro.partition.fleet import DeviceFleet, Link
+from repro.perf.cost import CostModel, SearchTelemetry
+
+PLAN_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class StagePlacement:
+    """One pipeline stage: a layer range bound to one fleet device."""
+
+    stage_id: int
+    device_index: int  # position in the fleet (== stage_id for used prefix)
+    start: int  # first layer index in the full network
+    stop: int  # one past the last layer index
+    strategy: Strategy
+
+    @property
+    def device(self):
+        return self.strategy.device
+
+    @property
+    def latency_seconds(self) -> float:
+        """Per-image service time of this stage."""
+        return self.strategy.latency_seconds()
+
+    @property
+    def num_layers(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
+class StageTransfer:
+    """The cut tensor moving between two adjacent stages."""
+
+    link_index: int  # stages link_index -> link_index + 1
+    link: Link
+    tensor_bytes: int
+
+    @property
+    def seconds(self) -> float:
+        return self.link.transfer_seconds(self.tensor_bytes)
+
+
+class PartitionPlan:
+    """A complete mapping of one network onto a device fleet.
+
+    Stages cover the network contiguously and run as a pipeline: stage
+    ``s`` feeds stage ``s + 1`` through ``transfers[s]``.  A plan over a
+    single device has no transfers and is exactly the single-device
+    strategy.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        fleet: DeviceFleet,
+        placements: Sequence[StagePlacement],
+        transfers: Sequence[StageTransfer],
+        telemetry: Optional[SearchTelemetry] = None,
+        baseline_latency_seconds: Optional[float] = None,
+    ):
+        if not placements:
+            raise PartitionError("a partition plan needs at least one stage")
+        if len(transfers) != len(placements) - 1:
+            raise PartitionError(
+                f"{len(placements)} stages need {len(placements) - 1} "
+                f"transfers, got {len(transfers)}"
+            )
+        expected = 0
+        for placement in placements:
+            if placement.start != expected:
+                raise PartitionError(
+                    f"stages must tile the network contiguously; stage "
+                    f"{placement.stage_id} starts at {placement.start}, "
+                    f"expected {expected}"
+                )
+            expected = placement.stop
+        if expected != len(network):
+            raise PartitionError(
+                f"stages cover {expected} layers, network has {len(network)}"
+            )
+        self.network = network
+        self.fleet = fleet
+        self.placements = list(placements)
+        self.transfers = list(transfers)
+        #: Telemetry of the search that produced this plan (None for
+        #: hand-assembled or deserialized plans).
+        self.telemetry = telemetry
+        #: Latency of the best *single-device* strategy on the fleet's
+        #: first device, for speedup reporting (None when infeasible
+        #: there, e.g. the model only fits when split).
+        self.baseline_latency_seconds = baseline_latency_seconds
+
+    # -- aggregate metrics ---------------------------------------------------
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.placements)
+
+    @property
+    def stage_seconds(self) -> List[float]:
+        return [p.latency_seconds for p in self.placements]
+
+    @property
+    def transfer_seconds(self) -> List[float]:
+        return [t.seconds for t in self.transfers]
+
+    @property
+    def bottleneck_seconds(self) -> float:
+        """Steady-state pipeline interval: the slowest stage or link."""
+        return max(self.stage_seconds + self.transfer_seconds)
+
+    @property
+    def latency_seconds(self) -> float:
+        """End-to-end latency of one image through the whole pipeline."""
+        return sum(self.stage_seconds) + sum(self.transfer_seconds)
+
+    @property
+    def throughput_images_per_s(self) -> float:
+        """Steady-state pipelined throughput (one image per bottleneck)."""
+        return 1.0 / self.bottleneck_seconds
+
+    @property
+    def total_ops(self) -> int:
+        return sum(p.strategy.total_ops for p in self.placements)
+
+    def effective_gops(self) -> float:
+        """Fleet-level effective performance at steady state."""
+        return self.total_ops / self.bottleneck_seconds / 1e9
+
+    def pipelined_speedup(self) -> Optional[float]:
+        """Steady-state speedup over the single-device baseline."""
+        if self.baseline_latency_seconds is None:
+            return None
+        return self.baseline_latency_seconds / self.bottleneck_seconds
+
+    # -- hooks into the rest of the stack ------------------------------------
+
+    def simulate(
+        self,
+        data: Optional[np.ndarray] = None,
+        weights: Optional[dict] = None,
+        seed: int = 0,
+    ):
+        """Run the cycle-approximate simulator stage by stage.
+
+        Returns a :class:`repro.sim.fleet.FleetSimulationResult` whose
+        functional output matches the unpartitioned network's and whose
+        timeline carries per-device and per-link spans.
+        """
+        from repro.sim.fleet import simulate_partition
+
+        return simulate_partition(self, data=data, weights=weights, seed=seed)
+
+    def serve(
+        self,
+        pipelines: int = 1,
+        policy: str = "least_loaded",
+        max_batch: int = 8,
+        max_wait_cycles: Optional[float] = None,
+    ):
+        """Stand up a simulated pipelined serving fleet for this plan.
+
+        Returns a :class:`repro.serve.pipeline.PipelineFleetScheduler`;
+        its metrics flow through the same ``ServingMetrics`` machinery
+        as single-device fleets, on the fleet's reference clock.
+        """
+        from repro.serve.pipeline import PipelineFleetScheduler
+
+        return PipelineFleetScheduler(
+            self,
+            pipelines=pipelines,
+            policy=policy,
+            max_batch=max_batch,
+            max_wait_cycles=max_wait_cycles,
+        )
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable description (devices recorded by name)."""
+        return {
+            "schema_version": PLAN_SCHEMA_VERSION,
+            "network": self.network.name,
+            "fleet": {
+                "devices": [d.name for d in self.fleet.devices],
+                "links": [
+                    {
+                        "bandwidth_bytes_per_s": link.bandwidth_bytes_per_s,
+                        "latency_s": link.latency_s,
+                    }
+                    for link in self.fleet.links
+                ],
+            },
+            "bottleneck_seconds": self.bottleneck_seconds,
+            "latency_seconds": self.latency_seconds,
+            "baseline_latency_seconds": self.baseline_latency_seconds,
+            "stages": [
+                {
+                    "stage_id": p.stage_id,
+                    "device_index": p.device_index,
+                    "range": [p.start, p.stop],
+                    "strategy": strategy_to_dict(p.strategy),
+                }
+                for p in self.placements
+            ],
+            "transfers": [
+                {"link_index": t.link_index, "tensor_bytes": t.tensor_bytes}
+                for t in self.transfers
+            ],
+        }
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    def report(self) -> str:
+        """Per-stage table plus the pipeline-level numbers."""
+        lines = [
+            f"Partition of {self.network.name} across {self.fleet.name}: "
+            f"{self.num_stages} stage(s), "
+            f"bottleneck {self.bottleneck_seconds * 1e3:.2f} ms "
+            f"({self.throughput_images_per_s:.1f} img/s pipelined), "
+            f"end-to-end latency {self.latency_seconds * 1e3:.2f} ms, "
+            f"{self.effective_gops():.1f} effective GOPS"
+        ]
+        header = (
+            f"{'stage':>5} {'device':<10} {'layers':<18} {'groups':>6} "
+            f"{'latency ms':>11} {'share':>6}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        bottleneck = self.bottleneck_seconds
+        for p in self.placements:
+            first = self.network[p.start].name
+            last = self.network[p.stop - 1].name
+            span = first if p.num_layers == 1 else f"{first}..{last}"
+            lines.append(
+                f"{p.stage_id:>5} {p.device.name:<10} {span:<18} "
+                f"{len(p.strategy.designs):>6} "
+                f"{p.latency_seconds * 1e3:>11.2f} "
+                f"{p.latency_seconds / bottleneck * 100:>5.0f}%"
+            )
+            if p.stage_id < len(self.transfers):
+                t = self.transfers[p.stage_id]
+                lines.append(
+                    f"{'':>5} {'-> link':<10} "
+                    f"{t.tensor_bytes / 1024:.0f} KB cut tensor"
+                    f"{'':<4} {'':>6} {t.seconds * 1e3:>11.3f} "
+                    f"{t.seconds / bottleneck * 100:>5.0f}%"
+                )
+        speedup = self.pipelined_speedup()
+        if speedup is not None and self.num_stages > 1:
+            lines.append(
+                f"single-device baseline on {self.fleet.devices[0].name}: "
+                f"{self.baseline_latency_seconds * 1e3:.2f} ms/img "
+                f"-> pipelined speedup {speedup:.2f}x"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionPlan(network={self.network.name!r}, "
+            f"stages={self.num_stages}, "
+            f"bottleneck={self.bottleneck_seconds * 1e3:.2f}ms)"
+        )
+
+
+def plan_from_dict(
+    payload: dict,
+    network: Network,
+    fleet: Optional[DeviceFleet] = None,
+    context: Optional[CostModel] = None,
+) -> PartitionPlan:
+    """Rebuild a plan by re-evaluating every stage strategy.
+
+    Args:
+        payload: A dict produced by :meth:`PartitionPlan.to_dict`.
+        network: The (accelerated-prefix) network the plan was built for.
+        fleet: Target fleet; defaults to the recorded catalog devices
+            and link parameters.
+        context: Shared evaluation layer for the re-evaluation drift
+            check (see :mod:`repro.optimizer.serialize`).
+
+    Raises:
+        PartitionError: On schema mismatches or stage/network drift.
+    """
+    version = payload.get("schema_version")
+    if version != PLAN_SCHEMA_VERSION:
+        raise PartitionError(
+            f"unsupported partition schema version {version!r} "
+            f"(expected {PLAN_SCHEMA_VERSION})"
+        )
+    if fleet is None:
+        recorded = payload["fleet"]
+        fleet = DeviceFleet.from_spec(recorded["devices"])
+        fleet = DeviceFleet(
+            fleet.devices,
+            [
+                Link(
+                    bandwidth_bytes_per_s=entry["bandwidth_bytes_per_s"],
+                    latency_s=entry["latency_s"],
+                )
+                for entry in recorded["links"]
+            ],
+        )
+    placements = []
+    for entry in payload.get("stages", []):
+        start, stop = entry["range"]
+        device = fleet.devices[entry["device_index"]]
+        subnet = (
+            network
+            if start == 0 and stop == len(network)
+            else network.slice(start, stop)
+        )
+        strategy = strategy_from_dict(
+            entry["strategy"], subnet, device, context=context
+        )
+        placements.append(
+            StagePlacement(
+                stage_id=entry["stage_id"],
+                device_index=entry["device_index"],
+                start=start,
+                stop=stop,
+                strategy=strategy,
+            )
+        )
+    transfers = []
+    for entry in payload.get("transfers", []):
+        index = entry["link_index"]
+        transfers.append(
+            StageTransfer(
+                link_index=index,
+                link=fleet.links[index],
+                tensor_bytes=entry["tensor_bytes"],
+            )
+        )
+    return PartitionPlan(
+        network,
+        fleet,
+        placements,
+        transfers,
+        baseline_latency_seconds=payload.get("baseline_latency_seconds"),
+    )
+
+
+def load_plan(
+    path: Union[str, Path],
+    network: Network,
+    fleet: Optional[DeviceFleet] = None,
+    context: Optional[CostModel] = None,
+) -> PartitionPlan:
+    """Read a plan JSON file and rebuild the PartitionPlan."""
+    payload = json.loads(Path(path).read_text())
+    return plan_from_dict(payload, network, fleet, context=context)

@@ -99,6 +99,11 @@ class SearchTelemetry:
         wall_time_s: Total wall-clock time spent inside group searches.
         group_wall_times: Per-group wall time, keyed by
             ``(network, device, start, stop)``.
+        partition_stage_queries: Distinct (device, layer range) stage
+            costs the multi-FPGA cut DP evaluated
+            (:mod:`repro.partition.cut`).
+        partition_cuts_considered: Cut candidates the partition DP
+            scored (feasible upstream x feasible stage combinations).
     """
 
     evaluations: int = 0
@@ -110,11 +115,27 @@ class SearchTelemetry:
     group_wall_times: Dict[Tuple[str, str, int, int], float] = field(
         default_factory=dict
     )
+    partition_stage_queries: int = 0
+    partition_cuts_considered: int = 0
 
     @property
     def hit_rate(self) -> float:
         total = self.evaluations + self.cache_hits
         return self.cache_hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable counters (the ``--json --stats`` payload)."""
+        return {
+            "evaluations": self.evaluations,
+            "cache_hits": self.cache_hits,
+            "hit_rate": self.hit_rate,
+            "nodes_visited": self.nodes_visited,
+            "nodes_pruned": self.nodes_pruned,
+            "groups_searched": self.groups_searched,
+            "wall_time_s": self.wall_time_s,
+            "partition_stage_queries": self.partition_stage_queries,
+            "partition_cuts_considered": self.partition_cuts_considered,
+        }
 
     def summary(self, slowest: int = 5) -> str:
         """Human-readable telemetry block (``repro compile --stats``)."""
@@ -128,6 +149,13 @@ class SearchTelemetry:
             f"  groups searched:         {self.groups_searched:,}",
             f"  search wall time:        {self.wall_time_s:.3f} s",
         ]
+        if self.partition_stage_queries:
+            lines.append(
+                f"  partition stage costs:   {self.partition_stage_queries:,}"
+            )
+            lines.append(
+                f"  partition cuts scored:   {self.partition_cuts_considered:,}"
+            )
         if self.group_wall_times:
             worst = sorted(
                 self.group_wall_times.items(), key=lambda kv: -kv[1]

@@ -25,6 +25,12 @@ from repro.serve.metrics import (
     aggregate_metrics,
     percentile,
 )
+from repro.serve.pipeline import (
+    PipelineFleetScheduler,
+    PipelineReplica,
+    PipelineServiceModel,
+    build_pipeline_model,
+)
 from repro.serve.runtime import AcceleratorReplica, ReplicaStats, build_fleet
 from repro.serve.scheduler import (
     FleetScheduler,
@@ -38,6 +44,9 @@ __all__ = [
     "DynamicBatcher",
     "FleetScheduler",
     "InferenceRequest",
+    "PipelineFleetScheduler",
+    "PipelineReplica",
+    "PipelineServiceModel",
     "Policy",
     "ReplicaStats",
     "RequestRecord",
@@ -46,6 +55,7 @@ __all__ = [
     "ServingResult",
     "aggregate_metrics",
     "build_fleet",
+    "build_pipeline_model",
     "percentile",
     "synthetic_arrivals",
 ]

@@ -1,0 +1,255 @@
+"""Pipelined fleet serving: one PartitionPlan behind the dynamic batcher.
+
+Where :class:`~repro.serve.scheduler.FleetScheduler` serves batches on N
+*identical replicas* of one device, this module serves them on one (or
+more) *pipelines* of heterogeneous stages: each batch flows stage 0 ->
+link -> stage 1 -> ... and a new batch may enter stage 0 while earlier
+batches occupy downstream stages — that overlap is where the partition
+plan's throughput comes from.
+
+Everything runs on one virtual clock in the fleet's **reference cycles**
+(the first device's clock): each stage's batched service model — the
+same :class:`~repro.sim.simulator.ServiceModel` a single-device fleet
+uses, built from the stage's strategy — is rescaled by the ratio of
+clocks, and link transfers convert through the reference frequency.
+Metrics flow through the unchanged ``ServingMetrics`` machinery, with
+one :class:`~repro.serve.runtime.ReplicaStats` row per pipeline stage
+so per-device utilization is visible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.serve.batcher import InferenceRequest, ServingError
+from repro.serve.runtime import ReplicaStats
+from repro.serve.scheduler import FleetScheduler, Policy
+from repro.sim.simulator import ServiceModel, build_service_model
+
+
+class _ScaledStage:
+    """One stage's batched service times, in reference cycles."""
+
+    def __init__(self, model: ServiceModel, scale: float, label: str):
+        self.model = model
+        self.scale = scale
+        self.label = label
+
+    def batch_cycles(self, batch_size: int) -> float:
+        return self.model.batch_cycles(batch_size) * self.scale
+
+
+class PipelineServiceModel:
+    """Batch-aware timing of a whole pipeline, in reference cycles.
+
+    Drop-in for :class:`~repro.sim.simulator.ServiceModel` where the
+    scheduler reads it: ``batch_cycles(B)`` is one batch's full
+    traversal (the latency term), while :meth:`bottleneck_cycles` is the
+    slowest stage or link (the throughput term a pipeline sustains).
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[_ScaledStage],
+        transfer_cycles: Sequence[Callable[[int], float]],
+    ):
+        if not stages:
+            raise ServingError("a pipeline needs at least one stage")
+        if len(transfer_cycles) != len(stages) - 1:
+            raise ServingError(
+                f"{len(stages)} stages need {len(stages) - 1} transfers, "
+                f"got {len(transfer_cycles)}"
+            )
+        self.stages = list(stages)
+        self.transfer_cycles = list(transfer_cycles)
+
+    def batch_cycles(self, batch_size: int) -> float:
+        """Reference cycles for one batch to traverse every stage."""
+        total = 0.0
+        for index, stage in enumerate(self.stages):
+            total += stage.batch_cycles(batch_size)
+            if index < len(self.transfer_cycles):
+                total += self.transfer_cycles[index](batch_size)
+        return total
+
+    @property
+    def single_image_cycles(self) -> float:
+        """Pipeline latency of a lone image — the request-latency floor."""
+        return self.batch_cycles(1)
+
+    def bottleneck_cycles(self, batch_size: int) -> float:
+        """Slowest stage or link for one batch — the initiation interval."""
+        spans = [stage.batch_cycles(batch_size) for stage in self.stages]
+        spans.extend(fn(batch_size) for fn in self.transfer_cycles)
+        return max(spans)
+
+    def throughput_per_cycle(self, batch_size: int) -> float:
+        """Steady-state images per reference cycle under full batches."""
+        return batch_size / self.bottleneck_cycles(batch_size)
+
+
+class PipelineReplica:
+    """One pipeline instance: a chain of stage executors plus links.
+
+    Presents the same surface the scheduler's event loop dispatches to
+    (``busy_until`` / ``execute`` / ``stats``), with ``busy_until``
+    meaning *the head stage's* availability — downstream stages drain
+    concurrently with newly admitted batches.
+    """
+
+    def __init__(self, replica_id: int, model: PipelineServiceModel):
+        self.replica_id = replica_id
+        self.model = model
+        stages = len(model.stages)
+        self._stage_busy_until = [0.0] * stages
+        self._stage_busy_cycles = [0.0] * stages
+        self._link_busy_until = [0.0] * (stages - 1)
+        self.batches = 0
+        self.requests = 0
+
+    @property
+    def busy_until(self) -> float:
+        """When the head stage can admit the next batch."""
+        return self._stage_busy_until[0]
+
+    def execute(
+        self, batch: Sequence[InferenceRequest], dispatch_cycle: float
+    ) -> Tuple[float, float]:
+        """Push one batch down the pipeline.
+
+        Returns ``(head_start_cycle, tail_completion_cycle)``.  Batches
+        are served in dispatch order at every stage (each stage and link
+        is busy until its previous batch clears it).
+        """
+        if not batch:
+            raise ServingError("cannot execute an empty batch")
+        size = len(batch)
+        clock = dispatch_cycle
+        head_start = None
+        for index, stage in enumerate(self.model.stages):
+            start = max(clock, self._stage_busy_until[index])
+            service = stage.batch_cycles(size)
+            end = start + service
+            self._stage_busy_until[index] = end
+            self._stage_busy_cycles[index] += service
+            if index == 0:
+                head_start = start
+            clock = end
+            if index < len(self.model.transfer_cycles):
+                transfer = self.model.transfer_cycles[index](size)
+                begin = max(clock, self._link_busy_until[index])
+                self._link_busy_until[index] = begin + transfer
+                clock = begin + transfer
+        self.batches += 1
+        self.requests += size
+        return head_start, clock
+
+    def stage_stats(self) -> List[ReplicaStats]:
+        """One stats row per stage (utilization per fleet device)."""
+        return [
+            ReplicaStats(
+                replica_id=self.replica_id * len(self.model.stages) + index,
+                batches=self.batches,
+                requests=self.requests,
+                busy_cycles=self._stage_busy_cycles[index],
+            )
+            for index in range(len(self.model.stages))
+        ]
+
+    def stats(self) -> ReplicaStats:
+        """Aggregate stats (head-stage view), for scheduler compatibility."""
+        return ReplicaStats(
+            replica_id=self.replica_id,
+            batches=self.batches,
+            requests=self.requests,
+            busy_cycles=self._stage_busy_cycles[0],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PipelineReplica(id={self.replica_id}, "
+            f"stages={len(self.model.stages)}, requests={self.requests})"
+        )
+
+
+def build_pipeline_model(plan) -> PipelineServiceModel:
+    """Derive the reference-cycle pipeline timing of a PartitionPlan."""
+    reference_hz = plan.fleet.reference_frequency_hz
+    stages = []
+    for placement in plan.placements:
+        device = placement.device
+        stages.append(
+            _ScaledStage(
+                build_service_model(placement.strategy),
+                scale=reference_hz / device.frequency_hz,
+                label=f"{device.name}[{placement.stage_id}]",
+            )
+        )
+    transfer_cycles = []
+    for transfer in plan.transfers:
+        link, tensor_bytes = transfer.link, transfer.tensor_bytes
+
+        def cycles(batch_size: int, link=link, tensor_bytes=tensor_bytes):
+            # One tensor per image; the link's setup latency is paid per
+            # batch (the images stream back to back).
+            seconds = (
+                link.latency_s
+                + batch_size * tensor_bytes / link.bandwidth_bytes_per_s
+            )
+            return seconds * reference_hz
+
+        transfer_cycles.append(cycles)
+    return PipelineServiceModel(stages, transfer_cycles)
+
+
+class PipelineFleetScheduler(FleetScheduler):
+    """Serves request traces against pipelined copies of a PartitionPlan.
+
+    The scheduler, batcher, policies and metrics are inherited unchanged
+    from :class:`FleetScheduler`; only the executors differ — each
+    "replica" is a whole pipeline whose admission point is its head
+    stage.  ``pipelines > 1`` models several independent fleets behind
+    one batcher.
+    """
+
+    def __init__(
+        self,
+        plan,
+        pipelines: int = 1,
+        policy: Union[str, Policy] = Policy.LEAST_LOADED,
+        max_batch: int = 8,
+        max_wait_cycles: Optional[float] = None,
+    ):
+        if pipelines < 1:
+            raise ServingError(f"need >= 1 pipeline, got {pipelines}")
+        self.plan = plan
+        model = build_pipeline_model(plan)
+        super().__init__(
+            model,
+            replicas=pipelines,
+            policy=policy,
+            max_batch=max_batch,
+            max_wait_cycles=max_wait_cycles,
+            frequency_hz=plan.fleet.reference_frequency_hz,
+            ops_per_request=plan.total_ops,
+            reference_gops=plan.effective_gops(),
+        )
+
+    def per_request_capacity_cycles(self) -> float:
+        """Pipeline capacity is bottleneck-bound, not traversal-bound."""
+        return (
+            self.service_model.bottleneck_cycles(self.max_batch)
+            / self.max_batch
+        )
+
+    def _build_replicas(self) -> List[PipelineReplica]:
+        return [
+            PipelineReplica(i, self.service_model)
+            for i in range(self.num_replicas)
+        ]
+
+    def _collect_stats(self, fleet) -> List[ReplicaStats]:
+        stats: List[ReplicaStats] = []
+        for replica in fleet:
+            stats.extend(replica.stage_stats())
+        return stats

@@ -179,6 +179,14 @@ class FleetScheduler:
             return fleet[rotation % len(fleet)]
         return min(fleet, key=lambda r: (r.busy_until, r.replica_id))
 
+    def _build_replicas(self) -> List[AcceleratorReplica]:
+        """The executors one run dispatches to (overridable: pipelines)."""
+        return build_fleet(self.service_model, self.num_replicas)
+
+    def _collect_stats(self, fleet) -> List:
+        """Per-executor stats for the metrics (overridable: per stage)."""
+        return [replica.stats() for replica in fleet]
+
     def run(self, arrival_cycles: Sequence[float]) -> ServingResult:
         """Serve an arrival trace to completion and aggregate metrics."""
         if len(arrival_cycles) == 0:
@@ -190,7 +198,7 @@ class FleetScheduler:
             InferenceRequest(request_id=i, arrival_cycle=t)
             for i, t in enumerate(arrivals)
         ]
-        fleet = build_fleet(self.service_model, self.num_replicas)
+        fleet = self._build_replicas()
         batcher = DynamicBatcher(self.max_batch, self.max_wait_cycles)
         records: List[RequestRecord] = []
         clock = 0.0
@@ -242,7 +250,7 @@ class FleetScheduler:
         records.sort(key=lambda r: r.request_id)
         metrics = aggregate_metrics(
             records,
-            [replica.stats() for replica in fleet],
+            self._collect_stats(fleet),
             frequency_hz=self.frequency_hz,
             ops_per_request=self.ops_per_request,
             single_image_cycles=self.service_model.single_image_cycles,

@@ -8,6 +8,12 @@ validated against the analytic latency of the optimizer's cost model).
 """
 
 from repro.sim.engines import layer_stream
+from repro.sim.fleet import (
+    FleetSimulationResult,
+    StageSpan,
+    TransferSpan,
+    simulate_partition,
+)
 from repro.sim.simulator import (
     GroupServiceModel,
     ServiceModel,
@@ -18,12 +24,16 @@ from repro.sim.simulator import (
 from repro.sim.trace import GroupTrace, LayerTrace
 
 __all__ = [
+    "FleetSimulationResult",
     "GroupServiceModel",
     "GroupTrace",
     "LayerTrace",
     "ServiceModel",
     "SimulationResult",
+    "StageSpan",
+    "TransferSpan",
     "build_service_model",
     "layer_stream",
+    "simulate_partition",
     "simulate_strategy",
 ]

@@ -48,3 +48,49 @@ def render_gantt(traces: List[GroupTrace], width: int = 64) -> str:
     if not traces:
         return "(no groups simulated)"
     return "\n".join(render_group_gantt(trace, width) for trace in traces)
+
+
+def render_fleet_gantt(result, width: int = 64) -> str:
+    """One row per fleet device plus one per link transfer.
+
+    ``result`` is a :class:`repro.sim.fleet.FleetSimulationResult`; rows
+    appear in pipeline order, so the staircase of ``#`` spans *is* the
+    image's journey through the fleet, with ``=`` spans marking the cut
+    tensor on each inter-device link.
+    """
+    if width < 10:
+        raise SimulationError("gantt width must be at least 10 columns")
+    total = result.latency_seconds
+    if total <= 0:
+        raise SimulationError("fleet timeline has no duration")
+
+    def bar(start_s: float, end_s: float, mark: str) -> str:
+        start = int(width * start_s / total)
+        end = max(start + 1, int(width * end_s / total))
+        end = min(end, width)
+        return "." * start + mark * (end - start) + " " * (width - end)
+
+    lines = [
+        f"fleet timeline: {total * 1e3:.2f} ms latency, interval "
+        f"{result.pipeline_interval_seconds * 1e3:.2f} ms"
+    ]
+    transfers = {t.link_index: t for t in result.transfers}
+    name_width = max(
+        [len(f"{s.device_name}[{s.stage_id}]") for s in result.stages]
+        + [len(f"link[{t.link_index}]") for t in result.transfers] or [0]
+    )
+    for stage in result.stages:
+        label = f"{stage.device_name}[{stage.stage_id}]"
+        lines.append(
+            f"  {label:<{name_width}} |{bar(stage.start_s, stage.end_s, '#')}| "
+            f"{stage.seconds * 1e3:>9.2f} ms"
+        )
+        transfer = transfers.get(stage.stage_id)
+        if transfer is not None:
+            label = f"link[{transfer.link_index}]"
+            lines.append(
+                f"  {label:<{name_width}} "
+                f"|{bar(transfer.start_s, transfer.end_s, '=')}| "
+                f"{transfer.seconds * 1e3:>9.2f} ms"
+            )
+    return "\n".join(lines)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -31,6 +31,9 @@ from repro.nn.caffe import network_from_prototxt
 from repro.nn.network import Network
 from repro.optimizer.dp import optimize
 from repro.optimizer.strategy import Strategy
+from repro.partition.cut import partition_network
+from repro.partition.fleet import DeviceFleet, Link
+from repro.partition.plan import PartitionPlan
 from repro.perf.cost import CostModel, SearchTelemetry
 from repro.sim.simulator import SimulationResult, simulate_strategy
 
@@ -162,4 +165,63 @@ def compile_model(
     project = generate_project(strategy, output_dir=output_dir, weights=weights)
     return CompileResult(
         network=network, device=target, strategy=strategy, project=project
+    )
+
+
+def partition_model(
+    model: Union[str, Path, Network],
+    devices: Union[str, Sequence, DeviceFleet] = "zc706,zc706",
+    link: Optional[Link] = None,
+    transfer_constraint_bytes: Optional[int] = None,
+    accelerated_only: bool = True,
+    explore_tile_sizes: bool = False,
+    node_budget: int = 250_000,
+    workers: Optional[int] = None,
+    context: Optional[CostModel] = None,
+) -> PartitionPlan:
+    """Split a model across a fleet of FPGAs for pipelined execution.
+
+    The multi-device sibling of :func:`compile_model`: the same model
+    resolution and accelerated-prefix trimming, but the optimization
+    axis gains device boundaries — the cut-point DP of
+    :mod:`repro.partition.cut` places each contiguous layer range on one
+    fleet device, pricing every candidate stage with the single-device
+    DP through a shared evaluation context.
+
+    Args:
+        model: Prototxt path, prototxt text, or an in-memory Network.
+        devices: Fleet spec — ``"zc706,zcu102"``, a sequence of catalog
+            names / :class:`FPGADevice` objects, or a ready
+            :class:`~repro.partition.fleet.DeviceFleet`.
+        link: Link used between every adjacent device pair when
+            ``devices`` is not already a fleet (default: the 2 GB/s
+            board-to-board link).
+        transfer_constraint_bytes: Optional per-stage DRAM feature-map
+            budget (each board gets the paper's T separately).
+        accelerated_only / explore_tile_sizes / node_budget / workers /
+            context: As in :func:`compile_model`.
+
+    Returns:
+        A :class:`~repro.partition.plan.PartitionPlan` with one
+        single-device :class:`Strategy` per stage plus ``simulate()``
+        and ``serve()`` hooks.  A 1-device fleet returns a plan whose
+        stage strategy is exactly the single-device optimum.
+    """
+    network = _resolve_network(model)
+    if accelerated_only:
+        network = network.accelerated_prefix()
+    if len(network) == 0:
+        raise OptimizationError("no accelerator-eligible layers in the model")
+    if isinstance(devices, DeviceFleet):
+        fleet = devices
+    else:
+        fleet = DeviceFleet.from_spec(devices, link=link)
+    return partition_network(
+        network,
+        fleet,
+        transfer_constraint_bytes=transfer_constraint_bytes,
+        explore_tile_sizes=explore_tile_sizes,
+        node_budget=node_budget,
+        context=context,
+        workers=workers,
     )

@@ -113,6 +113,20 @@ class TestCompile:
         err = capsys.readouterr().err
         assert "error:" in err
 
+    def test_compile_json(self, capsys):
+        import json
+
+        code = main(
+            ["compile", "tiny_cnn", "--device", "testchip", "--json", "--stats"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["network"] == "tiny_cnn"
+        assert payload["device"] == "testchip"
+        assert payload["latency_seconds"] > 0
+        assert payload["telemetry"]["evaluations"] > 0
+        assert payload["groups"]
+
 
 class TestSweep:
     def test_sweep_table(self, capsys):
@@ -150,6 +164,105 @@ class TestSweep:
         )
         assert code == 0
         assert "speedup vs [1]" in capsys.readouterr().out
+
+    def test_sweep_json(self, capsys):
+        import json
+
+        net = models.tiny_cnn()
+        lo = net.min_fused_transfer_bytes()
+        hi = net.feature_map_bytes()
+        code = main(
+            [
+                "sweep",
+                "tiny_cnn",
+                "--device",
+                "testchip",
+                "--constraints",
+                f"{lo}B,{hi}B",
+                "--baseline",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["device"] == "testchip"
+        assert len(payload["rows"]) == 2
+        assert payload["rows"][0]["constraint_bytes"] == lo
+        assert all(row["speedup_vs_baseline"] > 0 for row in payload["rows"])
+        # The looser budget can only help.
+        assert (
+            payload["rows"][1]["latency_cycles"]
+            <= payload["rows"][0]["latency_cycles"]
+        )
+
+
+class TestPartition:
+    def test_partition_report(self, capsys):
+        code = main(
+            ["partition", "tiny_cnn", "--devices", "testchip,testchip"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet testchip+testchip" in out
+        assert "Partition of tiny_cnn" in out
+        assert "pipelined" in out
+
+    def test_partition_simulate_and_stats(self, capsys):
+        code = main(
+            [
+                "partition",
+                "tiny_cnn",
+                "--devices",
+                "testchip,testchip",
+                "--simulate",
+                "--stats",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "search telemetry:" in out
+        assert "fleet simulation:" in out
+        assert "fleet timeline:" in out
+
+    def test_partition_json_and_save(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "plan.json"
+        code = main(
+            [
+                "partition",
+                "tiny_cnn",
+                "--devices",
+                "testchip,testchip",
+                "--json",
+                "--save",
+                str(path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fleet"]["devices"] == ["testchip", "testchip"]
+        assert payload["stages"]
+        assert json.loads(path.read_text()) == payload
+
+    def test_partition_link_flags(self, capsys):
+        """A crawling link forces the whole model onto one board."""
+        code = main(
+            [
+                "partition",
+                "tiny_cnn",
+                "--devices",
+                "testchip,testchip",
+                "--link-gbs",
+                "0.000001",
+            ]
+        )
+        assert code == 0
+        assert "1 stage(s)" in capsys.readouterr().out
+
+    def test_partition_unknown_device_is_clean_error(self, capsys):
+        assert main(["partition", "tiny_cnn", "--devices", "nope,nope"]) == 1
+        assert capsys.readouterr().err.startswith("error:")
 
 
 class TestServeSim:

@@ -153,6 +153,37 @@ class TestValidation:
             scheduler().saturating_interarrival(load=0)
 
 
+class TestEdgeCases:
+    def test_empty_open_loop_rejected(self):
+        """num_requests=0 is caught before the event loop ever starts."""
+        with pytest.raises(ServingError):
+            scheduler().run_open_loop(0, load=1.0)
+
+    def test_single_replica_policies_agree(self):
+        """With one replica there is nothing to place: identical traces."""
+        arrivals = synthetic_arrivals(48, 60, np.random.default_rng(7))
+        rr = scheduler(replicas=1, policy="round_robin").run(arrivals)
+        ll = scheduler(replicas=1, policy="least_loaded").run(arrivals)
+        assert rr.records == ll.records
+
+    def test_least_loaded_ties_break_to_lowest_id(self):
+        """Three idle replicas, three back-to-back singleton batches:
+        equal busy_until must resolve 0, 1, 2 — not arbitrarily."""
+        result = scheduler(
+            replicas=3, max_batch=1, policy="least_loaded"
+        ).run([0, 0, 0])
+        records = by_id(result)
+        assert [records[i].replica_id for i in range(3)] == [0, 1, 2]
+
+    def test_tie_breaking_is_deterministic(self):
+        arrivals = [0.0] * 12
+        a = scheduler(replicas=4, max_batch=1).run(arrivals)
+        b = scheduler(replicas=4, max_batch=1).run(arrivals)
+        assert [r.replica_id for r in a.records] == [
+            r.replica_id for r in b.records
+        ]
+
+
 class TestSyntheticArrivals:
     def test_starts_at_zero_and_sorted(self):
         trace = synthetic_arrivals(100, 50, np.random.default_rng(1))
