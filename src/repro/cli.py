@@ -213,6 +213,12 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     from repro.sim.gantt import render_fleet_gantt
     from repro.toolflow import partition_model
 
+    if args.faults:
+        # Parse eagerly: a bad spec fails in milliseconds, before the
+        # partition search runs.
+        from repro.faults import FaultSpec
+
+        FaultSpec.parse(args.faults)
     network = _load_model(args.model)
     link = Link(
         bandwidth_bytes_per_s=args.link_gbs * 1e9,
@@ -230,9 +236,12 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         if args.stats and plan.telemetry is not None:
             payload["telemetry"] = plan.telemetry.to_dict()
         if args.simulate:
-            sim = plan.simulate()
+            sim = plan.simulate(faults=args.faults, fault_seed=args.seed)
             payload["simulated_latency_seconds"] = sim.latency_seconds
             payload["simulated_interval_seconds"] = sim.pipeline_interval_seconds
+        if args.serve is not None:
+            serving = _serve_partition(plan, args)
+            payload["serving"] = serving.metrics.to_dict()
         print(json.dumps(payload, indent=2))
     else:
         print(fleet.describe())
@@ -242,11 +251,22 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             print()
             print(plan.telemetry.summary())
         if args.simulate:
-            sim = plan.simulate()
+            sim = plan.simulate(faults=args.faults, fault_seed=args.seed)
             print()
             print(sim.report())
             print()
             print(render_fleet_gantt(sim))
+        if args.serve is not None:
+            serving = _serve_partition(plan, args)
+            print()
+            print(
+                f"served {args.serve} synthetic requests through "
+                f"{args.pipelines} pipeline(s) at {args.load:.2f}x load "
+                f"(seed {args.seed}"
+                + (f", faults {args.faults!r}" if args.faults else "")
+                + ")"
+            )
+            print(serving.summary())
     if args.save:
         path = plan.save(args.save)
         if not args.json:
@@ -254,9 +274,31 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_partition(plan, args: argparse.Namespace):
+    """Run the pipelined serving simulation a ``--serve`` flag asked for."""
+    import numpy as np
+
+    fleet = plan.serve(
+        pipelines=args.pipelines,
+        faults=args.faults,
+        fault_seed=args.seed,
+    )
+    return fleet.run_open_loop(
+        num_requests=args.serve,
+        load=args.load,
+        rng=np.random.default_rng(args.seed),
+    )
+
+
 def _cmd_serve_sim(args: argparse.Namespace) -> int:
     import numpy as np
 
+    if args.faults:
+        # Parse eagerly: a bad spec fails in milliseconds, before the
+        # compile step runs.
+        from repro.faults import FaultSpec
+
+        FaultSpec.parse(args.faults)
     network = _load_model(args.model)
     result = compile_model(
         network, device=args.device, transfer_constraint_bytes=args.transfer
@@ -266,7 +308,19 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         policy=args.policy,
         max_batch=args.max_batch,
         max_wait_cycles=args.max_wait,
+        faults=args.faults,
+        fault_seed=args.fault_seed if args.fault_seed is not None else args.seed,
+        max_queue=args.max_queue,
+        slo_cycles=args.slo,
     )
+    serving = fleet.run_open_loop(
+        num_requests=args.requests,
+        load=args.load,
+        rng=np.random.default_rng(args.seed),
+    )
+    if args.json:
+        print(json.dumps(serving.metrics.to_dict(), indent=2))
+        return 0
     print(
         f"serving {network.name} on {args.replicas} x {args.device} "
         f"(policy {args.policy}, max batch {args.max_batch}, "
@@ -276,11 +330,9 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         f"open-loop trace: {args.requests} requests at {args.load:.2f}x one "
         f"replica's peak rate (seed {args.seed})"
     )
-    serving = fleet.run_open_loop(
-        num_requests=args.requests,
-        load=args.load,
-        rng=np.random.default_rng(args.seed),
-    )
+    if args.faults:
+        print(f"fault schedule: {args.faults!r} (fault seed "
+              f"{args.fault_seed if args.fault_seed is not None else args.seed})")
     print()
     print(serving.summary())
     return 0
@@ -421,6 +473,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the plan as JSON instead of the report table",
     )
+    part_p.add_argument(
+        "--serve", type=int, default=None, metavar="N",
+        help="also serve N synthetic requests through the pipelined fleet",
+    )
+    part_p.add_argument(
+        "--pipelines", type=int, default=1,
+        help="independent pipeline copies behind one batcher (default 1)",
+    )
+    part_p.add_argument(
+        "--load", type=float, default=1.5,
+        help="offered load for --serve, relative to one pipeline's peak "
+        "rate (default 1.5)",
+    )
+    part_p.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="deterministic fault schedule for --simulate/--serve, e.g. "
+        "'link:index=0,at=1e5,for=2e4,scale=4;crash:replica=0,at=2e6,"
+        "down=1e6' (kinds: crash, transient, brownout, link)",
+    )
+    part_p.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for --serve arrivals and the fault injector",
+    )
     part_p.set_defaults(func=_cmd_partition)
 
     serve_p = sub.add_parser(
@@ -459,6 +534,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_p.add_argument(
         "--seed", type=int, default=0, help="arrival-trace RNG seed"
+    )
+    serve_p.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="deterministic fault schedule, e.g. "
+        "'transient:p=0.1;crash:replica=1,at=2e6,down=1e6' "
+        "(kinds: crash, transient, brownout, link)",
+    )
+    serve_p.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="seed of the transient-failure draws (default: --seed)",
+    )
+    serve_p.add_argument(
+        "--max-queue", type=int, default=None,
+        help="admission-control bound: shed arrivals beyond this many "
+        "queued requests (default: unbounded)",
+    )
+    serve_p.add_argument(
+        "--slo", type=float, default=None, metavar="CYCLES",
+        help="latency SLO in cycles; reports SLO attainment",
+    )
+    serve_p.add_argument(
+        "--json", action="store_true",
+        help="emit the metrics as JSON instead of the summary text",
     )
     serve_p.set_defaults(func=_cmd_serve_sim)
 

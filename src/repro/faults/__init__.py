@@ -1,0 +1,52 @@
+"""Deterministic fault injection for the serving and fleet layers.
+
+``repro.faults`` models what production FPGA fleets actually suffer —
+board crashes with recovery, transient batch failures, DRAM-bandwidth
+brownouts, and inter-board link degradation/partition — as declarative,
+seeded schedules on the serving runtime's virtual clock.  The same
+:class:`FaultSpec` plus the same seed reproduces a bit-identical run,
+so resilience claims are regression-testable artifacts exactly like the
+paper's latency tables.
+
+Typical use::
+
+    from repro.faults import FaultSpec
+    from repro.toolflow import compile_model
+
+    fleet = compile_model("vgg19_prefix7", device="zc706").serve(
+        replicas=4,
+        faults="transient:p=0.1;crash:replica=1,at=2e6,down=1e6",
+        fault_seed=0,
+    )
+    result = fleet.run_open_loop(num_requests=400, load=4.0)
+    print(result.summary())   # goodput, retries, shed, SLO attainment
+
+Or from the command line::
+
+    repro serve-sim vgg19_prefix7 --replicas 4 --faults "transient:p=0.1"
+"""
+
+from repro.faults.injector import FaultInjector, counter_uniform
+from repro.faults.spec import (
+    FAULT_KINDS,
+    BrownoutFault,
+    CrashFault,
+    FaultError,
+    FaultSpec,
+    LinkFault,
+    RetryPolicy,
+    TransientFault,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "BrownoutFault",
+    "CrashFault",
+    "FaultError",
+    "FaultInjector",
+    "FaultSpec",
+    "LinkFault",
+    "RetryPolicy",
+    "TransientFault",
+    "counter_uniform",
+]

@@ -1,0 +1,198 @@
+"""Deterministic fault injector: turns a FaultSpec into runtime answers.
+
+The injector is the only stochastic component in a faulted serving run,
+and it is *counter-based*: every probabilistic draw is a pure function
+of ``(seed, replica, attempt_index)`` through a splitmix64 mix, so the
+outcome does not depend on numpy RNG state, platform, or the order in
+which unrelated replicas are queried.  Same seed + same spec + same
+arrival trace -> bit-identical serving results, which is what lets the
+chaos benchmarks pin exact numbers.
+
+Scheduled faults (crash windows, brownouts, link windows) are pure
+interval lookups and involve no randomness at all.
+
+One injector instance is built per :meth:`FleetScheduler.run` call —
+its transient-draw counters are part of the run's state and must start
+from zero every run.
+"""
+
+from __future__ import annotations
+
+from math import inf
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.spec import FaultSpec
+
+_MASK = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    x = (x + 0x9E3779B97F4A7C15) & _MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+    return x ^ (x >> 31)
+
+
+def counter_uniform(seed: int, stream: int, counter: int) -> float:
+    """Deterministic uniform in [0, 1) for draw ``counter`` of ``stream``."""
+    x = _splitmix64(seed & _MASK)
+    x = _splitmix64(x ^ _splitmix64((stream + 1) & _MASK))
+    x = _splitmix64(x ^ _splitmix64((counter + 1) & _MASK))
+    return x / 2.0**64
+
+
+class FaultInjector:
+    """Answers the scheduler's fault queries for one serving run.
+
+    Args:
+        spec: The declarative fault schedule.
+        seed: Seed of the transient-failure draws.
+        replicas: Fleet size; fault targets are validated against it.
+        links: Inter-stage links per pipeline (0 for flat fleets).
+        stages: Pipeline stages per replica (1 for flat fleets).
+    """
+
+    def __init__(
+        self,
+        spec: FaultSpec,
+        seed: int = 0,
+        replicas: int = 1,
+        links: int = 0,
+        stages: int = 1,
+    ):
+        spec.validate(replicas, links=links, stages=stages)
+        self.spec = spec
+        self.seed = int(seed)
+        self.num_replicas = replicas
+        # Down windows per replica; stage-targeted crashes fold into the
+        # owning replica's windows (a pipeline with a dead stage cannot
+        # complete batches, so the whole pipeline is down for the window).
+        self._down: Dict[int, List[Tuple[float, float]]] = {}
+        for event in spec.of_kind("crash"):
+            self._down.setdefault(event.replica, []).append(event.window)
+        for windows in self._down.values():
+            windows.sort()
+        self._brownouts: List[Tuple[Optional[int], float, float, float]] = [
+            (e.replica, e.window[0], e.window[1], e.scale)
+            for e in spec.of_kind("brownout")
+        ]
+        self._links: Dict[int, List[Tuple[float, float, float]]] = {}
+        for event in spec.of_kind("link"):
+            self._links.setdefault(event.index, []).append(
+                (event.window[0], event.window[1], event.scale)
+            )
+        for windows in self._links.values():
+            windows.sort()
+        # Combined per-batch failure probability per replica:
+        # independent transient faults compose as 1 - prod(1 - p).
+        self._transient: Dict[Optional[int], float] = {}
+        for event in spec.of_kind("transient"):
+            prior = self._transient.get(event.replica, 0.0)
+            self._transient[event.replica] = 1 - (1 - prior) * (
+                1 - event.probability
+            )
+        self._draws: Dict[int, int] = {}
+
+    # -- scheduled downtime --------------------------------------------------
+
+    def is_down(self, replica: int, cycle: float) -> bool:
+        """Whether ``replica`` is inside a crash window at ``cycle``."""
+        return any(
+            start <= cycle < end for start, end in self._down.get(replica, ())
+        )
+
+    def available_from(self, replica: int, cycle: float) -> float:
+        """Earliest cycle >= ``cycle`` the replica is up (inf: never)."""
+        windows = self._down.get(replica, ())
+        moved = True
+        while moved:
+            moved = False
+            for start, end in windows:
+                if start <= cycle < end:
+                    if end == inf:
+                        return inf
+                    cycle = end
+                    moved = True
+        return cycle
+
+    def crash_in(
+        self, replica: int, start: float, end: float
+    ) -> Optional[float]:
+        """Cycle of the first crash striking inside ``(start, end)``."""
+        hits = [
+            w_start
+            for w_start, _ in self._down.get(replica, ())
+            if start < w_start < end
+        ]
+        return min(hits) if hits else None
+
+    def health(self, replica: int, cycle: float, busy_until: float = 0.0) -> str:
+        """Operator view of one replica: ``up`` / ``draining`` / ``down``.
+
+        ``draining`` means the replica is up but a crash window opens
+        before its in-flight work (``busy_until``) completes — the work
+        is doomed and will be failed over.
+        """
+        if self.is_down(replica, cycle):
+            return "down"
+        if busy_until > cycle and self.crash_in(replica, cycle, busy_until):
+            return "draining"
+        return "up"
+
+    # -- service degradation -------------------------------------------------
+
+    def service_scale(self, replica: int, cycle: float) -> float:
+        """Service-time multiplier at ``cycle`` (overlapping brownouts stack)."""
+        scale = 1.0
+        for target, start, end, factor in self._brownouts:
+            if (target is None or target == replica) and start <= cycle < end:
+                scale *= factor
+        return scale
+
+    # -- probabilistic failures ----------------------------------------------
+
+    def transient_probability(self, replica: int) -> float:
+        fleet_wide = self._transient.get(None, 0.0)
+        targeted = self._transient.get(replica, 0.0)
+        return 1 - (1 - fleet_wide) * (1 - targeted)
+
+    def transient_failure(self, replica: int) -> bool:
+        """Draw the fate of one dispatched batch (advances the counter)."""
+        p = self.transient_probability(replica)
+        counter = self._draws.get(replica, 0)
+        self._draws[replica] = counter + 1
+        if p <= 0.0:
+            return False
+        return counter_uniform(self.seed, replica, counter) < p
+
+    # -- links (pipelined fleets) --------------------------------------------
+
+    def link_scale(self, index: int, cycle: float) -> float:
+        """Transfer-time multiplier for link ``index`` (partitions excluded)."""
+        scale = 1.0
+        for start, end, factor in self._links.get(index, ()):
+            if factor != inf and start <= cycle < end:
+                scale *= factor
+        return scale
+
+    def link_available_from(self, index: int, cycle: float) -> float:
+        """Earliest cycle >= ``cycle`` the link can carry a transfer.
+
+        A partitioned link (``scale=inf``) stalls transfers until the
+        partition heals; a window that never heals returns inf.
+        """
+        windows = [
+            (start, end)
+            for start, end, factor in self._links.get(index, ())
+            if factor == inf
+        ]
+        moved = True
+        while moved:
+            moved = False
+            for start, end in windows:
+                if start <= cycle < end:
+                    if end == inf:
+                        return inf
+                    cycle = end
+                    moved = True
+        return cycle

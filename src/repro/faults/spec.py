@@ -1,0 +1,381 @@
+"""Declarative fault schedules for the serving and fleet layers.
+
+A :class:`FaultSpec` is a *plan* of what goes wrong during a serving
+run, expressed entirely on the scheduler's virtual clock so the same
+spec plus the same seed reproduces a bit-identical trace.  Four fault
+kinds model the failure modes FPGA serving deployments actually see:
+
+* :class:`CrashFault` — a board goes down at a cycle and recovers after
+  ``down_cycles`` (or never).  In a pipelined fleet a crash may target
+  one *stage* of a pipeline; the whole pipeline fails over to a spare.
+* :class:`TransientFault` — each dispatched batch fails with
+  probability ``p`` (bit flips, DMA timeouts); the work is wasted and
+  the requests are retried.
+* :class:`BrownoutFault` — DRAM bandwidth degradation scaling a
+  replica's service time by ``scale`` over a window.
+* :class:`LinkFault` — a board-to-board link slows by ``scale`` or
+  partitions entirely (no ``scale``) over a window; only meaningful for
+  :class:`~repro.serve.pipeline.PipelineFleetScheduler` fleets.
+
+Specs parse from a compact CLI string (``repro serve-sim --faults``)::
+
+    crash:replica=1,at=2e5,down=1e5;transient:p=0.1
+    brownout:replica=0,at=1e5,for=5e4,scale=1.5
+    link:index=0,at=1e5,for=2e4,scale=4
+
+Events are separated by ``;``, keys by ``,``.  Malformed specs raise
+:class:`FaultError` with a one-line message, matching the CLI's clean
+error contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import inf, isnan
+from typing import Optional, Tuple, Union
+
+from repro.errors import ReproError
+
+
+class FaultError(ReproError):
+    """A fault specification is malformed or targets a missing resource."""
+
+
+def _positive(value: float, what: str) -> None:
+    if isnan(value) or value <= 0:
+        raise FaultError(f"{what} must be positive, got {value}")
+
+
+def _non_negative(value: float, what: str) -> None:
+    if isnan(value) or value < 0:
+        raise FaultError(f"{what} must be >= 0, got {value}")
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """A replica (or one stage of a pipeline) down for a window."""
+
+    replica: int
+    at_cycle: float
+    down_cycles: float = inf  # inf: the board never recovers
+    stage: Optional[int] = None  # pipelines only: which stage died
+
+    kind = "crash"
+
+    def __post_init__(self):
+        if self.replica < 0:
+            raise FaultError(f"crash replica must be >= 0, got {self.replica}")
+        _non_negative(self.at_cycle, "crash at_cycle")
+        _positive(self.down_cycles, "crash down_cycles")
+        if self.stage is not None and self.stage < 0:
+            raise FaultError(f"crash stage must be >= 0, got {self.stage}")
+
+    @property
+    def window(self) -> Tuple[float, float]:
+        return (self.at_cycle, self.at_cycle + self.down_cycles)
+
+
+@dataclass(frozen=True)
+class TransientFault:
+    """Each dispatched batch fails with probability ``p`` (seeded)."""
+
+    probability: float
+    replica: Optional[int] = None  # None: every replica
+
+    kind = "transient"
+
+    def __post_init__(self):
+        if isnan(self.probability) or not 0 <= self.probability <= 1:
+            raise FaultError(
+                f"transient probability must be in [0, 1], "
+                f"got {self.probability}"
+            )
+        if self.replica is not None and self.replica < 0:
+            raise FaultError(
+                f"transient replica must be >= 0, got {self.replica}"
+            )
+
+
+@dataclass(frozen=True)
+class BrownoutFault:
+    """Bandwidth brownout: service time scaled by ``scale`` in a window."""
+
+    at_cycle: float
+    scale: float
+    duration_cycles: float = inf
+    replica: Optional[int] = None  # None: every replica
+
+    kind = "brownout"
+
+    def __post_init__(self):
+        _non_negative(self.at_cycle, "brownout at_cycle")
+        _positive(self.duration_cycles, "brownout duration_cycles")
+        if isnan(self.scale) or self.scale < 1:
+            raise FaultError(
+                f"brownout scale must be >= 1 (a slowdown), got {self.scale}"
+            )
+        if self.replica is not None and self.replica < 0:
+            raise FaultError(
+                f"brownout replica must be >= 0, got {self.replica}"
+            )
+
+    @property
+    def window(self) -> Tuple[float, float]:
+        return (self.at_cycle, self.at_cycle + self.duration_cycles)
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Inter-stage link degraded by ``scale``, or partitioned (scale=inf)."""
+
+    index: int
+    at_cycle: float
+    duration_cycles: float = inf
+    scale: float = inf  # inf: full partition, transfers stall
+
+    kind = "link"
+
+    def __post_init__(self):
+        if self.index < 0:
+            raise FaultError(f"link index must be >= 0, got {self.index}")
+        _non_negative(self.at_cycle, "link at_cycle")
+        _positive(self.duration_cycles, "link duration_cycles")
+        if isnan(self.scale) or self.scale < 1:
+            raise FaultError(
+                f"link scale must be >= 1 (a slowdown), got {self.scale}"
+            )
+
+    @property
+    def window(self) -> Tuple[float, float]:
+        return (self.at_cycle, self.at_cycle + self.duration_cycles)
+
+    @property
+    def partitions(self) -> bool:
+        return self.scale == inf
+
+
+FaultEvent = Union[CrashFault, TransientFault, BrownoutFault, LinkFault]
+
+FAULT_KINDS = ("crash", "transient", "brownout", "link")
+
+#: Accepted keys per kind, mapped to the dataclass field they fill.
+_KEYS = {
+    "crash": {
+        "replica": ("replica", int),
+        "at": ("at_cycle", float),
+        "down": ("down_cycles", float),
+        "stage": ("stage", int),
+    },
+    "transient": {
+        "p": ("probability", float),
+        "replica": ("replica", int),
+    },
+    "brownout": {
+        "replica": ("replica", int),
+        "at": ("at_cycle", float),
+        "for": ("duration_cycles", float),
+        "scale": ("scale", float),
+    },
+    "link": {
+        "index": ("index", int),
+        "at": ("at_cycle", float),
+        "for": ("duration_cycles", float),
+        "scale": ("scale", float),
+    },
+}
+
+_REQUIRED = {
+    "crash": ("replica", "at"),
+    "transient": ("p",),
+    "brownout": ("at", "scale"),
+    "link": ("index", "at"),
+}
+
+_CTORS = {
+    "crash": CrashFault,
+    "transient": TransientFault,
+    "brownout": BrownoutFault,
+    "link": LinkFault,
+}
+
+
+def _parse_event(part: str) -> FaultEvent:
+    kind, _, body = part.partition(":")
+    kind = kind.strip().lower()
+    if kind not in _CTORS:
+        raise FaultError(
+            f"unknown fault kind {kind!r} "
+            f"(known kinds: {', '.join(FAULT_KINDS)})"
+        )
+    keys = _KEYS[kind]
+    fields = {}
+    for item in filter(None, (s.strip() for s in body.split(","))):
+        key, eq, raw = item.partition("=")
+        key = key.strip().lower()
+        if not eq or key not in keys:
+            raise FaultError(
+                f"bad {kind} fault parameter {item!r} "
+                f"(expected key=value with key in: {', '.join(keys)})"
+            )
+        field, cast = keys[key]
+        try:
+            fields[field] = cast(float(raw)) if cast is int else cast(raw)
+        except ValueError:
+            raise FaultError(
+                f"cannot parse {kind} fault value {raw.strip()!r} "
+                f"for {key!r}"
+            ) from None
+    for key in _REQUIRED[kind]:
+        if keys[key][0] not in fields:
+            raise FaultError(f"{kind} fault needs {key}= (in {part.strip()!r})")
+    return _CTORS[kind](**fields)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """An immutable bundle of fault events, the unit the CLI passes around."""
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    @classmethod
+    def none(cls) -> "FaultSpec":
+        """The explicit zero-fault spec (serving behaves exactly unfaulted)."""
+        return cls(())
+
+    @classmethod
+    def parse(cls, text: Optional[str]) -> "FaultSpec":
+        """Parse the CLI spec string; '' / 'none' mean no faults."""
+        if text is None:
+            return cls.none()
+        cleaned = text.strip()
+        if not cleaned or cleaned.lower() == "none":
+            return cls.none()
+        return cls(
+            tuple(
+                _parse_event(part)
+                for part in cleaned.split(";")
+                if part.strip()
+            )
+        )
+
+    @property
+    def empty(self) -> bool:
+        return not self.events
+
+    def of_kind(self, kind: str) -> Tuple[FaultEvent, ...]:
+        return tuple(e for e in self.events if e.kind == kind)
+
+    def validate(self, replicas: int, links: int = 0, stages: int = 1) -> None:
+        """Check every event targets a resource the fleet actually has."""
+        for event in self.events:
+            replica = getattr(event, "replica", None)
+            if replica is not None and replica >= replicas:
+                raise FaultError(
+                    f"{event.kind} fault targets replica {replica}, "
+                    f"fleet has {replicas}"
+                )
+            if event.kind == "link":
+                if links == 0:
+                    raise FaultError(
+                        "link faults need a pipelined (partitioned) fleet "
+                        "with at least one inter-stage link"
+                    )
+                if event.index >= links:
+                    raise FaultError(
+                        f"link fault targets link {event.index}, "
+                        f"pipeline has {links}"
+                    )
+            if event.kind == "crash" and event.stage is not None:
+                if stages <= 1:
+                    raise FaultError(
+                        "stage-targeted crash faults need a pipelined "
+                        "(partitioned) fleet"
+                    )
+                if event.stage >= stages:
+                    raise FaultError(
+                        f"crash fault targets stage {event.stage}, "
+                        f"pipeline has {stages}"
+                    )
+
+    def describe(self) -> str:
+        """One human-readable line per event."""
+        if self.empty:
+            return "no faults"
+        parts = []
+        for e in self.events:
+            if e.kind == "crash":
+                where = f"replica {e.replica}"
+                if e.stage is not None:
+                    where += f" stage {e.stage}"
+                until = (
+                    "never recovers"
+                    if e.down_cycles == inf
+                    else f"down {e.down_cycles:,.0f} cycles"
+                )
+                parts.append(f"crash({where} at {e.at_cycle:,.0f}, {until})")
+            elif e.kind == "transient":
+                who = "all replicas" if e.replica is None else f"replica {e.replica}"
+                parts.append(f"transient(p={e.probability:.2f} on {who})")
+            elif e.kind == "brownout":
+                who = "all replicas" if e.replica is None else f"replica {e.replica}"
+                span = (
+                    "onward"
+                    if e.duration_cycles == inf
+                    else f"for {e.duration_cycles:,.0f}"
+                )
+                parts.append(
+                    f"brownout({who} x{e.scale:g} at {e.at_cycle:,.0f} {span})"
+                )
+            else:
+                mode = "partition" if e.partitions else f"x{e.scale:g}"
+                span = (
+                    "onward"
+                    if e.duration_cycles == inf
+                    else f"for {e.duration_cycles:,.0f}"
+                )
+                parts.append(
+                    f"link({e.index} {mode} at {e.at_cycle:,.0f} {span})"
+                )
+        return "; ".join(parts)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the scheduler retries failed batches on the virtual clock.
+
+    A failed request is re-enqueued with a fresh ``arrival_cycle`` of
+    ``failure_cycle + backoff_cycles * backoff_factor**(attempt - 1)``
+    (exponential backoff), until it either completes, exhausts
+    ``max_attempts``, or its re-arrival would land past its per-request
+    deadline (``first_arrival + deadline_cycles``) — then it is dropped
+    and counted as failed.
+    """
+
+    max_attempts: int = 3
+    backoff_cycles: Optional[float] = None  # None: 1/4 single-image latency
+    backoff_factor: float = 2.0
+    deadline_cycles: Optional[float] = None  # None: no per-request deadline
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise FaultError(
+                f"retry max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_cycles is not None and self.backoff_cycles < 0:
+            raise FaultError(
+                f"retry backoff_cycles must be >= 0, got {self.backoff_cycles}"
+            )
+        if self.backoff_factor < 1:
+            raise FaultError(
+                f"retry backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.deadline_cycles is not None and self.deadline_cycles <= 0:
+            raise FaultError(
+                f"retry deadline_cycles must be positive, "
+                f"got {self.deadline_cycles}"
+            )
+
+    def backoff(self, attempts: int, base_cycles: float) -> float:
+        """Backoff after the ``attempts``-th failed attempt (1-based)."""
+        base = self.backoff_cycles if self.backoff_cycles is not None else base_cycles
+        return base * self.backoff_factor ** (attempts - 1)

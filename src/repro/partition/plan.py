@@ -172,16 +172,29 @@ class PartitionPlan:
         data: Optional[np.ndarray] = None,
         weights: Optional[dict] = None,
         seed: int = 0,
+        faults=None,
+        fault_seed: int = 0,
     ):
         """Run the cycle-approximate simulator stage by stage.
 
         Returns a :class:`repro.sim.fleet.FleetSimulationResult` whose
         functional output matches the unpartitioned network's and whose
-        timeline carries per-device and per-link spans.
+        timeline carries per-device and per-link spans.  ``faults``
+        (a :class:`repro.faults.FaultSpec` or its string form) degrades
+        the timeline deterministically — crashed stages stall through
+        their down windows, brownouts stretch compute, link faults
+        stretch or sever transfers.
         """
         from repro.sim.fleet import simulate_partition
 
-        return simulate_partition(self, data=data, weights=weights, seed=seed)
+        return simulate_partition(
+            self,
+            data=data,
+            weights=weights,
+            seed=seed,
+            faults=faults,
+            fault_seed=fault_seed,
+        )
 
     def serve(
         self,
@@ -189,12 +202,21 @@ class PartitionPlan:
         policy: str = "least_loaded",
         max_batch: int = 8,
         max_wait_cycles: Optional[float] = None,
+        faults=None,
+        fault_seed: int = 0,
+        retry=None,
+        max_queue: Optional[int] = None,
+        slo_cycles: Optional[float] = None,
     ):
         """Stand up a simulated pipelined serving fleet for this plan.
 
         Returns a :class:`repro.serve.pipeline.PipelineFleetScheduler`;
         its metrics flow through the same ``ServingMetrics`` machinery
-        as single-device fleets, on the fleet's reference clock.
+        as single-device fleets, on the fleet's reference clock.  Pass
+        ``faults`` / ``fault_seed`` / ``retry`` / ``max_queue`` /
+        ``slo_cycles`` for deterministic chaos runs (see
+        :mod:`repro.faults`); ``pipelines > 1`` gives crashed batches a
+        spare pipeline to fail over to.
         """
         from repro.serve.pipeline import PipelineFleetScheduler
 
@@ -204,6 +226,11 @@ class PartitionPlan:
             policy=policy,
             max_batch=max_batch,
             max_wait_cycles=max_wait_cycles,
+            faults=faults,
+            fault_seed=fault_seed,
+            retry=retry,
+            max_queue=max_queue,
+            slo_cycles=slo_cycles,
         )
 
     # -- serialization -------------------------------------------------------

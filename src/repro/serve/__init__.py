@@ -16,6 +16,11 @@ Typical use::
     print(result.summary())
 
 Or from the command line: ``repro serve-sim vgg19_prefix7 --replicas 4``.
+
+Resilience: pass ``faults=`` (a :class:`repro.faults.FaultSpec` or its
+CLI string form) plus ``fault_seed`` / ``retry`` / ``max_queue`` /
+``slo_cycles`` to either scheduler for deterministic chaos runs — see
+:mod:`repro.faults`.
 """
 
 from repro.serve.batcher import DynamicBatcher, InferenceRequest, ServingError
@@ -31,7 +36,12 @@ from repro.serve.pipeline import (
     PipelineServiceModel,
     build_pipeline_model,
 )
-from repro.serve.runtime import AcceleratorReplica, ReplicaStats, build_fleet
+from repro.serve.runtime import (
+    AcceleratorReplica,
+    BatchAttempt,
+    ReplicaStats,
+    build_fleet,
+)
 from repro.serve.scheduler import (
     FleetScheduler,
     Policy,
@@ -41,6 +51,7 @@ from repro.serve.scheduler import (
 
 __all__ = [
     "AcceleratorReplica",
+    "BatchAttempt",
     "DynamicBatcher",
     "FleetScheduler",
     "InferenceRequest",

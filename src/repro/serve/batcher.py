@@ -38,11 +38,40 @@ class InferenceRequest:
 
     Attributes:
         request_id: Dense id, assigned in arrival order.
-        arrival_cycle: Virtual-clock cycle the request entered the system.
+        arrival_cycle: Virtual-clock cycle the request entered the queue.
+            For a retried request this is the *re*-arrival cycle — the
+            original entry time is preserved in ``first_arrival_cycle``.
+        attempts: Which dispatch attempt this enqueueing represents
+            (1 for a fresh request).
+        first_arrival_cycle: Original arrival of a retried request;
+            None for fresh requests (then ``arrival_cycle`` is it).
     """
 
     request_id: int
     arrival_cycle: float
+    attempts: int = 1
+    first_arrival_cycle: Optional[float] = None
+
+    @property
+    def origin_cycle(self) -> float:
+        """When the request first entered the system (deadline anchor)."""
+        if self.first_arrival_cycle is None:
+            return self.arrival_cycle
+        return self.first_arrival_cycle
+
+    def retry_at(self, cycle: float) -> "InferenceRequest":
+        """The documented re-arrival path for a failed request.
+
+        Returns a copy stamped with a fresh ``arrival_cycle`` (so the
+        batcher's in-order contract holds), the attempt counter bumped,
+        and the original arrival preserved for latency/deadline math.
+        """
+        return InferenceRequest(
+            request_id=self.request_id,
+            arrival_cycle=float(cycle),
+            attempts=self.attempts + 1,
+            first_arrival_cycle=self.origin_cycle,
+        )
 
 
 class DynamicBatcher:
@@ -70,12 +99,28 @@ class DynamicBatcher:
     def add(self, request: InferenceRequest) -> None:
         """Enqueue a request (requests must arrive in time order)."""
         if self._pending and request.arrival_cycle < self._pending[-1].arrival_cycle:
+            last = self._pending[-1]
             raise ServingError(
                 f"request {request.request_id} arrives at "
-                f"{request.arrival_cycle}, before the previous arrival "
-                f"{self._pending[-1].arrival_cycle}"
+                f"{request.arrival_cycle}, before already-queued request "
+                f"{last.request_id} at {last.arrival_cycle}; requests must "
+                f"be added in arrival order — re-enqueue retried requests "
+                f"via requeue()/retry_at() to stamp a fresh arrival_cycle"
             )
         self._pending.append(request)
+
+    def requeue(self, request: InferenceRequest, now: float) -> InferenceRequest:
+        """Re-enqueue a failed request at virtual time ``now``.
+
+        Stamps a fresh ``arrival_cycle`` (see
+        :meth:`InferenceRequest.retry_at`) so the in-order contract of
+        :meth:`add` holds, and returns the re-stamped request.  ``now``
+        must be at or after the newest pending arrival, like any other
+        arrival.
+        """
+        retried = request.retry_at(now)
+        self.add(retried)
+        return retried
 
     def has_full_batch(self) -> bool:
         """True when a batch can be cut without waiting for the deadline."""

@@ -6,6 +6,14 @@ counters into the numbers an operator watches — queue wait, service
 time, p50/p95/p99 latency, throughput, and achieved GOPS against the
 optimizer's analytic prediction for the same strategy.
 
+Under fault injection (:mod:`repro.faults`) not every request
+completes: the aggregates additionally carry failed/shed/retry
+counters, goodput (completed requests per second), and SLO attainment.
+A run with zero completed requests is a *reportable outcome* of a chaos
+experiment, not an error — percentiles degrade to NaN and
+:meth:`ServingMetrics.summary` says "no completed requests" instead of
+raising.
+
 Percentiles use the nearest-rank definition (the smallest value with at
 least ``q`` percent of samples at or below it), so small hand-computed
 traces in tests have exact expected values.
@@ -14,34 +22,54 @@ traces in tests have exact expected values.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from math import ceil
-from typing import Sequence, Tuple
+from math import ceil, isnan
+from typing import Optional, Sequence, Tuple
 
 from repro.serve.batcher import ServingError
 from repro.serve.runtime import ReplicaStats
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of ``values`` (q in [0, 100])."""
-    if not values:
-        raise ServingError("percentile of an empty sample")
+    """Nearest-rank percentile of ``values`` (q in [0, 100]).
+
+    An empty sample yields NaN — "no data", not an error — so metric
+    aggregation over a run where every request failed still produces a
+    summary instead of crashing.
+    """
     if not 0 <= q <= 100:
         raise ServingError(f"percentile q must be in [0, 100], got {q}")
+    if not values:
+        return float("nan")
     ordered = sorted(values)
     rank = max(1, ceil(q / 100.0 * len(ordered)))
     return ordered[rank - 1]
 
 
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else float("nan")
+
+
 @dataclass(frozen=True)
 class RequestRecord:
-    """Lifecycle of one request, all times in virtual cycles."""
+    """Lifecycle of one request, all times in virtual cycles.
+
+    For retried requests ``arrival_cycle`` is the *original* arrival —
+    latency always measures the user-visible wait, backoffs included.
+    ``outcome`` is ``completed`` for served requests; failure records
+    (kept separately in ``ServingResult.failures``) carry ``failed``
+    (retries/deadline exhausted, or no replica left) or ``shed``
+    (rejected by admission control), with ``completion_cycle`` the
+    instant the request was abandoned.
+    """
 
     request_id: int
     arrival_cycle: float
     dispatch_cycle: float  # batch handed to (and started on) a replica
     completion_cycle: float
-    replica_id: int
+    replica_id: int  # -1 when the request never reached a replica
     batch_size: int
+    attempts: int = 1
+    outcome: str = "completed"
 
     @property
     def queue_cycles(self) -> float:
@@ -63,8 +91,8 @@ class RequestRecord:
 class ServingMetrics:
     """Aggregated outcome of one serving run."""
 
-    requests: int
-    makespan_cycles: float  # first arrival -> last completion
+    requests: int  # completed requests
+    makespan_cycles: float  # first arrival -> last completion/abandonment
     mean_queue_cycles: float
     max_queue_cycles: float
     mean_service_cycles: float
@@ -77,6 +105,21 @@ class ServingMetrics:
     ops_per_request: float
     single_image_cycles: float
     reference_gops: float  # the optimizer's analytic effective GOPS
+    failed: int = 0  # dropped after retries/deadline (or dead fleet)
+    shed: int = 0  # rejected by admission control
+    retries: int = 0  # re-dispatch attempts beyond each first try
+    slo_cycles: Optional[float] = None  # latency SLO this run was judged by
+    slo_attainment: Optional[float] = None  # completed fraction within SLO
+
+    @property
+    def offered(self) -> int:
+        """Every request that entered the system."""
+        return self.requests + self.failed + self.shed
+
+    @property
+    def completion_rate(self) -> float:
+        """Completed fraction of offered load (1.0 for a healthy fleet)."""
+        return self.requests / self.offered if self.offered else float("nan")
 
     @property
     def throughput_per_mcycle(self) -> float:
@@ -93,6 +136,16 @@ class ServingMetrics:
         return self.requests / (self.makespan_cycles / self.frequency_hz)
 
     @property
+    def goodput_per_second(self) -> float:
+        """Completed requests per second — what degrades under faults.
+
+        Identical to :attr:`requests_per_second` (only completions are
+        counted as requests); named separately because under faults the
+        *offered* rate and the goodput diverge.
+        """
+        return self.requests_per_second
+
+    @property
     def achieved_gops(self) -> float:
         """Arithmetic throughput actually sustained by the fleet."""
         if self.makespan_cycles <= 0:
@@ -100,9 +153,63 @@ class ServingMetrics:
         seconds = self.makespan_cycles / self.frequency_hz
         return self.ops_per_request * self.requests / seconds / 1e9
 
+    def to_dict(self) -> dict:
+        """JSON-serializable metrics (CLI ``--json``)."""
+        payload = {
+            "requests": self.requests,
+            "failed": self.failed,
+            "shed": self.shed,
+            "retries": self.retries,
+            "offered": self.offered,
+            "makespan_cycles": self.makespan_cycles,
+            "requests_per_second": self.requests_per_second,
+            "goodput_per_second": self.goodput_per_second,
+            "throughput_per_mcycle": self.throughput_per_mcycle,
+            "mean_queue_cycles": self.mean_queue_cycles,
+            "max_queue_cycles": self.max_queue_cycles,
+            "mean_service_cycles": self.mean_service_cycles,
+            "mean_batch_size": self.mean_batch_size,
+            "p50_latency_cycles": self.p50_latency_cycles,
+            "p95_latency_cycles": self.p95_latency_cycles,
+            "p99_latency_cycles": self.p99_latency_cycles,
+            "achieved_gops": self.achieved_gops,
+            "reference_gops": self.reference_gops,
+            "slo_cycles": self.slo_cycles,
+            "slo_attainment": self.slo_attainment,
+            "replicas": [
+                {
+                    "replica_id": s.replica_id,
+                    "batches": s.batches,
+                    "requests": s.requests,
+                    "busy_cycles": s.busy_cycles,
+                    "failed_batches": s.failed_batches,
+                    "wasted_cycles": s.wasted_cycles,
+                }
+                for s in self.replica_stats
+            ],
+        }
+        # NaN is not valid JSON; degrade to None.
+        return {
+            key: (None if isinstance(value, float) and isnan(value) else value)
+            for key, value in payload.items()
+        }
+
     def summary(self) -> str:
         """Human-readable metrics block (what ``repro serve-sim`` prints)."""
         replicas = len(self.replica_stats)
+        if self.requests == 0:
+            lines = [
+                f"no completed requests on {replicas} replica(s): "
+                f"{self.failed} failed, {self.shed} shed, "
+                f"{self.retries} retries "
+                f"(makespan {self.makespan_cycles:,.0f} cycles)"
+            ]
+            if self.slo_cycles is not None:
+                lines.append(
+                    f"SLO attainment: 0.0% within "
+                    f"{self.slo_cycles:,.0f} cycles"
+                )
+            return "\n".join(lines)
         lines = [
             f"served {self.requests} requests on {replicas} replica(s) "
             f"in {self.makespan_cycles:,.0f} cycles "
@@ -121,12 +228,31 @@ class ServingMetrics:
             f"achieved {self.achieved_gops:.1f} GOPS vs analytic "
             f"{self.reference_gops:.1f} GOPS per replica",
         ]
-        for stats in self.replica_stats:
+        if self.failed or self.shed or self.retries:
             lines.append(
+                f"faults: {self.failed} failed, {self.shed} shed, "
+                f"{self.retries} retries — goodput "
+                f"{self.goodput_per_second:,.1f} req/s, "
+                f"completion {self.completion_rate * 100:.1f}% "
+                f"of {self.offered} offered"
+            )
+        if self.slo_cycles is not None and self.slo_attainment is not None:
+            lines.append(
+                f"SLO attainment: {self.slo_attainment * 100:.1f}% within "
+                f"{self.slo_cycles:,.0f} cycles"
+            )
+        for stats in self.replica_stats:
+            line = (
                 f"  replica {stats.replica_id}: {stats.requests} requests in "
                 f"{stats.batches} batches, busy {stats.busy_cycles:,.0f} cycles "
                 f"({stats.utilization(self.makespan_cycles) * 100:.1f}%)"
             )
+            if stats.failed_batches:
+                line += (
+                    f", {stats.failed_batches} failed batches "
+                    f"({stats.wasted_cycles:,.0f} wasted cycles)"
+                )
+            lines.append(line)
         return "\n".join(lines)
 
 
@@ -137,22 +263,43 @@ def aggregate_metrics(
     ops_per_request: float,
     single_image_cycles: float,
     reference_gops: float,
+    failures: Sequence[RequestRecord] = (),
+    retries: int = 0,
+    slo_cycles: Optional[float] = None,
 ) -> ServingMetrics:
-    """Fold request records + replica counters into a ServingMetrics."""
-    if not records:
+    """Fold request records + replica counters into a ServingMetrics.
+
+    ``records`` holds completed requests only; ``failures`` holds
+    failed/shed records (``RequestRecord.outcome``).  Latency
+    percentiles and means are computed over completions; the makespan
+    spans every arrival and every completion *or abandonment*, so
+    goodput is measured over the full disturbed window.  Zero completed
+    requests yields a NaN-safe metrics object, not an error.
+    """
+    if not records and not failures:
         raise ServingError("cannot aggregate metrics over zero requests")
     latencies = [r.latency_cycles for r in records]
     queues = [r.queue_cycles for r in records]
     services = [r.service_cycles for r in records]
-    first_arrival = min(r.arrival_cycle for r in records)
-    last_completion = max(r.completion_cycle for r in records)
+    everything = list(records) + list(failures)
+    first_arrival = min(r.arrival_cycle for r in everything)
+    last_event = max(r.completion_cycle for r in everything)
+    failed = sum(1 for r in failures if r.outcome == "failed")
+    shed = sum(1 for r in failures if r.outcome == "shed")
+    slo_attainment = None
+    if slo_cycles is not None:
+        slo_attainment = (
+            sum(1 for lat in latencies if lat <= slo_cycles) / len(latencies)
+            if latencies
+            else 0.0
+        )
     return ServingMetrics(
         requests=len(records),
-        makespan_cycles=last_completion - first_arrival,
-        mean_queue_cycles=sum(queues) / len(queues),
-        max_queue_cycles=max(queues),
-        mean_service_cycles=sum(services) / len(services),
-        mean_batch_size=sum(r.batch_size for r in records) / len(records),
+        makespan_cycles=last_event - first_arrival,
+        mean_queue_cycles=_mean(queues),
+        max_queue_cycles=max(queues) if queues else float("nan"),
+        mean_service_cycles=_mean(services),
+        mean_batch_size=_mean([r.batch_size for r in records]),
         p50_latency_cycles=percentile(latencies, 50),
         p95_latency_cycles=percentile(latencies, 95),
         p99_latency_cycles=percentile(latencies, 99),
@@ -161,4 +308,9 @@ def aggregate_metrics(
         ops_per_request=ops_per_request,
         single_image_cycles=single_image_cycles,
         reference_gops=reference_gops,
+        failed=failed,
+        shed=shed,
+        retries=retries,
+        slo_cycles=slo_cycles,
+        slo_attainment=slo_attainment,
     )

@@ -15,14 +15,22 @@ clocks, and link transfers convert through the reference frequency.
 Metrics flow through the unchanged ``ServingMetrics`` machinery, with
 one :class:`~repro.serve.runtime.ReplicaStats` row per pipeline stage
 so per-device utilization is visible.
+
+Fault model (:mod:`repro.faults`): a pipeline with a dead stage is a
+dead pipeline — stage crashes fold into the owning replica's down
+windows, so failover moves whole batches to a healthy (spare) pipeline.
+Brownouts stretch stage service, link faults stretch (``scale``) or
+sever (partition) individual inter-board transfers, and transient
+failures void a batch's full traversal.
 """
 
 from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
+from repro.faults import FaultInjector, FaultSpec, RetryPolicy
 from repro.serve.batcher import InferenceRequest, ServingError
-from repro.serve.runtime import ReplicaStats
+from repro.serve.runtime import BatchAttempt, ReplicaStats
 from repro.serve.scheduler import FleetScheduler, Policy
 from repro.sim.simulator import ServiceModel, build_service_model
 
@@ -92,9 +100,9 @@ class PipelineReplica:
     """One pipeline instance: a chain of stage executors plus links.
 
     Presents the same surface the scheduler's event loop dispatches to
-    (``busy_until`` / ``execute`` / ``stats``), with ``busy_until``
-    meaning *the head stage's* availability — downstream stages drain
-    concurrently with newly admitted batches.
+    (``busy_until`` / ``execute`` / ``execute_attempt`` / ``stats``),
+    with ``busy_until`` meaning *the head stage's* availability —
+    downstream stages drain concurrently with newly admitted batches.
     """
 
     def __init__(self, replica_id: int, model: PipelineServiceModel):
@@ -103,14 +111,20 @@ class PipelineReplica:
         stages = len(model.stages)
         self._stage_busy_until = [0.0] * stages
         self._stage_busy_cycles = [0.0] * stages
+        self._stage_wasted_cycles = [0.0] * stages
         self._link_busy_until = [0.0] * (stages - 1)
         self.batches = 0
         self.requests = 0
+        self.failed_batches = 0
 
     @property
     def busy_until(self) -> float:
         """When the head stage can admit the next batch."""
         return self._stage_busy_until[0]
+
+    @property
+    def wasted_cycles(self) -> float:
+        return sum(self._stage_wasted_cycles)
 
     def execute(
         self, batch: Sequence[InferenceRequest], dispatch_cycle: float
@@ -144,14 +158,109 @@ class PipelineReplica:
         self.requests += size
         return head_start, clock
 
+    def execute_attempt(
+        self,
+        batch: Sequence[InferenceRequest],
+        dispatch_cycle: float,
+        injector=None,
+    ) -> BatchAttempt:
+        """Push one batch down the pipeline under an optional injector.
+
+        With no injector this is exactly :meth:`execute`.  With one, the
+        traversal is first planned fault-aware: the head start skips the
+        replica's down windows, each stage's service absorbs the
+        brownout scale active at its start, and each link transfer is
+        stretched by the link's degradation scale and stalled through
+        partition windows.  A crash window opening inside the traversal
+        aborts the batch — stages and links are committed only up to the
+        crash cycle and the span they spent counts as wasted.  A batch
+        that traverses cleanly can still fail a transient draw, wasting
+        the full traversal on the head stage's books.
+        """
+        if injector is None:
+            start, end = self.execute(batch, dispatch_cycle)
+            return BatchAttempt(start_cycle=start, end_cycle=end, ok=True)
+        if not batch:
+            raise ServingError("cannot execute an empty batch")
+        size = len(batch)
+        clock = injector.available_from(
+            self.replica_id, max(dispatch_cycle, self.busy_until)
+        )
+        head_start = clock
+        # Plan the traversal first, commit after the crash check — an
+        # aborted batch must not advance stages past the crash cycle.
+        stage_spans: List[Tuple[float, float]] = []
+        link_spans: List[Tuple[float, float]] = []
+        for index, stage in enumerate(self.model.stages):
+            start = max(clock, self._stage_busy_until[index])
+            service = stage.batch_cycles(size) * injector.service_scale(
+                self.replica_id, start
+            )
+            end = start + service
+            stage_spans.append((start, end))
+            clock = end
+            if index < len(self.model.transfer_cycles):
+                transfer = self.model.transfer_cycles[index](
+                    size
+                ) * injector.link_scale(index, clock)
+                begin = injector.link_available_from(
+                    index, max(clock, self._link_busy_until[index])
+                )
+                link_spans.append((begin, begin + transfer))
+                clock = begin + transfer
+        end = clock
+        crash = injector.crash_in(self.replica_id, head_start, end)
+        if crash is not None:
+            # Commit stages/links only up to the crash cycle; every
+            # cycle actually spent is wasted work.
+            for index, (start, stop) in enumerate(stage_spans):
+                if start >= crash:
+                    break
+                stop = min(stop, crash)
+                self._stage_busy_until[index] = stop
+                self._stage_wasted_cycles[index] += stop - start
+            for index, (start, stop) in enumerate(link_spans):
+                if start >= crash:
+                    break
+                self._link_busy_until[index] = min(stop, crash)
+            self.failed_batches += 1
+            return BatchAttempt(head_start, crash, ok=False, failure="crash")
+        for index, (start, stop) in enumerate(stage_spans):
+            self._stage_busy_until[index] = stop
+        for index, (start, stop) in enumerate(link_spans):
+            self._link_busy_until[index] = stop
+        if injector.transient_failure(self.replica_id):
+            for index, (start, stop) in enumerate(stage_spans):
+                self._stage_wasted_cycles[index] += stop - start
+            self.failed_batches += 1
+            return BatchAttempt(head_start, end, ok=False, failure="transient")
+        for index, (start, stop) in enumerate(stage_spans):
+            self._stage_busy_cycles[index] += stop - start
+        self.batches += 1
+        self.requests += size
+        return BatchAttempt(head_start, end, ok=True)
+
+    def health(self, cycle: float, injector=None) -> str:
+        """``up`` / ``draining`` / ``down`` at virtual time ``cycle``."""
+        if injector is None:
+            return "up"
+        return injector.health(self.replica_id, cycle, self.busy_until)
+
     def stage_stats(self) -> List[ReplicaStats]:
-        """One stats row per stage (utilization per fleet device)."""
+        """One stats row per stage (utilization per fleet device).
+
+        Failed-batch counts live on the head stage's row — a batch fails
+        as a unit, not per stage — while each stage keeps its own wasted
+        cycles.
+        """
         return [
             ReplicaStats(
                 replica_id=self.replica_id * len(self.model.stages) + index,
                 batches=self.batches,
                 requests=self.requests,
                 busy_cycles=self._stage_busy_cycles[index],
+                failed_batches=self.failed_batches if index == 0 else 0,
+                wasted_cycles=self._stage_wasted_cycles[index],
             )
             for index in range(len(self.model.stages))
         ]
@@ -163,6 +272,8 @@ class PipelineReplica:
             batches=self.batches,
             requests=self.requests,
             busy_cycles=self._stage_busy_cycles[0],
+            failed_batches=self.failed_batches,
+            wasted_cycles=self.wasted_cycles,
         )
 
     def __repr__(self) -> str:
@@ -205,11 +316,13 @@ def build_pipeline_model(plan) -> PipelineServiceModel:
 class PipelineFleetScheduler(FleetScheduler):
     """Serves request traces against pipelined copies of a PartitionPlan.
 
-    The scheduler, batcher, policies and metrics are inherited unchanged
+    The scheduler, batcher, policies, metrics, and the whole resilience
+    layer (retry/failover/admission control) are inherited unchanged
     from :class:`FleetScheduler`; only the executors differ — each
     "replica" is a whole pipeline whose admission point is its head
     stage.  ``pipelines > 1`` models several independent fleets behind
-    one batcher.
+    one batcher, which under a crash fault doubles as a spare board:
+    batches from a downed pipeline fail over to the survivors.
     """
 
     def __init__(
@@ -219,6 +332,11 @@ class PipelineFleetScheduler(FleetScheduler):
         policy: Union[str, Policy] = Policy.LEAST_LOADED,
         max_batch: int = 8,
         max_wait_cycles: Optional[float] = None,
+        faults: Union[FaultSpec, str, None] = None,
+        fault_seed: int = 0,
+        retry: Optional[RetryPolicy] = None,
+        max_queue: Optional[int] = None,
+        slo_cycles: Optional[float] = None,
     ):
         if pipelines < 1:
             raise ServingError(f"need >= 1 pipeline, got {pipelines}")
@@ -233,6 +351,11 @@ class PipelineFleetScheduler(FleetScheduler):
             frequency_hz=plan.fleet.reference_frequency_hz,
             ops_per_request=plan.total_ops,
             reference_gops=plan.effective_gops(),
+            faults=faults,
+            fault_seed=fault_seed,
+            retry=retry,
+            max_queue=max_queue,
+            slo_cycles=slo_cycles,
         )
 
     def per_request_capacity_cycles(self) -> float:
@@ -247,6 +370,18 @@ class PipelineFleetScheduler(FleetScheduler):
             PipelineReplica(i, self.service_model)
             for i in range(self.num_replicas)
         ]
+
+    def _build_injector(self) -> Optional[FaultInjector]:
+        """Injector aware of the pipeline's links and stages."""
+        if self.faults is None or self.faults.empty:
+            return None
+        return FaultInjector(
+            self.faults,
+            seed=self.fault_seed,
+            replicas=self.num_replicas,
+            links=len(self.service_model.transfer_cycles),
+            stages=len(self.service_model.stages),
+        )
 
     def _collect_stats(self, fleet) -> List[ReplicaStats]:
         stats: List[ReplicaStats] = []

@@ -16,7 +16,7 @@ takes the dispatch cycle and returns the span the batch occupied.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.optimizer.strategy import Strategy
 from repro.serve.batcher import InferenceRequest, ServingError
@@ -31,10 +31,27 @@ class ReplicaStats:
     batches: int
     requests: int
     busy_cycles: float
+    failed_batches: int = 0  # batches lost to crashes / transient faults
+    wasted_cycles: float = 0.0  # service cycles spent on failed batches
 
     def utilization(self, makespan_cycles: float) -> float:
-        """Busy fraction over the serving window."""
+        """Busy fraction over the serving window (successful work only)."""
         return self.busy_cycles / makespan_cycles if makespan_cycles > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class BatchAttempt:
+    """Outcome of dispatching one batch to one replica.
+
+    ``end_cycle`` is the completion cycle on success, or the cycle the
+    failure was detected (crash instant, or end of the wasted service
+    for a transient fault).
+    """
+
+    start_cycle: float
+    end_cycle: float
+    ok: bool
+    failure: Optional[str] = None  # "crash" | "transient"
 
 
 class AcceleratorReplica:
@@ -47,6 +64,8 @@ class AcceleratorReplica:
         self.busy_cycles = 0.0
         self.batches = 0
         self.requests = 0
+        self.failed_batches = 0
+        self.wasted_cycles = 0.0
 
     @classmethod
     def for_strategy(cls, replica_id: int, strategy: Strategy) -> "AcceleratorReplica":
@@ -79,12 +98,64 @@ class AcceleratorReplica:
         self.requests += len(batch)
         return start, end
 
+    def execute_attempt(
+        self,
+        batch: Sequence[InferenceRequest],
+        dispatch_cycle: float,
+        injector=None,
+    ) -> BatchAttempt:
+        """Run a batch under an optional fault injector.
+
+        With no injector this is exactly :meth:`execute` (the zero-fault
+        path is bit-identical to an unfaulted fleet).  With one, the
+        start skips the replica's down windows, the service time absorbs
+        any active brownout scale, and the attempt can fail: a crash
+        window opening mid-batch aborts it at the crash cycle, and a
+        transient fault wastes the full service time.  Failed work is
+        tracked in ``wasted_cycles`` / ``failed_batches``, never in the
+        success counters.
+        """
+        if injector is None:
+            start, end = self.execute(batch, dispatch_cycle)
+            return BatchAttempt(start_cycle=start, end_cycle=end, ok=True)
+        if not batch:
+            raise ServingError("cannot execute an empty batch")
+        start = max(dispatch_cycle, self.busy_until)
+        start = injector.available_from(self.replica_id, start)
+        service = self.batch_cycles(len(batch)) * injector.service_scale(
+            self.replica_id, start
+        )
+        end = start + service
+        crash = injector.crash_in(self.replica_id, start, end)
+        if crash is not None:
+            self.busy_until = crash
+            self.wasted_cycles += crash - start
+            self.failed_batches += 1
+            return BatchAttempt(start, crash, ok=False, failure="crash")
+        self.busy_until = end
+        if injector.transient_failure(self.replica_id):
+            self.wasted_cycles += service
+            self.failed_batches += 1
+            return BatchAttempt(start, end, ok=False, failure="transient")
+        self.busy_cycles += service
+        self.batches += 1
+        self.requests += len(batch)
+        return BatchAttempt(start, end, ok=True)
+
+    def health(self, cycle: float, injector=None) -> str:
+        """``up`` / ``draining`` / ``down`` at virtual time ``cycle``."""
+        if injector is None:
+            return "up"
+        return injector.health(self.replica_id, cycle, self.busy_until)
+
     def stats(self) -> ReplicaStats:
         return ReplicaStats(
             replica_id=self.replica_id,
             batches=self.batches,
             requests=self.requests,
             busy_cycles=self.busy_cycles,
+            failed_batches=self.failed_batches,
+            wasted_cycles=self.wasted_cycles,
         )
 
     def __repr__(self) -> str:

@@ -24,16 +24,29 @@ Two placement policies:
 * ``least_loaded`` — each batch goes to the replica that frees up
   earliest (ties to the lowest id), the classic join-shortest-queue
   flavour for batch service.
+
+Resilience (:mod:`repro.faults`): with a :class:`FaultSpec` attached,
+the same loop tracks replica health (up/draining/down), skips down
+replicas, retries failed batches with exponential backoff and a
+per-request deadline (:class:`~repro.faults.RetryPolicy`), fails work
+over to healthy replicas, and — with ``max_queue`` set — sheds arrivals
+instead of growing the queue without bound when capacity drops.  With
+no faults configured, every one of these hooks is inert and the run is
+bit-identical to the fault-free scheduler.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from enum import Enum
+from heapq import heappop, heappush
+from itertools import count
 from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.faults import FaultInjector, FaultSpec, RetryPolicy
 from repro.optimizer.strategy import Strategy
 from repro.serve.batcher import DynamicBatcher, InferenceRequest, ServingError
 from repro.serve.metrics import RequestRecord, ServingMetrics, aggregate_metrics
@@ -50,10 +63,16 @@ class Policy(str, Enum):
 
 @dataclass(frozen=True)
 class ServingResult:
-    """Everything one serving run produced."""
+    """Everything one serving run produced.
+
+    ``records`` holds completed requests; ``failures`` holds the
+    requests that never completed (outcome ``failed`` or ``shed``) —
+    empty in any fault-free run.
+    """
 
     records: Tuple[RequestRecord, ...]
     metrics: ServingMetrics
+    failures: Tuple[RequestRecord, ...] = ()
 
     def summary(self) -> str:
         return self.metrics.summary()
@@ -108,6 +127,11 @@ class FleetScheduler:
         frequency_hz: float = 1e6,
         ops_per_request: float = 0.0,
         reference_gops: float = 0.0,
+        faults: Union[FaultSpec, str, None] = None,
+        fault_seed: int = 0,
+        retry: Optional[RetryPolicy] = None,
+        max_queue: Optional[int] = None,
+        slo_cycles: Optional[float] = None,
     ):
         """
         Args:
@@ -123,6 +147,15 @@ class FleetScheduler:
             ops_per_request: Arithmetic ops one request represents.
             reference_gops: The optimizer's analytic effective GOPS of
                 one replica, reported next to the achieved number.
+            faults: Fault schedule (:class:`FaultSpec` or the CLI spec
+                string); None or an empty spec leaves behaviour
+                bit-identical to an unfaulted fleet.
+            fault_seed: Seed of the transient-failure draws.
+            retry: Retry/backoff/deadline policy for failed batches.
+            max_queue: Admission-control bound — arrivals finding this
+                many requests already pending are shed (retries are
+                always admitted).  None: unbounded queue.
+            slo_cycles: Latency SLO for the attainment metric.
         """
         self.policy = Policy(policy)
         if max_wait_cycles is None:
@@ -134,10 +167,23 @@ class FleetScheduler:
         self.frequency_hz = frequency_hz
         self.ops_per_request = ops_per_request
         self.reference_gops = reference_gops
+        self.faults = (
+            FaultSpec.parse(faults) if isinstance(faults, str) else faults
+        )
+        self.fault_seed = fault_seed
+        self.retry = retry if retry is not None else RetryPolicy()
+        if max_queue is not None and max_queue < 1:
+            raise ServingError(f"max_queue must be >= 1, got {max_queue}")
+        self.max_queue = max_queue
+        if slo_cycles is not None and slo_cycles <= 0:
+            raise ServingError(f"slo_cycles must be positive, got {slo_cycles}")
+        self.slo_cycles = slo_cycles
         # build_fleet validates replicas >= 1; the batcher validates
-        # max_batch / max_wait_cycles.
+        # max_batch / max_wait_cycles; building the injector validates
+        # the fault spec against the fleet shape.
         build_fleet(service_model, replicas)
         DynamicBatcher(max_batch, max_wait_cycles)
+        self._build_injector()
 
     @classmethod
     def for_strategy(
@@ -147,6 +193,11 @@ class FleetScheduler:
         policy: Union[str, Policy] = Policy.LEAST_LOADED,
         max_batch: int = 8,
         max_wait_cycles: Optional[float] = None,
+        faults: Union[FaultSpec, str, None] = None,
+        fault_seed: int = 0,
+        retry: Optional[RetryPolicy] = None,
+        max_queue: Optional[int] = None,
+        slo_cycles: Optional[float] = None,
     ) -> "FleetScheduler":
         """Build a fleet serving ``strategy``, metrics wired to its device."""
         return cls(
@@ -158,6 +209,11 @@ class FleetScheduler:
             frequency_hz=strategy.device.frequency_hz,
             ops_per_request=strategy.total_ops,
             reference_gops=strategy.effective_gops(),
+            faults=faults,
+            fault_seed=fault_seed,
+            retry=retry,
+            max_queue=max_queue,
+            slo_cycles=slo_cycles,
         )
 
     # -- capacity helpers ----------------------------------------------------
@@ -174,18 +230,61 @@ class FleetScheduler:
 
     # -- the event loop ------------------------------------------------------
 
-    def _next_replica(self, fleet: List[AcceleratorReplica], rotation: int):
-        if self.policy is Policy.ROUND_ROBIN:
-            return fleet[rotation % len(fleet)]
-        return min(fleet, key=lambda r: (r.busy_until, r.replica_id))
-
     def _build_replicas(self) -> List[AcceleratorReplica]:
         """The executors one run dispatches to (overridable: pipelines)."""
         return build_fleet(self.service_model, self.num_replicas)
 
+    def _build_injector(self) -> Optional[FaultInjector]:
+        """A fresh injector per run (overridable: pipelines add links)."""
+        if self.faults is None or self.faults.empty:
+            return None
+        return FaultInjector(
+            self.faults, seed=self.fault_seed, replicas=self.num_replicas
+        )
+
     def _collect_stats(self, fleet) -> List:
         """Per-executor stats for the metrics (overridable: per stage)."""
         return [replica.stats() for replica in fleet]
+
+    def _pick_replica(
+        self, fleet, rotation: int, clock: float, injector
+    ) -> Tuple[Optional[AcceleratorReplica], float]:
+        """The policy's target and the cycle it can start new work.
+
+        Without faults this is exactly the classic policy (the ready
+        cycle is the target's ``busy_until``).  With faults, each
+        replica's ready cycle also skips its down windows; round-robin
+        rotates past replicas that are down at their earliest start, and
+        a fleet with every replica permanently down returns ``None``.
+        """
+        if injector is None:
+            if self.policy is Policy.ROUND_ROBIN:
+                target = fleet[rotation % len(fleet)]
+            else:
+                target = min(fleet, key=lambda r: (r.busy_until, r.replica_id))
+            return target, target.busy_until
+        ready = {
+            r.replica_id: injector.available_from(
+                r.replica_id, max(clock, r.busy_until)
+            )
+            for r in fleet
+        }
+        if all(math.isinf(cycle) for cycle in ready.values()):
+            return None, math.inf
+        if self.policy is Policy.ROUND_ROBIN:
+            for offset in range(len(fleet)):
+                candidate = fleet[(rotation + offset) % len(fleet)]
+                at = ready[candidate.replica_id]
+                # "Up right now": no down window delayed its start.
+                if at == max(clock, candidate.busy_until):
+                    return candidate, at
+            # Everyone is down this instant: take the first to recover.
+        target = min(fleet, key=lambda r: (ready[r.replica_id], r.replica_id))
+        return target, ready[target.replica_id]
+
+    def health_report(self, fleet, clock: float, injector) -> List[str]:
+        """Health of every replica at ``clock`` (up/draining/down)."""
+        return [replica.health(clock, injector) for replica in fleet]
 
     def run(self, arrival_cycles: Sequence[float]) -> ServingResult:
         """Serve an arrival trace to completion and aggregate metrics."""
@@ -199,55 +298,170 @@ class FleetScheduler:
             for i, t in enumerate(arrivals)
         ]
         fleet = self._build_replicas()
+        injector = self._build_injector()
         batcher = DynamicBatcher(self.max_batch, self.max_wait_cycles)
+        backoff_base = self.retry.backoff_cycles
+        if backoff_base is None:
+            backoff_base = 0.25 * self.service_model.single_image_cycles
         records: List[RequestRecord] = []
+        failures: List[RequestRecord] = []
+        retry_heap: List[Tuple[float, int, InferenceRequest]] = []
+        retry_seq = count()
+        retries = 0
         clock = 0.0
         rotation = 0
         next_arrival = 0
-        while next_arrival < len(requests) or len(batcher):
+
+        def next_pending_cycle() -> float:
+            """Earliest not-yet-admitted arrival (trace or retry)."""
+            cycle = math.inf
+            if next_arrival < len(requests):
+                cycle = requests[next_arrival].arrival_cycle
+            if retry_heap:
+                cycle = min(cycle, retry_heap[0][0])
+            return cycle
+
+        def admit_one() -> None:
+            """Admit the earliest pending request (retries win ties).
+
+            Fresh arrivals are subject to admission control: with
+            ``max_queue`` set and the queue full, the request is shed.
+            Retries are always admitted — they already hold completed
+            queueing credit and shedding them would waste the backoff.
+            """
+            nonlocal next_arrival
+            trace_cycle = (
+                requests[next_arrival].arrival_cycle
+                if next_arrival < len(requests)
+                else math.inf
+            )
+            if retry_heap and retry_heap[0][0] <= trace_cycle:
+                _, _, request = heappop(retry_heap)
+                batcher.add(request)
+                return
+            request = requests[next_arrival]
+            next_arrival += 1
+            if self.max_queue is not None and len(batcher) >= self.max_queue:
+                failures.append(
+                    RequestRecord(
+                        request_id=request.request_id,
+                        arrival_cycle=request.origin_cycle,
+                        dispatch_cycle=request.arrival_cycle,
+                        completion_cycle=request.arrival_cycle,
+                        replica_id=-1,
+                        batch_size=0,
+                        attempts=request.attempts,
+                        outcome="shed",
+                    )
+                )
+                return
+            batcher.add(request)
+
+        def drop_failed(request: InferenceRequest, start: float, end: float,
+                        replica_id: int, batch_size: int) -> None:
+            failures.append(
+                RequestRecord(
+                    request_id=request.request_id,
+                    arrival_cycle=request.origin_cycle,
+                    dispatch_cycle=start,
+                    completion_cycle=end,
+                    replica_id=replica_id,
+                    batch_size=batch_size,
+                    attempts=request.attempts,
+                    outcome="failed",
+                )
+            )
+
+        while next_arrival < len(requests) or retry_heap or len(batcher):
             if not len(batcher):
-                # Idle: jump the clock to the next arrival.
-                clock = max(clock, requests[next_arrival].arrival_cycle)
-                while (
-                    next_arrival < len(requests)
-                    and requests[next_arrival].arrival_cycle <= clock
-                ):
-                    batcher.add(requests[next_arrival])
-                    next_arrival += 1
+                # Idle: jump the clock to the next arrival or retry.
+                clock = max(clock, next_pending_cycle())
+                while next_pending_cycle() <= clock:
+                    admit_one()
                 continue
+            target, ready_at = self._pick_replica(
+                fleet, rotation, clock, injector
+            )
+            if target is None:
+                # Every replica is permanently down: the queue, pending
+                # retries, and all future arrivals fail — nothing will
+                # ever serve them.
+                for request in batcher.pending:
+                    at = max(clock, request.arrival_cycle)
+                    drop_failed(request, at, at, -1, 0)
+                while retry_heap:
+                    cycle, _, request = heappop(retry_heap)
+                    at = max(clock, cycle)
+                    drop_failed(request, at, at, -1, 0)
+                while next_arrival < len(requests):
+                    request = requests[next_arrival]
+                    next_arrival += 1
+                    at = max(clock, request.arrival_cycle)
+                    drop_failed(request, at, at, -1, 0)
+                break
             # When would the pending batch be dispatched?
-            target = self._next_replica(fleet, rotation)
             if batcher.has_full_batch():
-                dispatch_at = max(clock, target.busy_until)
+                dispatch_at = max(clock, ready_at)
             else:
-                dispatch_at = max(clock, batcher.next_deadline(), target.busy_until)
+                dispatch_at = max(clock, batcher.next_deadline(), ready_at)
             # Arrivals at or before that instant join the batch first
             # (they may fill it and move the dispatch earlier).
             if (
                 not batcher.has_full_batch()
-                and next_arrival < len(requests)
-                and requests[next_arrival].arrival_cycle <= dispatch_at
+                and next_pending_cycle() <= dispatch_at
             ):
-                clock = max(clock, requests[next_arrival].arrival_cycle)
-                batcher.add(requests[next_arrival])
-                next_arrival += 1
+                clock = max(clock, next_pending_cycle())
+                admit_one()
                 continue
             clock = dispatch_at
             batch = batcher.pop_batch(clock)
-            start, end = target.execute(batch, clock)
+            attempt = target.execute_attempt(batch, clock, injector)
             rotation += 1
-            for request in batch:
-                records.append(
-                    RequestRecord(
-                        request_id=request.request_id,
-                        arrival_cycle=request.arrival_cycle,
-                        dispatch_cycle=start,
-                        completion_cycle=end,
-                        replica_id=target.replica_id,
-                        batch_size=len(batch),
+            if attempt.ok:
+                for request in batch:
+                    records.append(
+                        RequestRecord(
+                            request_id=request.request_id,
+                            arrival_cycle=request.origin_cycle,
+                            dispatch_cycle=attempt.start_cycle,
+                            completion_cycle=attempt.end_cycle,
+                            replica_id=target.replica_id,
+                            batch_size=len(batch),
+                            attempts=request.attempts,
+                        )
                     )
+                continue
+            # The batch failed (crash or transient): retry each request
+            # with exponential backoff until its attempts or deadline
+            # run out.  Re-arrivals merge back into the admission stream,
+            # so surviving replicas pick the work up — failover.
+            for request in batch:
+                backoff = self.retry.backoff(request.attempts, backoff_base)
+                rearrival = attempt.end_cycle + backoff
+                deadline_at = (
+                    request.origin_cycle + self.retry.deadline_cycles
+                    if self.retry.deadline_cycles is not None
+                    else math.inf
                 )
+                if (
+                    request.attempts >= self.retry.max_attempts
+                    or rearrival >= deadline_at
+                ):
+                    drop_failed(
+                        request,
+                        attempt.start_cycle,
+                        attempt.end_cycle,
+                        target.replica_id,
+                        len(batch),
+                    )
+                else:
+                    retries += 1
+                    heappush(
+                        retry_heap,
+                        (rearrival, next(retry_seq), request.retry_at(rearrival)),
+                    )
         records.sort(key=lambda r: r.request_id)
+        failures.sort(key=lambda r: r.request_id)
         metrics = aggregate_metrics(
             records,
             self._collect_stats(fleet),
@@ -255,8 +469,15 @@ class FleetScheduler:
             ops_per_request=self.ops_per_request,
             single_image_cycles=self.service_model.single_image_cycles,
             reference_gops=self.reference_gops,
+            failures=failures,
+            retries=retries,
+            slo_cycles=self.slo_cycles,
         )
-        return ServingResult(records=tuple(records), metrics=metrics)
+        return ServingResult(
+            records=tuple(records),
+            metrics=metrics,
+            failures=tuple(failures),
+        )
 
     def run_open_loop(
         self,

@@ -107,6 +107,8 @@ def simulate_partition(
     data: Optional[np.ndarray] = None,
     weights: Optional[dict] = None,
     seed: int = 0,
+    faults=None,
+    fault_seed: int = 0,
 ) -> FleetSimulationResult:
     """Run one image through a :class:`~repro.partition.plan.PartitionPlan`.
 
@@ -118,6 +120,17 @@ def simulate_partition(
             seeded random weights otherwise.
         seed: Controls the generated input and weights, exactly like
             :meth:`repro.toolflow.CompileResult.simulate`.
+        faults: Optional :class:`repro.faults.FaultSpec` (or its string
+            form) degrading the timeline: the image stalls through
+            crash/down windows, compute stretches under brownouts, and
+            transfers stretch under link degradation or stall through
+            partitions.  Probabilistic (transient) faults are a serving
+            concern and are ignored here — one image's functional pass
+            either completes or, if a fault never lifts, raises
+            :class:`~repro.errors.SimulationError`.  The functional
+            output is untouched either way.
+        fault_seed: Seed for the injector (kept for symmetry with the
+            serving layer; the deterministic timeline never draws).
     """
     network = plan.network
     rng = np.random.default_rng(seed)
@@ -125,6 +138,21 @@ def simulate_partition(
         data = rng.normal(0, 0.5, network.input_spec.shape)
     if weights is None:
         weights = init_weights(network, rng)
+
+    injector = None
+    if faults is not None:
+        from repro.faults import FaultInjector, FaultSpec
+
+        spec = FaultSpec.parse(faults) if isinstance(faults, str) else faults
+        if not spec.empty:
+            injector = FaultInjector(
+                spec,
+                seed=fault_seed,
+                replicas=1,
+                links=len(plan.transfers),
+                stages=len(plan.placements),
+            )
+    reference_hz = plan.fleet.reference_frequency_hz
 
     current = np.asarray(data, dtype=float)
     clock_s = 0.0
@@ -134,7 +162,20 @@ def simulate_partition(
         device = placement.device
         sim = simulate_strategy(placement.strategy, current, weights)
         start_s = clock_s
-        end_s = start_s + device.cycles_to_seconds(sim.latency_cycles)
+        seconds = device.cycles_to_seconds(sim.latency_cycles)
+        if injector is not None:
+            # The virtual clock of the fault schedule runs in the
+            # fleet's reference cycles; convert at the boundary.
+            start_cycle = injector.available_from(0, start_s * reference_hz)
+            if np.isinf(start_cycle):
+                raise SimulationError(
+                    f"stage {placement.stage_id} never recovers under the "
+                    f"fault schedule (permanent crash); the image cannot "
+                    f"traverse the pipeline"
+                )
+            start_s = start_cycle / reference_hz
+            seconds *= injector.service_scale(0, start_cycle)
+        end_s = start_s + seconds
         stages.append(
             StageSpan(
                 stage_id=placement.stage_id,
@@ -148,15 +189,29 @@ def simulate_partition(
         current = sim.output
         if transfer is not None:
             seconds = transfer.seconds
+            start_s = clock_s
+            if injector is not None:
+                index = transfer.link_index
+                begin_cycle = injector.link_available_from(
+                    index, start_s * reference_hz
+                )
+                if np.isinf(begin_cycle):
+                    raise SimulationError(
+                        f"link {index} never recovers under the fault "
+                        f"schedule (permanent partition); the image cannot "
+                        f"traverse the pipeline"
+                    )
+                start_s = begin_cycle / reference_hz
+                seconds *= injector.link_scale(index, begin_cycle)
             transfers.append(
                 TransferSpan(
                     link_index=transfer.link_index,
                     tensor_bytes=transfer.tensor_bytes,
-                    start_s=clock_s,
-                    end_s=clock_s + seconds,
+                    start_s=start_s,
+                    end_s=start_s + seconds,
                 )
             )
-            clock_s += seconds
+            clock_s = start_s + seconds
     expected = network.output_shape
     if tuple(current.shape) != tuple(expected):
         raise SimulationError(

@@ -72,12 +72,20 @@ class CompileResult:
         policy: str = "least_loaded",
         max_batch: int = 8,
         max_wait_cycles: Optional[float] = None,
+        faults=None,
+        fault_seed: int = 0,
+        retry=None,
+        max_queue: Optional[int] = None,
+        slo_cycles: Optional[float] = None,
     ) -> "FleetScheduler":
         """Stand up a simulated serving fleet for this compiled design.
 
         Returns a :class:`repro.serve.FleetScheduler` whose ``run`` /
         ``run_open_loop`` methods serve request traces through
         ``replicas`` copies of the accelerator with dynamic batching.
+        Pass ``faults`` (a :class:`repro.faults.FaultSpec` or its CLI
+        string form) for deterministic chaos runs — see
+        :mod:`repro.faults`.
         """
         from repro.serve.scheduler import FleetScheduler
 
@@ -87,6 +95,11 @@ class CompileResult:
             policy=policy,
             max_batch=max_batch,
             max_wait_cycles=max_wait_cycles,
+            faults=faults,
+            fault_seed=fault_seed,
+            retry=retry,
+            max_queue=max_queue,
+            slo_cycles=slo_cycles,
         )
 
     def summary(self) -> str:

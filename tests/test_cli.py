@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import _parse_size, build_parser, main
@@ -264,6 +266,49 @@ class TestPartition:
         assert main(["partition", "tiny_cnn", "--devices", "nope,nope"]) == 1
         assert capsys.readouterr().err.startswith("error:")
 
+    def test_partition_serve_with_faults(self, capsys):
+        code = main(
+            [
+                "partition",
+                "tiny_cnn",
+                "--devices",
+                "testchip,testchip",
+                "--serve",
+                "30",
+                "--pipelines",
+                "2",
+                "--faults",
+                "transient:p=0.2",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 30 synthetic requests through 2 pipeline(s)" in out
+        assert "faults 'transient:p=0.2'" in out
+
+    def test_partition_bad_faults_spec_is_clean_error(self, capsys):
+        assert (
+            main(
+                [
+                    "partition",
+                    "tiny_cnn",
+                    "--devices",
+                    "testchip,testchip",
+                    "--serve",
+                    "10",
+                    "--faults",
+                    "meteor:at=0",
+                ]
+            )
+            == 1
+        )
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "unknown fault kind 'meteor'" in err
+        assert err.count("\n") <= 1  # one line, no traceback
+
 
 class TestServeSim:
     def test_serves_and_prints_metrics(self, capsys):
@@ -309,6 +354,108 @@ class TestServeSim:
         assert main(["serve-sim", "no_such_model"]) == 1
         err = capsys.readouterr().err
         assert err.startswith("error:")
+
+    def test_faults_and_slo_flags(self, capsys):
+        code = main(
+            [
+                "serve-sim",
+                "tiny_cnn",
+                "--device",
+                "testchip",
+                "--replicas",
+                "2",
+                "--requests",
+                "40",
+                "--faults",
+                "transient:p=0.2",
+                "--max-queue",
+                "64",
+                "--slo",
+                "2e5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault schedule: 'transient:p=0.2'" in out
+        assert "SLO attainment" in out
+
+    def test_json_output(self, capsys):
+        code = main(
+            [
+                "serve-sim",
+                "tiny_cnn",
+                "--device",
+                "testchip",
+                "--requests",
+                "20",
+                "--faults",
+                "transient:p=0.1",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["requests"] + payload["failed"] == 20
+        assert "goodput_per_second" in payload
+        assert isinstance(payload["replicas"], list)
+
+    def test_bad_faults_spec_is_clean_one_line_error(self, capsys):
+        assert (
+            main(
+                [
+                    "serve-sim",
+                    "tiny_cnn",
+                    "--device",
+                    "testchip",
+                    "--faults",
+                    "crash:replica=0",
+                ]
+            )
+            == 1
+        )
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "crash fault needs at=" in err
+        assert err.count("\n") <= 1
+
+    def test_out_of_range_replica_is_clean_error(self, capsys):
+        assert (
+            main(
+                [
+                    "serve-sim",
+                    "tiny_cnn",
+                    "--device",
+                    "testchip",
+                    "--replicas",
+                    "2",
+                    "--faults",
+                    "crash:replica=9,at=0",
+                ]
+            )
+            == 1
+        )
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "replica 9" in err
+
+    def test_fault_runs_reproduce_identical_output(self, capsys):
+        argv = [
+            "serve-sim",
+            "tiny_cnn",
+            "--device",
+            "testchip",
+            "--replicas",
+            "2",
+            "--requests",
+            "40",
+            "--faults",
+            "transient:p=0.3;crash:replica=1,at=5e4,down=5e4",
+            "--json",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
 
 
 class TestErgonomics:

@@ -1,0 +1,503 @@
+"""Fault-injection tests: spec parsing, the injector, and chaos serving.
+
+Scheduler scenarios use the same hand-sized flat service model as
+``test_serve_scheduler`` (batch of B costs exactly 100*B cycles) so the
+expected dispatch/retry cycles can be computed by hand.
+"""
+
+import math
+
+import pytest
+
+from repro.faults import (
+    BrownoutFault,
+    CrashFault,
+    FaultError,
+    FaultInjector,
+    FaultSpec,
+    LinkFault,
+    RetryPolicy,
+    TransientFault,
+    counter_uniform,
+)
+from repro.serve.batcher import ServingError
+from repro.serve.scheduler import FleetScheduler, Policy
+from repro.sim.simulator import GroupServiceModel, ServiceModel
+
+
+def flat_model(preload=0.0, first=100.0, steady=100.0):
+    return ServiceModel(
+        groups=(
+            GroupServiceModel(
+                group_id=0,
+                preload_cycles=preload,
+                first_image_cycles=first,
+                steady_interval_cycles=steady,
+            ),
+        )
+    )
+
+
+def scheduler(**kwargs):
+    defaults = dict(
+        service_model=flat_model(),
+        replicas=2,
+        policy=Policy.LEAST_LOADED,
+        max_batch=4,
+        max_wait_cycles=0.0,
+    )
+    defaults.update(kwargs)
+    return FleetScheduler(**defaults)
+
+
+class TestSpecParsing:
+    def test_empty_forms(self):
+        assert FaultSpec.parse("").empty
+        assert FaultSpec.parse("none").empty
+        assert FaultSpec.none().empty
+
+    def test_full_grammar(self):
+        spec = FaultSpec.parse(
+            "crash:replica=1,at=2e5,down=1e5;"
+            "transient:p=0.1;"
+            "brownout:replica=0,at=1e5,for=5e4,scale=1.5;"
+            "link:index=0,at=1e5,for=2e4,scale=4"
+        )
+        crash, transient, brownout, link = spec.events
+        assert isinstance(crash, CrashFault)
+        assert crash.replica == 1
+        assert crash.at_cycle == 2e5
+        assert crash.down_cycles == 1e5
+        assert isinstance(transient, TransientFault)
+        assert transient.probability == 0.1
+        assert transient.replica is None  # fleet-wide
+        assert isinstance(brownout, BrownoutFault)
+        assert brownout.scale == 1.5
+        assert isinstance(link, LinkFault)
+        assert link.scale == 4
+        assert not link.partitions
+
+    def test_crash_without_recovery_and_link_partition(self):
+        spec = FaultSpec.parse("crash:replica=0,at=100;link:index=0,at=50")
+        crash, link = spec.events
+        assert math.isinf(crash.down_cycles)
+        assert math.isinf(link.scale)
+        assert link.partitions
+
+    def test_unknown_kind_names_the_known_ones(self):
+        with pytest.raises(FaultError, match="unknown fault kind 'flood'"):
+            FaultSpec.parse("flood:p=1")
+        with pytest.raises(FaultError, match="crash, transient, brownout, link"):
+            FaultSpec.parse("flood:p=1")
+
+    def test_unknown_key_and_missing_required(self):
+        with pytest.raises(FaultError, match="expected key=value"):
+            FaultSpec.parse("crash:replica=0,at=1,power=9000")
+        with pytest.raises(FaultError, match="needs at="):
+            FaultSpec.parse("crash:replica=0")
+
+    def test_value_validation(self):
+        with pytest.raises(FaultError):
+            FaultSpec.parse("transient:p=1.5")
+        with pytest.raises(FaultError):
+            FaultSpec.parse("brownout:at=0,scale=0.5")  # must slow, not speed up
+        with pytest.raises(FaultError):
+            FaultSpec.parse("crash:replica=-1,at=0")
+
+    def test_validate_against_fleet_shape(self):
+        spec = FaultSpec.parse("crash:replica=3,at=0")
+        with pytest.raises(FaultError, match="replica 3"):
+            spec.validate(replicas=2)
+        link_spec = FaultSpec.parse("link:index=0,at=0")
+        with pytest.raises(FaultError, match="pipelined"):
+            link_spec.validate(replicas=2, links=0)
+
+    def test_describe_round_trips_the_kinds(self):
+        spec = FaultSpec.parse("crash:replica=0,at=10;transient:p=0.2")
+        text = spec.describe()
+        assert "crash" in text and "transient" in text
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(max_attempts=5, backoff_cycles=100, backoff_factor=2)
+        assert policy.backoff(1, base_cycles=999) == 100  # explicit base wins
+        assert policy.backoff(2, base_cycles=999) == 200
+        assert policy.backoff(3, base_cycles=999) == 400
+
+    def test_default_base_comes_from_caller(self):
+        policy = RetryPolicy()
+        assert policy.backoff(1, base_cycles=50) == 50
+
+    def test_validation(self):
+        with pytest.raises(FaultError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(FaultError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(FaultError):
+            RetryPolicy(deadline_cycles=-1)
+
+
+class TestInjector:
+    def test_counter_uniform_is_deterministic_and_spread(self):
+        draws = [counter_uniform(0, 0, i) for i in range(200)]
+        assert draws == [counter_uniform(0, 0, i) for i in range(200)]
+        assert all(0 <= d < 1 for d in draws)
+        assert 0.35 < sum(draws) / len(draws) < 0.65
+        # Different seeds / streams decorrelate.
+        assert counter_uniform(1, 0, 0) != counter_uniform(0, 0, 0)
+        assert counter_uniform(0, 1, 0) != counter_uniform(0, 0, 0)
+
+    def test_down_windows_and_health(self):
+        spec = FaultSpec.parse("crash:replica=0,at=100,down=50")
+        injector = FaultInjector(spec, replicas=2)
+        assert not injector.is_down(0, 99)
+        assert injector.is_down(0, 100)
+        assert injector.is_down(0, 149)
+        assert not injector.is_down(0, 150)  # recovered
+        assert not injector.is_down(1, 120)  # other replica unaffected
+        assert injector.available_from(0, 120) == 150
+        assert injector.available_from(0, 10) == 10
+        assert injector.health(0, 120) == "down"
+        assert injector.health(0, 10) == "up"
+        # Busy past the crash start: draining.
+        assert injector.health(0, 10, busy_until=110) == "draining"
+        assert injector.health(1, 120) == "up"
+
+    def test_permanent_crash_never_recovers(self):
+        injector = FaultInjector(
+            FaultSpec.parse("crash:replica=0,at=100"), replicas=1
+        )
+        assert math.isinf(injector.available_from(0, 200))
+
+    def test_crash_in_detects_mid_service_window(self):
+        injector = FaultInjector(
+            FaultSpec.parse("crash:replica=0,at=100,down=50"), replicas=1
+        )
+        assert injector.crash_in(0, 50, 150) == 100
+        assert injector.crash_in(0, 150, 250) is None
+        # A batch starting exactly at the crash never starts there —
+        # available_from would have pushed it past the window.
+        assert injector.crash_in(0, 0, 100) is None
+
+    def test_brownout_scales_service(self):
+        spec = FaultSpec.parse("brownout:replica=0,at=100,for=50,scale=2")
+        injector = FaultInjector(spec, replicas=2)
+        assert injector.service_scale(0, 120) == 2.0
+        assert injector.service_scale(0, 99) == 1.0
+        assert injector.service_scale(0, 150) == 1.0
+        assert injector.service_scale(1, 120) == 1.0
+
+    def test_transient_draws_are_per_replica_counters(self):
+        spec = FaultSpec.parse("transient:p=0.5")
+        a = FaultInjector(spec, seed=0, replicas=2)
+        b = FaultInjector(spec, seed=0, replicas=2)
+        seq_a = [a.transient_failure(0) for _ in range(50)]
+        # Replica 1's draws don't depend on how many replica 0 made.
+        seq_b1 = [b.transient_failure(1) for _ in range(10)]
+        seq_b0 = [b.transient_failure(0) for _ in range(50)]
+        assert seq_a == seq_b0
+        assert [a.transient_failure(1) for _ in range(10)] == seq_b1
+        assert any(seq_a) and not all(seq_a)
+
+    def test_transient_zero_and_one(self):
+        never = FaultInjector(FaultSpec.parse("transient:p=0"), replicas=1)
+        assert not any(never.transient_failure(0) for _ in range(20))
+        always = FaultInjector(FaultSpec.parse("transient:p=1"), replicas=1)
+        assert all(always.transient_failure(0) for _ in range(20))
+
+    def test_link_scale_and_partition(self):
+        spec = FaultSpec.parse(
+            "link:index=0,at=100,for=50,scale=4;link:index=1,at=100,for=50"
+        )
+        injector = FaultInjector(spec, replicas=1, links=2, stages=3)
+        assert injector.link_scale(0, 120) == 4.0
+        assert injector.link_scale(0, 200) == 1.0
+        # The partition (infinite scale) stalls instead of scaling.
+        assert injector.link_scale(1, 120) == 1.0
+        assert injector.link_available_from(1, 120) == 150
+        assert injector.link_available_from(0, 120) == 120
+
+    def test_stage_crash_requires_pipeline(self):
+        spec = FaultSpec.parse("crash:replica=0,at=100,stage=1")
+        with pytest.raises(FaultError, match="stage"):
+            FaultInjector(spec, replicas=1)
+        # With stages it folds into the replica's down windows.
+        injector = FaultInjector(spec, replicas=1, links=1, stages=2)
+        assert injector.is_down(0, 100)
+
+
+class TestSchedulerUnderFaults:
+    def test_zero_fault_spec_is_bit_identical(self):
+        arrivals = [0, 0, 0, 0, 10, 20]
+        plain = scheduler().run(arrivals)
+        nofault = scheduler(faults=FaultSpec.none(), max_queue=100).run(arrivals)
+        assert plain.records == nofault.records
+        assert plain.metrics == nofault.metrics
+        assert nofault.failures == ()
+
+    def test_crashed_replica_fails_over(self):
+        # Replica 0 is down from the start; everything lands on 1.
+        result = scheduler(faults="crash:replica=0,at=0,down=1e6").run(
+            [0, 0, 0, 0]
+        )
+        assert all(r.replica_id == 1 for r in result.records)
+        assert result.metrics.requests == 4
+        assert result.failures == ()
+
+    def test_saturating_arrivals_with_one_replica_down(self):
+        # 40 requests saturate 2 replicas; replica 1 is down the whole
+        # run, so replica 0 serves everything — slower, but complete.
+        fleet = scheduler(faults="crash:replica=1,at=0,down=1e9")
+        result = fleet.run_open_loop(num_requests=40, load=2.0)
+        assert result.metrics.requests == 40
+        assert result.metrics.failed == 0
+        stats = {s.replica_id: s for s in result.metrics.replica_stats}
+        assert stats[1].requests == 0
+        assert stats[0].requests == 40
+        assert result.metrics.goodput_per_second > 0
+
+    def test_crash_mid_batch_aborts_and_retries(self):
+        # One replica; batch of 4 dispatched at 0 runs 0-400, but the
+        # replica crashes at 200 for 100 cycles.  The batch aborts at
+        # 200, retries re-arrive at 200 + backoff 100 = 300, wait out
+        # the down window, and rerun 300..700 (available again at 300).
+        result = scheduler(
+            replicas=1,
+            faults="crash:replica=0,at=200,down=100",
+            retry=RetryPolicy(max_attempts=3, backoff_cycles=100),
+        ).run([0, 0, 0, 0])
+        assert result.metrics.requests == 4
+        assert result.metrics.retries == 4
+        record = result.records[0]
+        assert record.attempts == 2
+        assert record.arrival_cycle == 0  # latency from the origin
+        assert record.dispatch_cycle == 300
+        assert record.completion_cycle == 700
+        stats = result.metrics.replica_stats[0]
+        assert stats.failed_batches == 1
+        assert stats.wasted_cycles == 200  # 0..crash at 200
+
+    def test_retry_until_deadline_expiry(self):
+        # Always-failing fleet: every attempt burns 100*B cycles, and
+        # the deadline cuts retries short even though attempts remain.
+        result = scheduler(
+            replicas=1,
+            faults="transient:p=1",
+            retry=RetryPolicy(
+                max_attempts=10, backoff_cycles=50, deadline_cycles=300
+            ),
+        ).run([0.0])
+        assert result.metrics.requests == 0
+        assert result.metrics.failed == 1
+        # Attempt 1: 0-100, rearrival 150 < deadline 300 -> retry.
+        # Attempt 2: 150-250, rearrival 250+100=350 >= 300 -> dropped.
+        assert result.metrics.retries == 1
+        failure = result.failures[0]
+        assert failure.outcome == "failed"
+        assert failure.attempts == 2
+        assert failure.completion_cycle == 250
+
+    def test_attempts_exhaustion_drops_the_request(self):
+        result = scheduler(
+            replicas=1,
+            faults="transient:p=1",
+            retry=RetryPolicy(max_attempts=3, backoff_cycles=10),
+        ).run([0.0])
+        assert result.metrics.requests == 0
+        assert result.metrics.failed == 1
+        assert result.metrics.retries == 2  # attempts 2 and 3
+        assert result.failures[0].attempts == 3
+
+    def test_permanently_dead_fleet_fails_everything(self):
+        result = scheduler(
+            faults="crash:replica=0,at=0;crash:replica=1,at=0"
+        ).run([0, 10, 20])
+        assert result.metrics.requests == 0
+        assert result.metrics.failed == 3
+        assert all(f.replica_id == -1 for f in result.failures)
+        assert "no completed requests" in result.summary()
+
+    def test_admission_control_sheds_load(self):
+        # The only replica is down until cycle 1e9, so nothing drains:
+        # with max_queue=2 only the first two arrivals queue, the rest
+        # are shed on arrival.  The queued pair completes once the
+        # replica recovers.
+        result = scheduler(
+            replicas=1,
+            faults="crash:replica=0,at=0,down=1e9",
+            max_queue=2,
+            retry=RetryPolicy(max_attempts=1),
+        ).run([0, 1, 2, 3, 4])
+        assert result.metrics.requests == 2
+        assert result.metrics.shed == 3
+        shed = [f for f in result.failures if f.outcome == "shed"]
+        assert [f.request_id for f in shed] == [2, 3, 4]
+        assert all(f.batch_size == 0 for f in shed)
+        assert all(r.dispatch_cycle == 1e9 for r in result.records)
+
+    def test_same_seed_and_spec_reproduce_identical_results(self):
+        spec = "transient:p=0.3;crash:replica=1,at=500,down=300"
+        runs = [
+            scheduler(faults=spec, fault_seed=7).run_open_loop(
+                num_requests=60, load=2.0
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].records == runs[1].records
+        assert runs[0].failures == runs[1].failures
+        assert runs[0].metrics == runs[1].metrics
+        assert runs[0].summary() == runs[1].summary()
+
+    def test_different_fault_seed_changes_the_outcome(self):
+        results = {
+            seed: scheduler(faults="transient:p=0.3", fault_seed=seed)
+            .run_open_loop(num_requests=60, load=2.0)
+            .metrics.retries
+            for seed in (0, 1, 2, 3)
+        }
+        assert len(set(results.values())) > 1
+
+    def test_slo_attainment_reported(self):
+        result = scheduler(slo_cycles=150.0).run([0, 0, 0, 0, 0])
+        # Batch of 4 at 0-400 (latency 400) + straggler on replica 1
+        # at 0-100 (latency 100): 1 of 5 meets the 150-cycle SLO.
+        assert result.metrics.slo_attainment == pytest.approx(1 / 5)
+        assert "SLO attainment: 20.0%" in result.summary()
+
+    def test_brownout_stretches_service(self):
+        result = scheduler(
+            replicas=1, faults="brownout:replica=0,at=0,for=1e6,scale=2"
+        ).run([0.0])
+        record = result.records[0]
+        assert record.service_cycles == 200  # 100 * scale 2
+
+    def test_invalid_spec_rejected_at_construction(self):
+        with pytest.raises(FaultError, match="replica 5"):
+            scheduler(faults="crash:replica=5,at=0")
+        with pytest.raises(FaultError, match="pipelined"):
+            scheduler(faults="link:index=0,at=0")
+        with pytest.raises(ServingError):
+            scheduler(max_queue=0)
+        with pytest.raises(ServingError):
+            scheduler(slo_cycles=0)
+
+
+@pytest.fixture(scope="module")
+def two_chip_plan():
+    from repro.nn import models
+    from repro.toolflow import partition_model
+
+    return partition_model(models.tiny_cnn(), devices="testchip,testchip")
+
+
+class TestPipelineUnderFaults:
+    def test_zero_fault_spec_is_bit_identical(self, two_chip_plan):
+        import numpy as np
+
+        plain = two_chip_plan.serve(pipelines=2).run_open_loop(
+            num_requests=50, load=2.0, rng=np.random.default_rng(1)
+        )
+        nofault = two_chip_plan.serve(
+            pipelines=2, faults=FaultSpec.none()
+        ).run_open_loop(num_requests=50, load=2.0, rng=np.random.default_rng(1))
+        assert plain.records == nofault.records
+        assert plain.metrics == nofault.metrics
+
+    def test_stage_crash_fails_over_to_spare_pipeline(self, two_chip_plan):
+        # Stage 1 of pipeline 0 dies permanently: pipeline 0 is a dead
+        # pipeline, and every batch lands on the spare (replica 1).
+        fleet = two_chip_plan.serve(
+            pipelines=2, faults="crash:replica=0,at=0,stage=1"
+        )
+        result = fleet.run_open_loop(num_requests=40, load=2.0)
+        assert result.metrics.requests == 40
+        assert all(r.replica_id == 1 for r in result.records)
+        # Per-stage rows: pipeline 0's stages (ids 0, 1) served nothing.
+        stats = {s.replica_id: s for s in result.metrics.replica_stats}
+        assert stats[0].requests == 0 and stats[1].requests == 0
+        assert stats[2].requests == 40 and stats[3].requests == 40
+
+    def test_link_partition_stalls_the_pipeline(self, two_chip_plan):
+        clean = two_chip_plan.serve(pipelines=1).run([0.0])
+        stalled = two_chip_plan.serve(
+            pipelines=1, faults="link:index=0,at=0,for=5e4"
+        ).run([0.0])
+        # The lone batch waits out the 50k-cycle partition at the link.
+        assert (
+            stalled.records[0].completion_cycle
+            > clean.records[0].completion_cycle + 4e4
+        )
+        assert stalled.metrics.requests == 1
+
+    def test_link_degradation_stretches_transfers(self, two_chip_plan):
+        clean = two_chip_plan.serve(pipelines=1).run([0.0])
+        slow = two_chip_plan.serve(
+            pipelines=1, faults="link:index=0,at=0,for=1e9,scale=8"
+        ).run([0.0])
+        assert (
+            slow.records[0].completion_cycle
+            > clean.records[0].completion_cycle
+        )
+
+    def test_transient_faults_retry_on_pipelines(self, two_chip_plan):
+        result = two_chip_plan.serve(
+            pipelines=2, faults="transient:p=0.3", fault_seed=2
+        ).run_open_loop(num_requests=60, load=2.0)
+        assert result.metrics.retries > 0
+        assert result.metrics.requests + result.metrics.failed == 60
+        head_rows = [
+            s for s in result.metrics.replica_stats if s.failed_batches
+        ]
+        assert head_rows  # wasted work shows up in the per-stage stats
+
+    def test_determinism_on_pipelines(self, two_chip_plan):
+        spec = "transient:p=0.2;crash:replica=1,at=3e4,down=2e4"
+        runs = [
+            two_chip_plan.serve(pipelines=2, faults=spec, fault_seed=5)
+            .run_open_loop(num_requests=50, load=2.0)
+            for _ in range(2)
+        ]
+        assert runs[0].records == runs[1].records
+        assert runs[0].metrics == runs[1].metrics
+
+
+class TestFleetSimulationUnderFaults:
+    def test_functional_output_is_untouched(self, two_chip_plan):
+        clean = two_chip_plan.simulate(seed=3)
+        faulted = two_chip_plan.simulate(
+            seed=3, faults="brownout:at=0,for=1e9,scale=2"
+        )
+        import numpy as np
+
+        np.testing.assert_array_equal(clean.output, faulted.output)
+        # ... but the degraded timeline is slower.
+        assert faulted.latency_seconds > clean.latency_seconds
+
+    def test_crash_window_stalls_a_stage(self, two_chip_plan):
+        clean = two_chip_plan.simulate(seed=3)
+        # Down window opening at cycle 0 delays the head stage's start.
+        faulted = two_chip_plan.simulate(
+            seed=3, faults="crash:replica=0,at=0,down=1e5"
+        )
+        reference_hz = two_chip_plan.fleet.reference_frequency_hz
+        assert faulted.stages[0].start_s == pytest.approx(1e5 / reference_hz)
+        assert faulted.latency_seconds > clean.latency_seconds
+
+    def test_permanent_crash_raises_clean_error(self, two_chip_plan):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="never recovers"):
+            two_chip_plan.simulate(faults="crash:replica=0,at=0")
+
+    def test_link_partition_stalls_the_transfer(self, two_chip_plan):
+        clean = two_chip_plan.simulate(seed=3)
+        faulted = two_chip_plan.simulate(
+            seed=3, faults="link:index=0,at=0,for=1e5"
+        )
+        reference_hz = two_chip_plan.fleet.reference_frequency_hz
+        assert faulted.transfers[0].start_s >= 1e5 / reference_hz
+        assert faulted.latency_seconds > clean.latency_seconds
+        assert clean.transfers[0].seconds == pytest.approx(
+            faulted.transfers[0].seconds
+        )

@@ -24,6 +24,42 @@ class TestValidation:
         with pytest.raises(ServingError):
             batcher.add(req(1, 50))
 
+    def test_out_of_order_error_names_both_requests(self):
+        batcher = DynamicBatcher(max_batch=4, max_wait_cycles=10)
+        batcher.add(req(7, 100))
+        with pytest.raises(ServingError) as excinfo:
+            batcher.add(req(3, 50))
+        message = str(excinfo.value)
+        assert "request 3" in message and "request 7" in message
+        assert "retry_at" in message  # points at the re-arrival path
+
+
+class TestRetryPath:
+    def test_retry_at_stamps_fresh_arrival_and_keeps_origin(self):
+        fresh = req(0, 100)
+        assert fresh.origin_cycle == 100
+        retried = fresh.retry_at(500)
+        assert retried.request_id == 0
+        assert retried.arrival_cycle == 500
+        assert retried.attempts == 2
+        assert retried.origin_cycle == 100
+        # A second retry still anchors at the original arrival.
+        again = retried.retry_at(900)
+        assert again.attempts == 3
+        assert again.origin_cycle == 100
+
+    def test_requeue_re_enqueues_in_order(self):
+        batcher = DynamicBatcher(max_batch=4, max_wait_cycles=10)
+        batcher.add(req(0, 100))
+        batcher.add(req(1, 120))
+        failed = batcher.pop_batch(130)[0]
+        # A stale arrival_cycle would violate the in-order contract;
+        # requeue() stamps `now` so the same request re-enters cleanly.
+        retried = batcher.requeue(failed, now=300)
+        assert retried.arrival_cycle == 300
+        assert retried.attempts == 2
+        assert batcher.pending[-1].request_id == 0
+
 
 class TestDeadline:
     def test_empty_queue_is_never_ready(self):

@@ -1,5 +1,7 @@
 """Metrics correctness against hand-computed request traces."""
 
+import math
+
 import pytest
 
 from repro.serve.batcher import ServingError
@@ -27,9 +29,10 @@ class TestPercentile:
     def test_unsorted_input(self):
         assert percentile([5, 1, 3], 100) == 5
 
-    def test_empty_raises(self):
-        with pytest.raises(ServingError):
-            percentile([], 50)
+    def test_empty_is_nan_not_error(self):
+        # "No data" is a reportable chaos outcome, not a crash: a run
+        # where every request failed still aggregates to a summary.
+        assert math.isnan(percentile([], 50))
 
     def test_out_of_range_raises(self):
         with pytest.raises(ServingError):
@@ -124,3 +127,78 @@ class TestAggregation:
                 [], [], frequency_hz=1.0, ops_per_request=0,
                 single_image_cycles=0, reference_gops=0,
             )
+
+
+def failure(rid, arrival, at, outcome, replica=-1):
+    return RequestRecord(
+        request_id=rid,
+        arrival_cycle=float(arrival),
+        dispatch_cycle=float(at),
+        completion_cycle=float(at),
+        replica_id=replica,
+        batch_size=0,
+        outcome=outcome,
+    )
+
+
+class TestFaultAggregation:
+    def test_failures_counted_and_makespan_spans_abandonment(self):
+        records = [record(0, 0, 10, 210, batch=1)]
+        failures = [
+            failure(1, 20, 500, "failed"),
+            failure(2, 30, 30, "shed"),
+        ]
+        stats = [ReplicaStats(replica_id=0, batches=1, requests=1,
+                              busy_cycles=200)]
+        metrics = aggregate_metrics(
+            records, stats, frequency_hz=100e6, ops_per_request=1e6,
+            single_image_cycles=100.0, reference_gops=1.0,
+            failures=failures, retries=3, slo_cycles=250.0,
+        )
+        assert metrics.requests == 1
+        assert metrics.failed == 1
+        assert metrics.shed == 1
+        assert metrics.retries == 3
+        assert metrics.offered == 3
+        assert metrics.completion_rate == pytest.approx(1 / 3)
+        # Makespan runs to the failed request's abandonment at 500.
+        assert metrics.makespan_cycles == 500
+        # The single completion (latency 210) meets the 250-cycle SLO.
+        assert metrics.slo_attainment == 1.0
+        text = metrics.summary()
+        assert "1 failed" in text and "1 shed" in text
+        assert "goodput" in text
+        assert "SLO attainment: 100.0%" in text
+
+    def test_zero_completed_is_reportable_not_an_error(self):
+        failures = [failure(0, 0, 400, "failed")]
+        stats = [ReplicaStats(replica_id=0, batches=0, requests=0,
+                              busy_cycles=0.0, failed_batches=3,
+                              wasted_cycles=600.0)]
+        metrics = aggregate_metrics(
+            [], stats, frequency_hz=100e6, ops_per_request=1e6,
+            single_image_cycles=100.0, reference_gops=1.0,
+            failures=failures, retries=2, slo_cycles=250.0,
+        )
+        assert metrics.requests == 0
+        assert math.isnan(metrics.p99_latency_cycles)
+        assert metrics.slo_attainment == 0.0
+        assert "no completed requests" in metrics.summary()
+        # NaN degrades to None in the JSON view.
+        payload = metrics.to_dict()
+        assert payload["p99_latency_cycles"] is None
+        assert payload["failed"] == 1
+
+    def test_goodput_alias_and_fault_free_summary_unchanged(self):
+        records = [record(0, 0, 10, 210, batch=1)]
+        stats = [ReplicaStats(replica_id=0, batches=1, requests=1,
+                              busy_cycles=200)]
+        metrics = aggregate_metrics(
+            records, stats, frequency_hz=100e6, ops_per_request=1e6,
+            single_image_cycles=100.0, reference_gops=1.0,
+        )
+        assert metrics.goodput_per_second == metrics.requests_per_second
+        assert metrics.completion_rate == 1.0
+        text = metrics.summary()
+        # No fault lines in a clean run's summary.
+        assert "faults:" not in text and "SLO" not in text
