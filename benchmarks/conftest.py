@@ -30,8 +30,10 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 def write_result(name: str, text: str) -> None:
     """Persist a regenerated table/series and echo it to stdout."""
+    from repro.check.artifacts import atomic_write_text
+
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / name).write_text(text + "\n")
+    atomic_write_text(RESULTS_DIR / name, text + "\n")
     print()
     print(text)
 

@@ -19,11 +19,17 @@ Subpackages: :mod:`repro.nn` (CNN substrate), :mod:`repro.algorithms`
 (device/roofline/power models), :mod:`repro.arch` (fusion architecture),
 :mod:`repro.perf` (cost models), :mod:`repro.optimizer` (the strategy
 search), :mod:`repro.baselines`, :mod:`repro.codegen`, :mod:`repro.sim`,
-:mod:`repro.serve` (batched multi-replica serving runtime).
+:mod:`repro.serve` (batched multi-replica serving runtime),
+:mod:`repro.check` (artifact envelope, invariant validators, doctor).
 """
 
 from repro.errors import (
     AlgorithmError,
+    ArtifactError,
+    ArtifactIntegrityError,
+    ArtifactMismatchError,
+    ArtifactSchemaError,
+    ArtifactVersionError,
     CodegenError,
     OptimizationError,
     ParseError,
@@ -32,13 +38,19 @@ from repro.errors import (
     ShapeError,
     SimulationError,
     UnsupportedLayerError,
+    VerificationError,
 )
 from repro.toolflow import CompileResult, compile_model
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AlgorithmError",
+    "ArtifactError",
+    "ArtifactIntegrityError",
+    "ArtifactMismatchError",
+    "ArtifactSchemaError",
+    "ArtifactVersionError",
     "CodegenError",
     "CompileResult",
     "OptimizationError",
@@ -48,6 +60,7 @@ __all__ = [
     "ShapeError",
     "SimulationError",
     "UnsupportedLayerError",
+    "VerificationError",
     "compile_model",
     "__version__",
 ]

@@ -1,0 +1,57 @@
+"""repro.check — artifact integrity and invariant verification.
+
+Three layers of defense for every artifact the toolflow produces:
+
+* :mod:`repro.check.artifacts` — one versioned, checksummed JSON
+  envelope shared by strategy files, partition plans and the codegen
+  strategy blob, with atomic saves, migration hooks for older schema
+  versions and load errors that always name an error code plus the JSON
+  path of the offending field.
+* :mod:`repro.check.invariants` — structural validators
+  (:func:`verify_strategy`, :func:`verify_plan`,
+  :func:`verify_fleet_config`) returning structured violation reports;
+  the toolflow runs them at admission time before serving traffic.
+* :mod:`repro.check.consistency` — cross-model checks (analytic cost vs
+  simulator, simulator vs the functional reference, DP vs the
+  exhaustive oracle) behind ``repro check`` / ``repro doctor``.
+"""
+
+from repro.check.artifacts import (
+    ENVELOPE_VERSION,
+    Envelope,
+    atomic_write_text,
+    device_digest,
+    load_envelope,
+    network_digest,
+    parse_envelope,
+    payload_sha256,
+    register_migration,
+    save_artifact,
+    wrap_payload,
+)
+from repro.check.invariants import (
+    VerificationReport,
+    Violation,
+    verify_fleet_config,
+    verify_plan,
+    verify_strategy,
+)
+
+__all__ = [
+    "ENVELOPE_VERSION",
+    "Envelope",
+    "VerificationReport",
+    "Violation",
+    "atomic_write_text",
+    "device_digest",
+    "load_envelope",
+    "network_digest",
+    "parse_envelope",
+    "payload_sha256",
+    "register_migration",
+    "save_artifact",
+    "verify_fleet_config",
+    "verify_plan",
+    "verify_strategy",
+    "wrap_payload",
+]

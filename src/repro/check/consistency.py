@@ -1,0 +1,325 @@
+"""Cross-model consistency checks and the self-diagnosing doctor.
+
+Where :mod:`repro.check.invariants` verifies one artifact against
+itself, this module verifies the *layers of the toolflow against each
+other*: the analytic cost model against the cycle-approximate
+simulator, the simulator's functional output against the
+``nn.functional`` reference, the artifact envelope against deliberate
+corruption, and (deep level) the DP optimizer against the exhaustive
+oracle.  ``repro doctor`` runs the whole battery on the tiny built-in
+model so a broken install, a stale artifact format, or a cost-model
+regression is caught in seconds — before it costs a full compile or a
+serving run.
+
+Imports of the heavier layers happen inside each check so this module
+stays cheap to import from the CLI.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ArtifactError, ReproError
+
+#: Acceptable simulated/analytic latency ratio window.  The simulator
+#: replays a row-level recurrence the analytic model only bounds, so
+#: they agree in regime, not bit-for-bit (see benchmarks/test_simulation).
+SIM_RATIO_WINDOW = (0.2, 3.0)
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One doctor check: name, outcome, and a one-line detail."""
+
+    name: str
+    ok: bool
+    detail: str
+    seconds: float
+
+    def __str__(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        return f"{status:>4}  {self.name:<24} {self.detail} ({self.seconds:.2f}s)"
+
+
+class DoctorReport:
+    """Every check the doctor ran, in order."""
+
+    def __init__(self, results: List[CheckResult], deep: bool):
+        self.results = results
+        self.deep = deep
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def failures(self) -> List[CheckResult]:
+        return [result for result in self.results if not result.ok]
+
+    def summary(self) -> str:
+        level = "deep" if self.deep else "quick"
+        lines = [f"repro doctor ({level} level): {len(self.results)} check(s)"]
+        lines.extend(str(result) for result in self.results)
+        if self.ok:
+            lines.append("all checks passed")
+        else:
+            lines.append(f"{len(self.failures)} check(s) FAILED")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "deep": self.deep,
+            "ok": self.ok,
+            "checks": [
+                {
+                    "name": r.name,
+                    "ok": r.ok,
+                    "detail": r.detail,
+                    "seconds": r.seconds,
+                }
+                for r in self.results
+            ],
+        }
+
+
+def _run(
+    name: str, fn: Callable[[], str], results: List[CheckResult]
+) -> Optional[str]:
+    """Execute one check, folding any ReproError into a failure entry."""
+    start = time.perf_counter()
+    try:
+        detail = fn()
+        results.append(
+            CheckResult(name, True, detail, time.perf_counter() - start)
+        )
+        return detail
+    except ReproError as exc:
+        results.append(
+            CheckResult(name, False, str(exc), time.perf_counter() - start)
+        )
+    except Exception as exc:  # a crash is itself a diagnosis
+        results.append(
+            CheckResult(
+                name,
+                False,
+                f"{type(exc).__name__}: {exc}",
+                time.perf_counter() - start,
+            )
+        )
+    return None
+
+
+# -- individual consistency checks ------------------------------------------
+
+
+def check_sim_consistency(
+    strategy, seed: int = 0, ratio_window: Tuple[float, float] = SIM_RATIO_WINDOW
+) -> Tuple[float, float]:
+    """Simulate ``strategy`` and compare against the analytic model.
+
+    Returns ``(ratio, max_error)``: the simulated/analytic cycle ratio
+    and the max absolute functional deviation from the ``nn.functional``
+    reference forward pass.
+
+    Raises:
+        ReproError: When either disagrees beyond tolerance.
+    """
+    import numpy as np
+
+    from repro.errors import SimulationError
+    from repro.nn.functional import forward, init_weights
+
+    rng = np.random.default_rng(seed)
+    network = strategy.network
+    data = rng.normal(0, 0.5, network.input_spec.shape)
+    weights = init_weights(network, np.random.default_rng(seed))
+    result = _simulate(strategy, data, weights)
+    expected = forward(network, data, weights)
+    max_error = float(np.max(np.abs(result.output - expected)))
+    if max_error > 1e-6:
+        raise SimulationError(
+            f"simulator output deviates from the nn.functional reference "
+            f"by {max_error:.3e}"
+        )
+    ratio = result.latency_cycles / max(strategy.latency_cycles, 1)
+    low, high = ratio_window
+    if not low < ratio < high:
+        raise SimulationError(
+            f"simulated/analytic latency ratio {ratio:.3f} outside "
+            f"({low}, {high}): the cost model and simulator disagree"
+        )
+    return ratio, max_error
+
+
+def _simulate(strategy, data, weights):
+    from repro.sim.simulator import simulate_strategy
+
+    return simulate_strategy(strategy, data, weights)
+
+
+def check_dp_against_oracle(network, device, budget: int) -> int:
+    """DP optimizer vs the exhaustive oracle on a small network.
+
+    Returns the shared optimal latency; raises ``ReproError`` when the
+    DP misses the oracle's optimum.
+    """
+    from repro.errors import OptimizationError
+    from repro.optimizer.dp import optimize
+    from repro.optimizer.exhaustive import exhaustive_optimize
+
+    dp = optimize(network, device, budget)
+    oracle = exhaustive_optimize(network, device, budget)
+    if dp.latency_cycles != oracle.latency_cycles:
+        raise OptimizationError(
+            f"DP found {dp.latency_cycles} cycles, exhaustive oracle "
+            f"found {oracle.latency_cycles}: the search is no longer optimal"
+        )
+    return dp.latency_cycles
+
+
+# -- the doctor --------------------------------------------------------------
+
+
+def doctor(deep: bool = False, workdir=None) -> DoctorReport:
+    """Self-diagnose the whole toolflow on the tiny built-in model.
+
+    Quick level (default, a few seconds): device catalog sanity, a
+    compile on the test device, strategy invariants, envelope round-trip
+    plus corruption detection, simulator functional + latency
+    consistency, and a two-board partition with plan invariants and its
+    own round-trip.  Deep level adds the DP-vs-exhaustive-oracle
+    equivalence and a short serving smoke run.
+    """
+    import tempfile
+    from pathlib import Path
+
+    results: List[CheckResult] = []
+    state: dict = {}
+
+    def catalog() -> str:
+        from repro.check.invariants import verify_fleet_config
+        from repro.hardware.device import DEVICES
+        from repro.partition.fleet import DeviceFleet
+
+        for name in sorted(DEVICES):
+            verify_fleet_config(
+                DeviceFleet([DEVICES[name]])
+            ).raise_if_failed()
+        return f"{len(DEVICES)} devices serviceable"
+
+    def compile_tiny() -> str:
+        from repro.nn import models
+        from repro.toolflow import compile_model
+
+        result = compile_model(models.tiny_cnn(), device="testchip")
+        state["compiled"] = result
+        return (
+            f"tiny_cnn on testchip: {len(result.strategy.designs)} group(s), "
+            f"{result.strategy.latency_cycles:,} cycles"
+        )
+
+    def strategy_invariants() -> str:
+        from repro.check.invariants import verify_strategy
+
+        verify_strategy(state["compiled"].strategy).raise_if_failed()
+        return "resources, cycles, algorithms consistent"
+
+    def artifact_roundtrip() -> str:
+        from repro.optimizer.serialize import load_strategy, save_strategy
+
+        strategy = state["compiled"].strategy
+        path = Path(state["dir"]) / "doctor_strategy.json"
+        save_strategy(strategy, path)
+        reloaded = load_strategy(path, strategy.network)
+        if reloaded.latency_cycles != strategy.latency_cycles:
+            raise ReproError("round-tripped strategy changed cost")
+        state["strategy_path"] = path
+        return "save -> load preserves the strategy bit-exactly"
+
+    def corruption_detection() -> str:
+        from repro.check.artifacts import load_envelope
+
+        path = state["strategy_path"]
+        text = path.read_text()
+        probes = 0
+        for damaged in (
+            text[: len(text) // 2],  # truncation
+            text.replace('"groups"', '"gruops"', 1),  # field damage
+            text.replace("4", "5", 1),  # value damage breaks the checksum
+        ):
+            probe = Path(state["dir"]) / "doctor_corrupt.json"
+            probe.write_text(damaged)
+            try:
+                load_envelope(probe, expected_kind="strategy")
+            except ArtifactError:
+                probes += 1
+            else:
+                raise ReproError(
+                    "a corrupted artifact loaded without an ArtifactError"
+                )
+        return f"{probes}/3 corruption probes rejected with error codes"
+
+    def sim_consistency() -> str:
+        ratio, error = check_sim_consistency(state["compiled"].strategy)
+        return f"latency ratio {ratio:.2f}, functional error {error:.1e}"
+
+    def partition_checks() -> str:
+        from repro.check.invariants import verify_plan
+        from repro.nn import models
+        from repro.partition.plan import load_plan
+        from repro.toolflow import partition_model
+
+        plan = partition_model(
+            models.tiny_cnn(), devices="testchip,testchip"
+        )
+        verify_plan(plan).raise_if_failed()
+        path = Path(state["dir"]) / "doctor_plan.json"
+        plan.save(path)
+        reloaded = load_plan(path, plan.network)
+        if reloaded.num_stages != plan.num_stages:
+            raise ReproError("round-tripped plan changed shape")
+        return (
+            f"{plan.num_stages}-stage plan verified and round-tripped"
+        )
+
+    def dp_oracle() -> str:
+        from repro.hardware.device import get_device
+        from repro.nn import models
+
+        network = models.tiny_cnn()
+        device = get_device("testchip")
+        latency = check_dp_against_oracle(
+            network, device, network.feature_map_bytes()
+        )
+        return f"DP matches the exhaustive oracle at {latency:,} cycles"
+
+    def serving_smoke() -> str:
+        import numpy as np
+
+        fleet = state["compiled"].serve(replicas=2)
+        outcome = fleet.run_open_loop(
+            num_requests=40, load=1.5, rng=np.random.default_rng(0)
+        )
+        metrics = outcome.metrics
+        if metrics.requests != 40:
+            raise ReproError(
+                f"serving smoke completed {metrics.requests}/40 requests"
+            )
+        return "40/40 requests served on 2 replicas"
+
+    with tempfile.TemporaryDirectory(dir=workdir) as tmp:
+        state["dir"] = tmp
+        _run("device-catalog", catalog, results)
+        if _run("compile", compile_tiny, results) is not None:
+            _run("strategy-invariants", strategy_invariants, results)
+            if _run("artifact-roundtrip", artifact_roundtrip, results):
+                _run("corruption-detection", corruption_detection, results)
+            _run("sim-consistency", sim_consistency, results)
+        _run("partition-plan", partition_checks, results)
+        if deep:
+            _run("dp-vs-oracle", dp_oracle, results)
+            if "compiled" in state:
+                _run("serving-smoke", serving_smoke, results)
+    return DoctorReport(results, deep=deep)

@@ -9,10 +9,14 @@ Usage (also via ``python -m repro``)::
     repro partition MODEL [options]   # split a model across a device fleet
     repro serve-sim MODEL [options]   # batched multi-replica serving sim
     repro winograd M R                # print F(M, R) transform matrices
+    repro check ARTIFACT [...]        # validate saved strategy/plan files
+    repro doctor [--deep]             # self-diagnose the whole toolflow
 
 ``MODEL`` is a prototxt path or a model-zoo name (``repro models``).
 ``repro compile``, ``sweep`` and ``partition`` accept ``--json`` for
-machine-readable output.
+machine-readable output.  ``compile``, ``partition`` and ``serve-sim``
+verify their artifacts at admission; ``--no-verify`` skips that (the
+output is bit-identical either way).
 """
 
 from __future__ import annotations
@@ -119,6 +123,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         transfer_constraint_bytes=args.transfer,
         output_dir=Path(args.out) if args.out else None,
         workers=args.workers,
+        verify=not args.no_verify,
     )
     if args.json:
         from repro.optimizer.serialize import strategy_to_dict
@@ -230,6 +235,7 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         devices=fleet,
         transfer_constraint_bytes=args.transfer,
         workers=args.workers,
+        verify=not args.no_verify,
     )
     if args.json:
         payload = plan.to_dict()
@@ -282,6 +288,7 @@ def _serve_partition(plan, args: argparse.Namespace):
         pipelines=args.pipelines,
         faults=args.faults,
         fault_seed=args.seed,
+        verify=not args.no_verify,
     )
     return fleet.run_open_loop(
         num_requests=args.serve,
@@ -301,7 +308,10 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         FaultSpec.parse(args.faults)
     network = _load_model(args.model)
     result = compile_model(
-        network, device=args.device, transfer_constraint_bytes=args.transfer
+        network,
+        device=args.device,
+        transfer_constraint_bytes=args.transfer,
+        verify=not args.no_verify,
     )
     fleet = result.serve(
         replicas=args.replicas,
@@ -312,6 +322,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         fault_seed=args.fault_seed if args.fault_seed is not None else args.seed,
         max_queue=args.max_queue,
         slo_cycles=args.slo,
+        verify=not args.no_verify,
     )
     serving = fleet.run_open_loop(
         num_requests=args.requests,
@@ -336,6 +347,74 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     print()
     print(serving.summary())
     return 0
+
+
+def _check_one(path: Path, model: Optional[str]) -> List[str]:
+    """Validate one artifact file; the returned lines describe failures."""
+    from repro.check.artifacts import describe_artifact, load_envelope
+    from repro.check.invariants import verify_plan, verify_strategy
+
+    envelope = load_envelope(path)
+    print(f"{path}: {describe_artifact(envelope)}")
+    if envelope.kind == "codegen_strategy":
+        # The embedded codegen blob is a report, not a loadable strategy;
+        # envelope integrity (checksum, digests, schema) is the check.
+        print(f"{path}: envelope integrity ok")
+        return []
+
+    name = model or envelope.payload.get("network")
+    if not isinstance(name, str):
+        return [f"{path}: cannot determine the network (pass --model)"]
+    network = _load_model(name)
+    # Toolflow artifacts cover the accelerated prefix; fall back to the
+    # full network for strategies saved outside the toolflow.
+    candidates = [network.accelerated_prefix()]
+    if len(candidates[0]) != len(network):
+        candidates.append(network)
+    last_error: Optional[ReproError] = None
+    for candidate in candidates:
+        try:
+            if envelope.kind == "partition_plan":
+                from repro.partition.plan import load_plan
+
+                plan = load_plan(path, candidate)
+                report = verify_plan(plan)
+            else:
+                from repro.optimizer.serialize import load_strategy
+
+                strategy = load_strategy(path, candidate)
+                report = verify_strategy(strategy)
+            print(f"{path}: {report.summary()}")
+            return [] if report.ok else [f"{path}: verification failed"]
+        except ReproError as exc:
+            last_error = exc
+    return [f"{path}: {last_error}"]
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    failures: List[str] = []
+    for name in args.artifacts:
+        try:
+            failures.extend(_check_one(Path(name), args.model))
+        except ReproError as exc:
+            failures.append(f"{name}: {exc}")
+    if failures:
+        for line in failures:
+            print(f"error: {line}", file=sys.stderr)
+        return 1
+    print(f"{len(args.artifacts)} artifact(s) ok")
+    return 0
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    from repro.check.consistency import doctor
+
+    report = doctor(deep=args.deep)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
 
 
 def _cmd_winograd(args: argparse.Namespace) -> int:
@@ -400,6 +479,11 @@ def build_parser() -> argparse.ArgumentParser:
     compile_p.add_argument(
         "--json", action="store_true",
         help="emit the strategy as JSON instead of the report table",
+    )
+    compile_p.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the admission-time invariant validators "
+        "(output is bit-identical when verification passes)",
     )
     compile_p.set_defaults(func=_cmd_compile)
 
@@ -496,6 +580,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0,
         help="seed for --serve arrivals and the fault injector",
     )
+    part_p.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the admission-time plan validators "
+        "(output is bit-identical when verification passes)",
+    )
     part_p.set_defaults(func=_cmd_partition)
 
     serve_p = sub.add_parser(
@@ -558,12 +647,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the metrics as JSON instead of the summary text",
     )
+    serve_p.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the admission-time invariant validators "
+        "(output is bit-identical when verification passes)",
+    )
     serve_p.set_defaults(func=_cmd_serve_sim)
 
     wino_p = sub.add_parser("winograd", help="print F(m, r) transform matrices")
     wino_p.add_argument("m", type=int)
     wino_p.add_argument("r", type=int)
     wino_p.set_defaults(func=_cmd_winograd)
+
+    check_p = sub.add_parser(
+        "check", help="validate saved strategy/plan artifact files"
+    )
+    check_p.add_argument(
+        "artifacts", nargs="+", metavar="ARTIFACT",
+        help="artifact JSON files (strategy, partition plan, or a "
+        "generated project's strategy.json)",
+    )
+    check_p.add_argument(
+        "--model", default=None,
+        help="network the artifacts belong to (default: the network "
+        "name recorded in each artifact, resolved from the model zoo)",
+    )
+    check_p.set_defaults(func=_cmd_check)
+
+    doctor_p = sub.add_parser(
+        "doctor", help="self-diagnose the toolflow on the tiny built-in model"
+    )
+    doctor_p.add_argument(
+        "--deep", action="store_true",
+        help="also run the DP-vs-exhaustive-oracle and serving smoke checks",
+    )
+    doctor_p.add_argument(
+        "--json", action="store_true",
+        help="emit the check results as JSON instead of the summary",
+    )
+    doctor_p.set_defaults(func=_cmd_doctor)
     return parser
 
 

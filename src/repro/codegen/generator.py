@@ -13,9 +13,18 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from repro.check.artifacts import (
+    atomic_write_text,
+    device_digest,
+    network_digest,
+    wrap_payload,
+)
 from repro.errors import CodegenError
 from repro.codegen import templates
 from repro.optimizer.strategy import Strategy
+
+#: Envelope kind of the strategy blob embedded in generated projects.
+CODEGEN_ARTIFACT_KIND = "codegen_strategy"
 
 #: FPGA part numbers for the device catalog entries.
 PART_NUMBERS = {
@@ -44,7 +53,7 @@ class GeneratedProject:
         for name, content in sorted(self.files.items()):
             path = directory / name
             path.parent.mkdir(parents=True, exist_ok=True)
-            path.write_text(content)
+            atomic_write_text(path, content)
             written.append(path)
         return written
 
@@ -138,7 +147,15 @@ class CodeGenerator:
                 )
             ],
         }
-        return json.dumps(payload, indent=2) + "\n"
+        document = wrap_payload(
+            CODEGEN_ARTIFACT_KIND,
+            payload,
+            digests={
+                "network": network_digest(strategy.network),
+                "device": device_digest(strategy.device),
+            },
+        )
+        return json.dumps(document, indent=2) + "\n"
 
 
 def generate_project(

@@ -44,3 +44,41 @@ class SimulationError(ReproError):
 
 class PartitionError(ReproError):
     """A network could not be partitioned onto the given device fleet."""
+
+
+class VerificationError(ReproError):
+    """An invariant validator found violations (see repro.check)."""
+
+
+class ArtifactError(ReproError):
+    """A persisted artifact (strategy/plan/codegen blob) failed to load.
+
+    Every artifact failure is precise: ``code`` is a stable machine
+    error code (``E_JSON``, ``E_CHECKSUM``, ...) and ``json_path`` the
+    JSON path of the offending field (``$`` for whole-document errors),
+    so a corrupted or truncated file never surfaces as a bare
+    ``KeyError``/``ValueError``.
+    """
+
+    def __init__(self, code: str, json_path: str, message: str):
+        self.code = code
+        self.json_path = json_path
+        super().__init__(f"[{code}] at {json_path}: {message}")
+
+
+class ArtifactIntegrityError(ArtifactError):
+    """The artifact bytes are damaged: not UTF-8, not JSON, or the
+    payload checksum does not match (truncation, bit-flips)."""
+
+
+class ArtifactSchemaError(ArtifactError):
+    """A required field is missing, mistyped, or holds an invalid value."""
+
+
+class ArtifactVersionError(ArtifactError):
+    """The artifact's schema version has no loader or migration hook."""
+
+
+class ArtifactMismatchError(ArtifactError):
+    """The artifact is intact but does not belong to the given
+    network/device/fleet, or drifted from the current cost model."""

@@ -35,13 +35,30 @@ Scalar = Union[str, int, float, bool]
 
 
 class Message:
-    """A parsed prototxt message: multimap of field name -> values."""
+    """A parsed prototxt message: multimap of field name -> values.
 
-    def __init__(self) -> None:
+    Every field remembers the line its first occurrence was parsed from
+    (``line_of``), and the message itself remembers where it opened
+    (``line``), so lowering errors can point at the offending prototxt
+    line in a single-line :class:`ParseError`.
+    """
+
+    def __init__(self, line: int = 1) -> None:
+        self.line = line
         self._fields: Dict[str, List[Union[Scalar, "Message"]]] = {}
+        self._lines: Dict[str, int] = {}
 
-    def add(self, key: str, value: Union[Scalar, "Message"]) -> None:
+    def add(
+        self, key: str, value: Union[Scalar, "Message"], line: Optional[int] = None
+    ) -> None:
         self._fields.setdefault(key, []).append(value)
+        if line is not None:
+            self._lines.setdefault(key, line)
+
+    def line_of(self, key: str) -> int:
+        """Line of the field's first occurrence (the message's own line
+        when the field is absent)."""
+        return self._lines.get(key, self.line)
 
     def get_all(self, key: str) -> List[Union[Scalar, "Message"]]:
         return list(self._fields.get(key, []))
@@ -57,7 +74,10 @@ class Message:
         if value is None:
             return None
         if not isinstance(value, Message):
-            raise ParseError(f"field {key!r} is scalar, expected message")
+            raise ParseError(
+                f"line {self.line_of(key)}: field {key!r} is scalar, "
+                f"expected message"
+            )
         return value
 
     def get_int(self, key: str, default: Optional[int] = None) -> Optional[int]:
@@ -65,7 +85,10 @@ class Message:
         if value is None:
             return None
         if isinstance(value, bool) or not isinstance(value, (int, float)):
-            raise ParseError(f"field {key!r} is not numeric: {value!r}")
+            raise ParseError(
+                f"line {self.line_of(key)}: field {key!r} is not numeric: "
+                f"{value!r}"
+            )
         return int(value)
 
     def get_float(self, key: str, default: Optional[float] = None) -> Optional[float]:
@@ -73,7 +96,10 @@ class Message:
         if value is None:
             return None
         if isinstance(value, bool) or not isinstance(value, (int, float)):
-            raise ParseError(f"field {key!r} is not numeric: {value!r}")
+            raise ParseError(
+                f"line {self.line_of(key)}: field {key!r} is not numeric: "
+                f"{value!r}"
+            )
         return float(value)
 
     def get_str(self, key: str, default: Optional[str] = None) -> Optional[str]:
@@ -81,7 +107,10 @@ class Message:
         if value is None:
             return None
         if not isinstance(value, str):
-            raise ParseError(f"field {key!r} is not a string: {value!r}")
+            raise ParseError(
+                f"line {self.line_of(key)}: field {key!r} is not a string: "
+                f"{value!r}"
+            )
         return value
 
     def keys(self) -> List[str]:
@@ -156,20 +185,24 @@ class _Parser:
         return token
 
     def parse(self) -> Message:
-        message = self._parse_fields(top_level=True)
+        message = self._parse_fields(top_level=True, line=1)
         if self._peek() is not None:
             _, token, line = self._peek()
             raise ParseError(f"line {line}: trailing content {token!r}")
         return message
 
-    def _parse_fields(self, top_level: bool) -> Message:
-        message = Message()
+    def _parse_fields(self, top_level: bool, line: int) -> Message:
+        open_line = line
+        message = Message(line=open_line)
         while True:
             token = self._peek()
             if token is None:
                 if top_level:
                     return message
-                raise ParseError("unexpected end of input inside message")
+                raise ParseError(
+                    f"line {open_line}: unexpected end of input inside the "
+                    f"message opened here"
+                )
             kind, text, line = token
             if kind == "punct" and text == "}":
                 if top_level:
@@ -188,12 +221,16 @@ class _Parser:
                 elif kind3 == "atom":
                     value = _parse_atom(text3)
                 elif kind3 == "punct" and text3 == "{":
-                    value = self._parse_fields(top_level=False)
+                    value = self._parse_fields(top_level=False, line=line3)
                 else:
                     raise ParseError(f"line {line3}: expected value, got {text3!r}")
-                message.add(key, value)
+                message.add(key, value, line=line)
             elif kind2 == "punct" and text2 == "{":
-                message.add(key, self._parse_fields(top_level=False))
+                message.add(
+                    key,
+                    self._parse_fields(top_level=False, line=line2),
+                    line=line,
+                )
             else:
                 raise ParseError(f"line {line2}: expected ':' or '{{' after {key!r}")
 
@@ -234,14 +271,37 @@ def _input_spec(root: Message) -> InputSpec:
     return InputSpec(*dims)
 
 
+def _require_positive(param: Message, key: str, value: Optional[int], name: str):
+    """Reject non-positive dimension fields with the offending line."""
+    if value is not None and value <= 0:
+        raise ParseError(
+            f"line {param.line_of(key)}: layer {name!r} field {key!r} "
+            f"must be positive, got {value}"
+        )
+    return value
+
+
 def _lower_conv(name: str, msg: Message) -> ConvLayer:
     param = msg.get_message("convolution_param")
     if param is None:
-        raise ParseError(f"conv layer {name!r} missing convolution_param")
-    num_output = param.get_int("num_output")
-    kernel = param.get_int("kernel_size")
-    if num_output is None or kernel is None:
-        raise ParseError(f"conv layer {name!r} missing num_output/kernel_size")
+        raise ParseError(
+            f"line {msg.line}: conv layer {name!r} missing "
+            f"field 'convolution_param'"
+        )
+    num_output = _require_positive(
+        param, "num_output", param.get_int("num_output"), name
+    )
+    kernel = _require_positive(
+        param, "kernel_size", param.get_int("kernel_size"), name
+    )
+    if num_output is None:
+        raise ParseError(
+            f"line {param.line}: conv layer {name!r} missing field 'num_output'"
+        )
+    if kernel is None:
+        raise ParseError(
+            f"line {param.line}: conv layer {name!r} missing field 'kernel_size'"
+        )
     return ConvLayer(
         name=name,
         out_channels=num_output,
@@ -256,14 +316,24 @@ def _lower_conv(name: str, msg: Message) -> ConvLayer:
 def _lower_pool(name: str, msg: Message) -> PoolLayer:
     param = msg.get_message("pooling_param")
     if param is None:
-        raise ParseError(f"pool layer {name!r} missing pooling_param")
-    kernel = param.get_int("kernel_size")
+        raise ParseError(
+            f"line {msg.line}: pool layer {name!r} missing "
+            f"field 'pooling_param'"
+        )
+    kernel = _require_positive(
+        param, "kernel_size", param.get_int("kernel_size"), name
+    )
     if kernel is None:
-        raise ParseError(f"pool layer {name!r} missing kernel_size")
+        raise ParseError(
+            f"line {param.line}: pool layer {name!r} missing field 'kernel_size'"
+        )
     mode = param.get("pool", "MAX")
     mode_name = {"MAX": "max", "AVE": "ave", 0: "max", 1: "ave"}.get(mode)
     if mode_name is None:
-        raise ParseError(f"pool layer {name!r}: unsupported mode {mode!r}")
+        raise ParseError(
+            f"line {param.line_of('pool')}: pool layer {name!r} field 'pool' "
+            f"has unsupported mode {mode!r}"
+        )
     return PoolLayer(
         name=name,
         kernel=kernel,
@@ -289,10 +359,17 @@ def _lower_lrn(name: str, msg: Message) -> LRNLayer:
 def _lower_fc(name: str, msg: Message) -> FCLayer:
     param = msg.get_message("inner_product_param")
     if param is None:
-        raise ParseError(f"fc layer {name!r} missing inner_product_param")
-    num_output = param.get_int("num_output")
+        raise ParseError(
+            f"line {msg.line}: fc layer {name!r} missing "
+            f"field 'inner_product_param'"
+        )
+    num_output = _require_positive(
+        param, "num_output", param.get_int("num_output"), name
+    )
     if num_output is None:
-        raise ParseError(f"fc layer {name!r} missing num_output")
+        raise ParseError(
+            f"line {param.line}: fc layer {name!r} missing field 'num_output'"
+        )
     return FCLayer(name=name, out_features=num_output, relu=False)
 
 
@@ -312,11 +389,20 @@ def network_from_prototxt(text: str, fold_relu: bool = True) -> Network:
     previous_top: Optional[str] = None
     for entry in root.get_all("layer") + root.get_all("layers"):
         if not isinstance(entry, Message):
-            raise ParseError("'layer' field must be a message")
+            raise ParseError(
+                f"line {root.line_of('layer')}: field 'layer' must be a "
+                f"message, got {entry!r}"
+            )
         layer_type = entry.get_str("type")
         layer_name = entry.get_str("name")
-        if layer_type is None or layer_name is None:
-            raise ParseError("layer missing name or type")
+        if layer_type is None:
+            raise ParseError(
+                f"line {entry.line}: layer missing field 'type'"
+            )
+        if layer_name is None:
+            raise ParseError(
+                f"line {entry.line}: layer missing field 'name'"
+            )
         if layer_type in ("Input", "Data", "Dropout", "Accuracy"):
             continue
         bottoms = [b for b in entry.get_all("bottom") if isinstance(b, str)]
@@ -326,8 +412,9 @@ def network_from_prototxt(text: str, fold_relu: bool = True) -> Network:
             layers[-1].name if layers else previous_top,
         ):
             raise ParseError(
-                f"layer {layer_name!r} bottom {bottoms[0]!r} breaks the linear "
-                f"chain (expected {previous_top!r})"
+                f"line {entry.line_of('bottom')}: layer {layer_name!r} field "
+                f"'bottom' value {bottoms[0]!r} breaks the linear chain "
+                f"(expected {previous_top!r})"
             )
         if layer_type == "Convolution":
             layers.append(_lower_conv(layer_name, entry))
@@ -345,7 +432,10 @@ def network_from_prototxt(text: str, fold_relu: bool = True) -> Network:
         elif layer_type == "Softmax":
             layers.append(SoftmaxLayer(name=layer_name))
         else:
-            raise ParseError(f"unsupported layer type {layer_type!r}")
+            raise ParseError(
+                f"line {entry.line_of('type')}: layer {layer_name!r} field "
+                f"'type' has unsupported value {layer_type!r}"
+            )
         if tops:
             previous_top = tops[0]
     return Network(name, spec, layers)

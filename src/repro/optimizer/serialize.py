@@ -5,21 +5,40 @@ A strategy search on a large network can take tens of seconds (Section
 re-run without re-searching — the same role the paper's "optimal
 strategy" file plays between its optimizer and code generator (Figure 4).
 
-The JSON schema matches what :class:`repro.codegen.generator` embeds in
-its projects, extended with everything needed to *rebuild* the exact
-:class:`~repro.optimizer.strategy.Strategy`: per-layer algorithm,
-parallelism, weight mode and Winograd tile.  Loading re-evaluates each
-engine through the same cost model (``implement``), so a reloaded
-strategy is bit-identical in cost terms — asserted on save.
+Strategies travel in the unified artifact envelope
+(:mod:`repro.check.artifacts`): a versioned, checksummed wrapper around
+the payload dict :func:`strategy_to_dict` produces, written atomically.
+Pre-envelope files (bare payloads from PR <= 4) still load through the
+envelope's legacy migration path.  Loading re-evaluates each engine
+through the same cost model (``implement``), so a reloaded strategy is
+bit-identical in cost terms — drift raises a precise
+:class:`~repro.errors.ArtifactMismatchError`, and any structural damage
+raises an :class:`~repro.errors.ArtifactError` subclass carrying an
+error code and the JSON path of the offending field.
 """
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 from typing import List, Optional, Tuple, Union
 
-from repro.errors import OptimizationError
+from repro.check.artifacts import (
+    E_DEVICE,
+    E_DRIFT,
+    E_FIELD_VALUE,
+    E_NETWORK,
+    device_digest,
+    load_envelope,
+    network_digest,
+    require,
+    save_artifact,
+)
+from repro.errors import (
+    ArtifactMismatchError,
+    ArtifactSchemaError,
+    ArtifactVersionError,
+    ResourceError,
+)
 from repro.hardware.device import FPGADevice, get_device
 from repro.nn.network import Network
 from repro.perf.cost import CostModel, EvalContext
@@ -27,7 +46,11 @@ from repro.perf.group import compose_group
 from repro.perf.implement import Algorithm, WeightMode, WINOGRAD_M
 from repro.optimizer.strategy import Strategy
 
+#: Version of the strategy *payload* (the envelope has its own version).
 SCHEMA_VERSION = 1
+
+#: Artifact kind recorded in the envelope.
+ARTIFACT_KIND = "strategy"
 
 
 def strategy_to_dict(strategy: Strategy) -> dict:
@@ -59,11 +82,36 @@ def strategy_to_dict(strategy: Strategy) -> dict:
     }
 
 
+def strategy_digests(strategy: Strategy) -> dict:
+    """Envelope digests binding a strategy to its network and device."""
+    return {
+        "network": network_digest(strategy.network),
+        "device": device_digest(strategy.device),
+    }
+
+
 def save_strategy(strategy: Strategy, path: Union[str, Path]) -> Path:
-    """Write a strategy description to ``path`` (JSON)."""
-    path = Path(path)
-    path.write_text(json.dumps(strategy_to_dict(strategy), indent=2) + "\n")
-    return path
+    """Atomically write a strategy artifact (envelope + payload JSON)."""
+    return save_artifact(
+        path,
+        ARTIFACT_KIND,
+        strategy_to_dict(strategy),
+        digests=strategy_digests(strategy),
+    )
+
+
+def _parse_enum(entry, key: str, enum_cls, path: str):
+    """Read an enum-valued payload field with a precise error."""
+    raw = require(entry, key, str, path)
+    try:
+        return enum_cls(raw)
+    except ValueError:
+        options = ", ".join(member.value for member in enum_cls)
+        raise ArtifactSchemaError(
+            E_FIELD_VALUE,
+            f"{path}.{key}",
+            f"{raw!r} is not one of: {options}",
+        ) from None
 
 
 def strategy_from_dict(
@@ -71,6 +119,7 @@ def strategy_from_dict(
     network: Network,
     device: Union[str, FPGADevice, None] = None,
     context: Optional[CostModel] = None,
+    path: str = "$",
 ) -> Strategy:
     """Rebuild a strategy by re-evaluating every recorded choice.
 
@@ -82,52 +131,104 @@ def strategy_from_dict(
         context: Shared evaluation layer for the re-evaluation (the
             drift check); sharing one across many loads amortizes the
             cost-model calls for shape-identical layers.
+        path: JSON path prefix for error reporting (a plan's stage
+            strategies live at ``$.stages[i].strategy``).
 
     Raises:
-        OptimizationError: On schema/network mismatches.
+        ArtifactError: On any schema, value, or drift problem, with an
+            error code and the JSON path of the offending field.
     """
-    version = payload.get("schema_version")
+    version = require(payload, "schema_version", int, path)
     if version != SCHEMA_VERSION:
-        raise OptimizationError(
+        raise ArtifactVersionError(
+            "E_VERSION",
+            f"{path}.schema_version",
             f"unsupported strategy schema version {version!r} "
-            f"(expected {SCHEMA_VERSION})"
+            f"(expected {SCHEMA_VERSION})",
         )
     if device is None:
-        device = payload["device"]
+        device = require(payload, "device", str, path)
     if isinstance(device, str):
-        device = get_device(device)
+        try:
+            device = get_device(device)
+        except ResourceError as exc:
+            raise ArtifactMismatchError(
+                E_DEVICE, f"{path}.device", str(exc)
+            ) from None
     cost = context if context is not None else EvalContext()
 
     boundaries: List[Tuple[int, int]] = []
     designs = []
-    for group in payload.get("groups", []):
-        start, stop = group["range"]
+    groups = require(payload, "groups", list, path)
+    for group_index, group in enumerate(groups):
+        group_path = f"{path}.groups[{group_index}]"
+        span = require(group, "range", list, group_path)
+        if len(span) != 2 or not all(isinstance(v, int) for v in span):
+            raise ArtifactSchemaError(
+                E_FIELD_VALUE,
+                f"{group_path}.range",
+                f"expected [start, stop] integers, found {span!r}",
+            )
+        start, stop = span
+        if not 0 <= start < stop <= len(network):
+            raise ArtifactSchemaError(
+                E_FIELD_VALUE,
+                f"{group_path}.range",
+                f"[{start}, {stop}] out of range for a "
+                f"{len(network)}-layer network",
+            )
         boundaries.append((start, stop))
+        layers = require(group, "layers", list, group_path)
+        if len(layers) != stop - start:
+            raise ArtifactSchemaError(
+                E_FIELD_VALUE,
+                f"{group_path}.layers",
+                f"group covers {stop - start} layers but records "
+                f"{len(layers)}",
+            )
         impls = []
-        for index, entry in zip(range(start, stop), group["layers"]):
+        for offset, entry in enumerate(layers):
+            layer_path = f"{group_path}.layers[{offset}]"
+            index = start + offset
             info = network[index]
-            if info.name != entry["name"]:
-                raise OptimizationError(
+            name = require(entry, "name", str, layer_path)
+            if info.name != name:
+                raise ArtifactMismatchError(
+                    E_NETWORK,
+                    f"{layer_path}.name",
                     f"layer {index} is {info.name!r} in the network but "
-                    f"{entry['name']!r} in the strategy file"
+                    f"{name!r} in the strategy file",
                 )
+            algorithm = _parse_enum(entry, "algorithm", Algorithm, layer_path)
+            weight_mode = (
+                _parse_enum(entry, "weight_mode", WeightMode, layer_path)
+                if "weight_mode" in entry
+                else WeightMode.RESIDENT
+            )
+            winograd_m = (
+                require(entry, "winograd_m", int, layer_path)
+                if "winograd_m" in entry
+                else WINOGRAD_M
+            )
             impls.append(
                 cost.implement(
                     info,
-                    Algorithm(entry["algorithm"]),
-                    entry["parallelism"],
+                    algorithm,
+                    require(entry, "parallelism", int, layer_path),
                     device,
-                    weight_mode=WeightMode(entry["weight_mode"]),
-                    winograd_m=entry.get("winograd_m", WINOGRAD_M),
+                    weight_mode=weight_mode,
+                    winograd_m=winograd_m,
                 )
             )
         designs.append(compose_group(impls, device))
     strategy = Strategy(network, device, boundaries, designs)
     recorded = payload.get("latency_cycles")
     if recorded is not None and recorded != strategy.latency_cycles:
-        raise OptimizationError(
+        raise ArtifactMismatchError(
+            E_DRIFT,
+            f"{path}.latency_cycles",
             f"reloaded strategy latency {strategy.latency_cycles} != recorded "
-            f"{recorded}: cost model or network changed since it was saved"
+            f"{recorded}: cost model or network changed since it was saved",
         )
     return strategy
 
@@ -138,6 +239,33 @@ def load_strategy(
     device: Union[str, FPGADevice, None] = None,
     context: Optional[CostModel] = None,
 ) -> Strategy:
-    """Read a strategy JSON file and rebuild the Strategy."""
-    payload = json.loads(Path(path).read_text())
-    return strategy_from_dict(payload, network, device, context=context)
+    """Read a strategy artifact and rebuild the Strategy.
+
+    Accepts both current envelope files and pre-envelope bare payloads
+    (which migrate transparently).  When the envelope carries a network
+    digest it is checked against ``network`` before any re-evaluation.
+    """
+    envelope = load_envelope(path, expected_kind=ARTIFACT_KIND)
+    envelope.expect_digest("network", network_digest(network), "network")
+    if isinstance(device, FPGADevice):
+        envelope.expect_digest("device", device_digest(device), "device")
+    return strategy_from_dict(
+        envelope.payload, network, device, context=context, path="$.payload"
+    )
+
+
+def read_strategy_payload(path: Union[str, Path]) -> dict:
+    """Validated payload dict of a strategy artifact (no re-evaluation)."""
+    return load_envelope(path, expected_kind=ARTIFACT_KIND).payload
+
+
+__all__ = [
+    "ARTIFACT_KIND",
+    "SCHEMA_VERSION",
+    "load_strategy",
+    "read_strategy_payload",
+    "save_strategy",
+    "strategy_digests",
+    "strategy_from_dict",
+    "strategy_to_dict",
+]

@@ -18,14 +18,21 @@ and transfer end to end.
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.errors import PartitionError
+from repro.check.artifacts import (
+    fleet_digest,
+    load_envelope,
+    network_digest,
+    require,
+    require_index,
+    save_artifact,
+)
+from repro.errors import ArtifactSchemaError, ArtifactVersionError, PartitionError
 from repro.nn.network import Network
 from repro.optimizer.serialize import strategy_from_dict, strategy_to_dict
 from repro.optimizer.strategy import Strategy
@@ -33,6 +40,9 @@ from repro.partition.fleet import DeviceFleet, Link
 from repro.perf.cost import CostModel, SearchTelemetry
 
 PLAN_SCHEMA_VERSION = 1
+
+#: Artifact kind recorded in the envelope.
+PLAN_ARTIFACT_KIND = "partition_plan"
 
 
 @dataclass(frozen=True)
@@ -207,6 +217,7 @@ class PartitionPlan:
         retry=None,
         max_queue: Optional[int] = None,
         slo_cycles: Optional[float] = None,
+        verify: bool = True,
     ):
         """Stand up a simulated pipelined serving fleet for this plan.
 
@@ -216,10 +227,18 @@ class PartitionPlan:
         ``faults`` / ``fault_seed`` / ``retry`` / ``max_queue`` /
         ``slo_cycles`` for deterministic chaos runs (see
         :mod:`repro.faults`); ``pipelines > 1`` gives crashed batches a
-        spare pipeline to fail over to.
+        spare pipeline to fail over to.  ``verify`` (default on) runs
+        the plan invariant validators at admission, rejecting a stale or
+        inconsistent plan with a
+        :class:`~repro.errors.VerificationError` before it serves
+        traffic; serving behaviour is identical either way.
         """
         from repro.serve.pipeline import PipelineFleetScheduler
 
+        if verify:
+            from repro.check.invariants import verify_plan
+
+            verify_plan(self).raise_if_failed()
         return PipelineFleetScheduler(
             self,
             pipelines=pipelines,
@@ -268,10 +287,18 @@ class PartitionPlan:
             ],
         }
 
+    def digests(self) -> dict:
+        """Envelope digests binding this plan to its network and fleet."""
+        return {
+            "network": network_digest(self.network),
+            "fleet": fleet_digest(self.fleet),
+        }
+
     def save(self, path: Union[str, Path]) -> Path:
-        path = Path(path)
-        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
-        return path
+        """Atomically write the plan artifact (envelope + payload JSON)."""
+        return save_artifact(
+            path, PLAN_ARTIFACT_KIND, self.to_dict(), digests=self.digests()
+        )
 
     def report(self) -> str:
         """Per-stage table plus the pipeline-level numbers."""
@@ -330,6 +357,7 @@ def plan_from_dict(
     network: Network,
     fleet: Optional[DeviceFleet] = None,
     context: Optional[CostModel] = None,
+    path: str = "$",
 ) -> PartitionPlan:
     """Rebuild a plan by re-evaluating every stage strategy.
 
@@ -340,58 +368,101 @@ def plan_from_dict(
             and link parameters.
         context: Shared evaluation layer for the re-evaluation drift
             check (see :mod:`repro.optimizer.serialize`).
+        path: JSON path prefix for error reporting.
 
     Raises:
-        PartitionError: On schema mismatches or stage/network drift.
+        ArtifactError: On schema/value damage or stage/network drift,
+            with an error code and the JSON path of the offending field.
     """
-    version = payload.get("schema_version")
+    version = require(payload, "schema_version", int, path)
     if version != PLAN_SCHEMA_VERSION:
-        raise PartitionError(
+        raise ArtifactVersionError(
+            "E_VERSION",
+            f"{path}.schema_version",
             f"unsupported partition schema version {version!r} "
-            f"(expected {PLAN_SCHEMA_VERSION})"
+            f"(expected {PLAN_SCHEMA_VERSION})",
         )
     if fleet is None:
-        recorded = payload["fleet"]
-        fleet = DeviceFleet.from_spec(recorded["devices"])
-        fleet = DeviceFleet(
-            fleet.devices,
-            [
+        recorded = require(payload, "fleet", dict, path)
+        fleet_path = f"{path}.fleet"
+        names = require(recorded, "devices", list, fleet_path)
+        if not names or not all(isinstance(n, str) for n in names):
+            raise ArtifactSchemaError(
+                "E_FIELD_VALUE",
+                f"{fleet_path}.devices",
+                f"expected a non-empty list of device names, found {names!r}",
+            )
+        base = DeviceFleet.from_spec(names)
+        links = []
+        for index, entry in enumerate(
+            require(recorded, "links", list, fleet_path)
+        ):
+            link_path = f"{fleet_path}.links[{index}]"
+            links.append(
                 Link(
-                    bandwidth_bytes_per_s=entry["bandwidth_bytes_per_s"],
-                    latency_s=entry["latency_s"],
+                    bandwidth_bytes_per_s=require(
+                        entry, "bandwidth_bytes_per_s", (int, float), link_path
+                    ),
+                    latency_s=require(
+                        entry, "latency_s", (int, float), link_path
+                    ),
                 )
-                for entry in recorded["links"]
-            ],
-        )
+            )
+        fleet = DeviceFleet(base.devices, links)
     placements = []
-    for entry in payload.get("stages", []):
-        start, stop = entry["range"]
-        device = fleet.devices[entry["device_index"]]
+    for index, entry in enumerate(require(payload, "stages", list, path)):
+        stage_path = f"{path}.stages[{index}]"
+        span = require(entry, "range", list, stage_path)
+        if (
+            len(span) != 2
+            or not all(isinstance(v, int) for v in span)
+            or not 0 <= span[0] < span[1] <= len(network)
+        ):
+            raise ArtifactSchemaError(
+                "E_FIELD_VALUE",
+                f"{stage_path}.range",
+                f"expected [start, stop] within the {len(network)}-layer "
+                f"network, found {span!r}",
+            )
+        start, stop = span
+        device_index = require_index(
+            entry, "device_index", len(fleet.devices), "device", stage_path
+        )
+        device = fleet.devices[device_index]
         subnet = (
             network
             if start == 0 and stop == len(network)
             else network.slice(start, stop)
         )
         strategy = strategy_from_dict(
-            entry["strategy"], subnet, device, context=context
+            require(entry, "strategy", dict, stage_path),
+            subnet,
+            device,
+            context=context,
+            path=f"{stage_path}.strategy",
         )
         placements.append(
             StagePlacement(
-                stage_id=entry["stage_id"],
-                device_index=entry["device_index"],
+                stage_id=require(entry, "stage_id", int, stage_path),
+                device_index=device_index,
                 start=start,
                 stop=stop,
                 strategy=strategy,
             )
         )
     transfers = []
-    for entry in payload.get("transfers", []):
-        index = entry["link_index"]
+    for index, entry in enumerate(require(payload, "transfers", list, path)):
+        transfer_path = f"{path}.transfers[{index}]"
+        link_index = require_index(
+            entry, "link_index", len(fleet.links), "link", transfer_path
+        )
         transfers.append(
             StageTransfer(
-                link_index=index,
-                link=fleet.links[index],
-                tensor_bytes=entry["tensor_bytes"],
+                link_index=link_index,
+                link=fleet.links[link_index],
+                tensor_bytes=require(
+                    entry, "tensor_bytes", int, transfer_path
+                ),
             )
         )
     return PartitionPlan(
@@ -409,6 +480,16 @@ def load_plan(
     fleet: Optional[DeviceFleet] = None,
     context: Optional[CostModel] = None,
 ) -> PartitionPlan:
-    """Read a plan JSON file and rebuild the PartitionPlan."""
-    payload = json.loads(Path(path).read_text())
-    return plan_from_dict(payload, network, fleet, context=context)
+    """Read a plan artifact and rebuild the PartitionPlan.
+
+    Accepts both envelope files and pre-envelope bare payloads.  When
+    the envelope carries network/fleet digests they are checked against
+    the caller's objects before any re-evaluation.
+    """
+    envelope = load_envelope(path, expected_kind=PLAN_ARTIFACT_KIND)
+    envelope.expect_digest("network", network_digest(network), "network")
+    if fleet is not None:
+        envelope.expect_digest("fleet", fleet_digest(fleet), "fleet")
+    return plan_from_dict(
+        envelope.payload, network, fleet, context=context, path="$.payload"
+    )

@@ -198,8 +198,19 @@ class FleetScheduler:
         retry: Optional[RetryPolicy] = None,
         max_queue: Optional[int] = None,
         slo_cycles: Optional[float] = None,
+        verify: bool = True,
     ) -> "FleetScheduler":
-        """Build a fleet serving ``strategy``, metrics wired to its device."""
+        """Build a fleet serving ``strategy``, metrics wired to its device.
+
+        ``verify`` (default on) runs the strategy invariant validators at
+        admission, so a stale or hand-edited artifact is rejected with a
+        :class:`~repro.errors.VerificationError` before it serves traffic;
+        the serving behaviour itself is unchanged either way.
+        """
+        if verify:
+            from repro.check.invariants import verify_strategy
+
+            verify_strategy(strategy).raise_if_failed()
         return cls(
             build_service_model(strategy),
             replicas=replicas,

@@ -77,6 +77,7 @@ class CompileResult:
         retry=None,
         max_queue: Optional[int] = None,
         slo_cycles: Optional[float] = None,
+        verify: bool = True,
     ) -> "FleetScheduler":
         """Stand up a simulated serving fleet for this compiled design.
 
@@ -85,7 +86,8 @@ class CompileResult:
         ``replicas`` copies of the accelerator with dynamic batching.
         Pass ``faults`` (a :class:`repro.faults.FaultSpec` or its CLI
         string form) for deterministic chaos runs — see
-        :mod:`repro.faults`.
+        :mod:`repro.faults`.  ``verify`` re-runs the strategy invariant
+        validators at admission (see :mod:`repro.check`).
         """
         from repro.serve.scheduler import FleetScheduler
 
@@ -100,6 +102,7 @@ class CompileResult:
             retry=retry,
             max_queue=max_queue,
             slo_cycles=slo_cycles,
+            verify=verify,
         )
 
     def summary(self) -> str:
@@ -136,6 +139,7 @@ def compile_model(
     weights: Optional[dict] = None,
     workers: Optional[int] = None,
     context: Optional[CostModel] = None,
+    verify: bool = True,
 ) -> CompileResult:
     """Map a Caffe model (or Network) onto an FPGA.
 
@@ -157,10 +161,18 @@ def compile_model(
             CLI ``--workers``).
         context: Shared :class:`~repro.perf.cost.EvalContext` to reuse
             cost evaluations across compiles (e.g. device sweeps).
+        verify: Run the :func:`repro.check.verify_strategy` invariant
+            validators on the optimized strategy before code generation
+            (CLI ``--no-verify`` disables; the verified path's output is
+            bit-identical to the unverified one).
 
     Returns:
         The strategy, the generated HLS project, and simulation hooks.
         Search telemetry is available as ``result.telemetry``.
+
+    Raises:
+        VerificationError: When ``verify`` is set and the optimizer
+            produced a strategy violating its own invariants.
     """
     network = _resolve_network(model)
     if accelerated_only:
@@ -175,6 +187,12 @@ def compile_model(
         explore_tile_sizes=explore_tile_sizes,
         workers=workers, context=context,
     )
+    if verify:
+        from repro.check.invariants import verify_strategy
+
+        verify_strategy(
+            strategy, transfer_constraint_bytes=transfer_constraint_bytes
+        ).raise_if_failed()
     project = generate_project(strategy, output_dir=output_dir, weights=weights)
     return CompileResult(
         network=network, device=target, strategy=strategy, project=project
@@ -191,6 +209,7 @@ def partition_model(
     node_budget: int = 250_000,
     workers: Optional[int] = None,
     context: Optional[CostModel] = None,
+    verify: bool = True,
 ) -> PartitionPlan:
     """Split a model across a fleet of FPGAs for pipelined execution.
 
@@ -212,7 +231,8 @@ def partition_model(
         transfer_constraint_bytes: Optional per-stage DRAM feature-map
             budget (each board gets the paper's T separately).
         accelerated_only / explore_tile_sizes / node_budget / workers /
-            context: As in :func:`compile_model`.
+            context / verify: As in :func:`compile_model` (``verify``
+            runs :func:`repro.check.verify_plan` on the finished plan).
 
     Returns:
         A :class:`~repro.partition.plan.PartitionPlan` with one
@@ -229,7 +249,7 @@ def partition_model(
         fleet = devices
     else:
         fleet = DeviceFleet.from_spec(devices, link=link)
-    return partition_network(
+    plan = partition_network(
         network,
         fleet,
         transfer_constraint_bytes=transfer_constraint_bytes,
@@ -238,3 +258,8 @@ def partition_model(
         context=context,
         workers=workers,
     )
+    if verify:
+        from repro.check.invariants import verify_plan
+
+        verify_plan(plan).raise_if_failed()
+    return plan

@@ -180,6 +180,89 @@ class TestNetworkLowering:
             network_from_prototxt(text)
 
 
+#: One header shared by the malformed-input cases below (input on lines 1-5,
+#: so every layer block starts at line 6).
+_HEADER = (
+    'name: "bad"\n'
+    'input: "data"\n'
+    "input_dim: 1\ninput_dim: 3\ninput_dim: 8\ninput_dim: 8\n"
+)
+
+
+class TestMalformedInputs:
+    """Every malformed prototxt yields a one-line ParseError carrying the
+    offending line number and field name."""
+
+    @pytest.mark.parametrize(
+        "body, line, field",
+        [
+            # Unknown layer type.
+            (
+                'layer {\n  name: "x"\n  type: "Deconvolution"\n}\n',
+                9,
+                "type",
+            ),
+            # Malformed value: a string where a number belongs.
+            (
+                'layer {\n  name: "c"\n  type: "Convolution"\n'
+                "  convolution_param {\n"
+                '    num_output: "many"\n    kernel_size: 3\n  }\n}\n',
+                11,
+                "num_output",
+            ),
+            # Malformed value: non-positive dimension.
+            (
+                'layer {\n  name: "c"\n  type: "Convolution"\n'
+                "  convolution_param {\n"
+                "    num_output: 16\n    kernel_size: 0\n  }\n}\n",
+                12,
+                "kernel_size",
+            ),
+            # Missing required nested message.
+            (
+                'layer {\n  name: "c"\n  type: "Convolution"\n}\n',
+                7,
+                "convolution_param",
+            ),
+            # Unsupported enum value in a known field.
+            (
+                'layer {\n  name: "p"\n  type: "Pooling"\n'
+                "  pooling_param {\n"
+                "    pool: STOCHASTIC\n    kernel_size: 2\n  }\n}\n",
+                11,
+                "pool",
+            ),
+            # Scalar where a message is required.
+            (
+                'layer {\n  name: "c"\n  type: "Convolution"\n'
+                "  convolution_param: 3\n}\n",
+                10,
+                "convolution_param",
+            ),
+        ],
+    )
+    def test_error_carries_line_and_field(self, body, line, field):
+        with pytest.raises(ParseError) as excinfo:
+            network_from_prototxt(_HEADER + body)
+        message = str(excinfo.value)
+        assert "\n" not in message
+        assert f"line {line}" in message
+        assert field in message
+
+    def test_layer_missing_name_points_at_block(self):
+        text = _HEADER + 'layer {\n  type: "ReLU"\n}\n'
+        with pytest.raises(ParseError) as excinfo:
+            network_from_prototxt(text)
+        assert "line 7" in str(excinfo.value)
+        assert "name" in str(excinfo.value)
+
+    def test_unterminated_message_points_at_opening(self):
+        text = _HEADER + 'layer {\n  name: "x"\n  type: "ReLU"\n'
+        with pytest.raises(ParseError) as excinfo:
+            parse_prototxt(text)
+        assert "line 7" in str(excinfo.value)
+
+
 class TestRoundTrip:
     @pytest.mark.parametrize(
         "ctor",

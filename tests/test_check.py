@@ -1,0 +1,414 @@
+"""Tests for repro.check: the artifact envelope, invariant validators,
+corrupted-artifact fuzzing, and the doctor."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.check import (
+    ENVELOPE_VERSION,
+    atomic_write_text,
+    load_envelope,
+    parse_envelope,
+    payload_sha256,
+    save_artifact,
+    verify_fleet_config,
+    verify_plan,
+    verify_strategy,
+    wrap_payload,
+)
+from repro.errors import (
+    ArtifactError,
+    ArtifactIntegrityError,
+    ArtifactMismatchError,
+    ArtifactSchemaError,
+    ArtifactVersionError,
+    ReproError,
+    VerificationError,
+)
+from repro.hardware.device import get_device
+from repro.nn import models
+from repro.optimizer.dp import optimize
+from repro.optimizer.serialize import (
+    load_strategy,
+    save_strategy,
+    strategy_from_dict,
+)
+
+
+class Tampered:
+    """Duck-typed stand-in overriding select attributes of a base object.
+
+    The real Strategy/PartitionPlan constructors reject inconsistent
+    states, so corrupted artifacts are modeled by attribute override —
+    exactly what the validators' duck typing must catch.
+    """
+
+    def __init__(self, base, **overrides):
+        self._base = base
+        self._overrides = overrides
+
+    def __getattr__(self, name):
+        if name in self._overrides:
+            return self._overrides[name]
+        return getattr(self._base, name)
+
+
+@pytest.fixture(scope="module")
+def strategy():
+    net = models.tiny_cnn()
+    dev = get_device("testchip")
+    return optimize(net, dev, net.feature_map_bytes())
+
+
+@pytest.fixture(scope="module")
+def plan():
+    from repro.toolflow import partition_model
+
+    return partition_model(models.tiny_cnn(), devices="testchip,testchip")
+
+
+class TestEnvelope:
+    def test_wrap_and_parse_roundtrip(self):
+        payload = {"a": 1, "b": [2, 3]}
+        document = wrap_payload("strategy", payload, digests={"network": "x"})
+        envelope = parse_envelope(document, expected_kind="strategy")
+        assert envelope.payload == payload
+        assert envelope.kind == "strategy"
+        assert envelope.schema_version == ENVELOPE_VERSION
+        assert not envelope.is_legacy
+
+    def test_kind_mismatch(self):
+        document = wrap_payload("strategy", {"a": 1})
+        with pytest.raises(ArtifactMismatchError) as excinfo:
+            parse_envelope(document, expected_kind="partition_plan")
+        assert excinfo.value.code == "E_KIND"
+
+    def test_checksum_mismatch(self):
+        document = wrap_payload("strategy", {"a": 1})
+        document["payload"]["a"] = 2
+        with pytest.raises(ArtifactIntegrityError) as excinfo:
+            parse_envelope(document)
+        assert excinfo.value.code == "E_CHECKSUM"
+        assert excinfo.value.json_path == "$.payload"
+
+    def test_too_new_version(self):
+        document = wrap_payload("strategy", {"a": 1})
+        document["schema_version"] = ENVELOPE_VERSION + 1
+        with pytest.raises(ArtifactVersionError) as excinfo:
+            parse_envelope(document)
+        assert excinfo.value.code == "E_VERSION"
+
+    def test_non_object_document(self):
+        with pytest.raises(ArtifactSchemaError) as excinfo:
+            parse_envelope([1, 2, 3])
+        assert excinfo.value.code == "E_DOC"
+
+    def test_unrecognizable_payload(self):
+        with pytest.raises(ArtifactSchemaError) as excinfo:
+            parse_envelope({"what": "even"})
+        assert excinfo.value.code == "E_FIELD_MISSING"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ArtifactIntegrityError) as excinfo:
+            load_envelope(tmp_path / "nope.json")
+        assert excinfo.value.code == "E_IO"
+
+    def test_invalid_json_reports_position(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"repro_artifact": "strategy",')
+        with pytest.raises(ArtifactIntegrityError) as excinfo:
+            load_envelope(path)
+        assert excinfo.value.code == "E_JSON"
+        assert "line" in str(excinfo.value)
+
+    def test_non_utf8_bytes(self, tmp_path):
+        path = tmp_path / "binary.json"
+        path.write_bytes(b'{"repro_artifact": \xff\xfe}')
+        with pytest.raises(ArtifactIntegrityError) as excinfo:
+            load_envelope(path)
+        assert excinfo.value.code == "E_ENCODING"
+
+    def test_payload_sha256_is_order_insensitive(self):
+        assert payload_sha256({"a": 1, "b": 2}) == payload_sha256(
+            {"b": 2, "a": 1}
+        )
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        atomic_write_text(path, "hello")
+        atomic_write_text(path, "world")
+        assert path.read_text() == "world"
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.json"]
+
+    def test_save_artifact_shape(self, tmp_path):
+        path = save_artifact(tmp_path / "a.json", "strategy", {"x": 1})
+        document = json.loads(path.read_text())
+        assert document["repro_artifact"] == "strategy"
+        assert document["payload"] == {"x": 1}
+        assert document["payload_sha256"] == payload_sha256({"x": 1})
+
+
+#: A strategy payload exactly as PR <= 4 wrote it: a bare dict, no
+#: envelope, no weight_mode/winograd_m extensions.  Pinned verbatim so a
+#: migration regression cannot hide behind re-serialization.
+FROZEN_LEGACY_STRATEGY = """\
+{
+  "schema_version": 1,
+  "network": "tiny_cnn",
+  "device": "testchip",
+  "latency_cycles": 4810,
+  "feature_transfer_bytes": 13824,
+  "groups": [
+    {"range": [0, 1],
+     "layers": [{"name": "conv1", "algorithm": "conventional",
+                 "parallelism": 64}]},
+    {"range": [1, 3],
+     "layers": [{"name": "conv2", "algorithm": "winograd",
+                 "parallelism": 32},
+                {"name": "pool1", "algorithm": "pool",
+                 "parallelism": 16}]},
+    {"range": [3, 4],
+     "layers": [{"name": "conv3", "algorithm": "conventional",
+                 "parallelism": 64}]}
+  ]
+}
+"""
+
+
+class TestLegacyMigration:
+    def test_frozen_pre_envelope_strategy_loads(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text(FROZEN_LEGACY_STRATEGY)
+        envelope = load_envelope(path, expected_kind="strategy")
+        assert envelope.is_legacy
+        assert envelope.producer == "pre-envelope"
+        reloaded = load_strategy(path, models.tiny_cnn().accelerated_prefix())
+        assert reloaded.latency_cycles == 4810
+
+    def test_legacy_plan_payload_sniffed(self, plan, tmp_path):
+        path = tmp_path / "legacy_plan.json"
+        path.write_text(json.dumps(plan.to_dict()))
+        envelope = load_envelope(path, expected_kind="partition_plan")
+        assert envelope.is_legacy
+        from repro.partition.plan import load_plan
+
+        reloaded = load_plan(path, plan.network)
+        assert reloaded.num_stages == plan.num_stages
+
+    def test_legacy_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text(FROZEN_LEGACY_STRATEGY)
+        with pytest.raises(ArtifactMismatchError) as excinfo:
+            load_envelope(path, expected_kind="partition_plan")
+        assert excinfo.value.code == "E_KIND"
+
+
+class TestVerifyStrategy:
+    def test_clean_strategy_verifies(self, strategy):
+        report = verify_strategy(
+            strategy,
+            transfer_constraint_bytes=strategy.network.feature_map_bytes(),
+        )
+        assert report.ok
+        assert report.raise_if_failed() is report
+
+    def test_tampered_latency_caught(self, strategy):
+        bad_design = dataclasses.replace(
+            strategy.designs[0],
+            latency_cycles=strategy.designs[0].latency_cycles + 1,
+        )
+        tampered = Tampered(
+            strategy, designs=[bad_design] + list(strategy.designs[1:])
+        )
+        report = verify_strategy(tampered)
+        assert not report.ok
+        assert any(v.code == "V_CYCLES" for v in report.violations)
+        with pytest.raises(VerificationError):
+            report.raise_if_failed()
+
+    def test_transfer_budget_violation(self, strategy):
+        report = verify_strategy(strategy, transfer_constraint_bytes=1)
+        assert any(v.code == "V_TRANSFER" for v in report.violations)
+
+    def test_non_tiling_boundaries_caught(self, strategy):
+        shifted = Tampered(
+            strategy,
+            boundaries=[(1, 1 + (b - a)) for a, b in strategy.boundaries],
+        )
+        report = verify_strategy(shifted, check_cost_model=False)
+        assert any(v.code == "V_TILING" for v in report.violations)
+
+
+class TestVerifyPlan:
+    def test_clean_plan_verifies(self, plan):
+        assert verify_plan(plan).ok
+
+    def test_wrong_transfer_bytes_caught(self, plan):
+        if not plan.transfers:
+            pytest.skip("single-stage plan has no transfers")
+        bad = dataclasses.replace(
+            plan.transfers[0], tensor_bytes=plan.transfers[0].tensor_bytes + 8
+        )
+        tampered = Tampered(plan, transfers=[bad] + list(plan.transfers[1:]))
+        report = verify_plan(tampered, check_cost_model=False)
+        assert any(v.code == "V_LINKS" for v in report.violations)
+
+    def test_fleet_config_violations(self):
+        from types import SimpleNamespace
+
+        from repro.hardware.device import ResourceVector
+
+        # FPGADevice itself refuses these values at construction, so a
+        # duck-typed impostor models a fleet config gone bad on disk.
+        broken_device = SimpleNamespace(
+            name="haunted",
+            frequency_hz=0,
+            bandwidth_bytes_per_s=0.0,
+            resources=ResourceVector(bram18k=0, dsp=64, ff=1, lut=1),
+            max_fusion_depth=0,
+        )
+        broken_link = SimpleNamespace(
+            bandwidth_bytes_per_s=0.0, latency_s=-1.0
+        )
+        fleet = SimpleNamespace(
+            name="haunted", devices=[broken_device], links=[broken_link]
+        )
+        report = verify_fleet_config(fleet)
+        codes = {v.code for v in report.violations}
+        assert codes == {"V_FLEET"}
+        assert len(report.violations) >= 5
+
+
+class TestCorruptionFuzz:
+    """Seeded corruption of real artifacts must always surface as an
+    ArtifactError subclass carrying an error code — never a KeyError,
+    ValueError, or silent success with damaged data."""
+
+    @pytest.fixture(scope="class")
+    def artifact_paths(self, tmp_path_factory):
+        from repro.toolflow import partition_model
+
+        root = tmp_path_factory.mktemp("fuzz")
+        net = models.tiny_cnn()
+        dev = get_device("testchip")
+        strategy = optimize(net, dev, net.feature_map_bytes())
+        spath = save_strategy(strategy, root / "strategy.json")
+        plan = partition_model(net, devices="testchip,testchip")
+        ppath = plan.save(root / "plan.json")
+        return [spath, ppath]
+
+    def _load(self, path):
+        from repro.partition.plan import load_plan
+
+        net = models.tiny_cnn().accelerated_prefix()
+        if path.name == "plan.json":
+            return load_plan(path, net)
+        return load_strategy(path, net)
+
+    def test_truncations_always_raise_artifact_error(
+        self, artifact_paths, tmp_path
+    ):
+        import random
+
+        rng = random.Random(1234)
+        for source in artifact_paths:
+            data = source.read_bytes()
+            for trial in range(25):
+                cut = rng.randrange(0, len(data))
+                probe = tmp_path / f"trunc_{source.stem}_{trial}.json"
+                probe.write_bytes(data[:cut])
+                with pytest.raises(ArtifactError) as excinfo:
+                    self._load(probe)
+                assert excinfo.value.code
+                assert excinfo.value.json_path
+
+    def test_byte_flips_never_escape_repro_errors(
+        self, artifact_paths, tmp_path
+    ):
+        import random
+
+        rng = random.Random(99)
+        for source in artifact_paths:
+            data = bytearray(source.read_bytes())
+            for trial in range(40):
+                corrupted = bytearray(data)
+                for _ in range(rng.randint(1, 4)):
+                    position = rng.randrange(0, len(corrupted))
+                    corrupted[position] ^= 1 << rng.randrange(0, 8)
+                probe = tmp_path / f"flip_{source.stem}_{trial}.json"
+                probe.write_bytes(bytes(corrupted))
+                try:
+                    self._load(probe)
+                except ArtifactError as exc:
+                    assert exc.code
+                except ReproError:
+                    pass  # still a precise, typed failure
+                # A flip inside free-text (e.g. the producer string) can
+                # leave the payload checksum intact; that is a clean load.
+
+
+class TestDoctor:
+    def test_quick_doctor_passes(self, tmp_path):
+        from repro.check.consistency import doctor
+
+        report = doctor(workdir=tmp_path)
+        assert report.ok, report.summary()
+        names = [result.name for result in report.results]
+        assert "corruption-detection" in names
+        assert "sim-consistency" in names
+        assert "dp-vs-oracle" not in names
+
+    def test_deep_doctor_passes(self, tmp_path):
+        from repro.check.consistency import doctor
+
+        report = doctor(deep=True, workdir=tmp_path)
+        assert report.ok, report.summary()
+        names = [result.name for result in report.results]
+        assert "dp-vs-oracle" in names
+        assert "serving-smoke" in names
+        payload = report.to_dict()
+        assert payload["ok"] is True
+        assert len(payload["checks"]) == len(report.results)
+
+
+class TestAdmission:
+    def test_compile_verify_output_bit_identical(self):
+        from repro.toolflow import compile_model
+
+        verified = compile_model(models.tiny_cnn(), device="testchip")
+        unverified = compile_model(
+            models.tiny_cnn(), device="testchip", verify=False
+        )
+        assert verified.strategy.report() == unverified.strategy.report()
+        assert verified.project.files == unverified.project.files
+
+    def test_serve_admission_rejects_tampered_strategy(self, strategy):
+        from repro.serve.scheduler import FleetScheduler
+
+        bad_design = dataclasses.replace(
+            strategy.designs[0],
+            latency_cycles=strategy.designs[0].latency_cycles + 1,
+        )
+        tampered = Tampered(
+            strategy, designs=[bad_design] + list(strategy.designs[1:])
+        )
+        with pytest.raises(VerificationError):
+            FleetScheduler.for_strategy(tampered)
+        # The escape hatch still admits it.
+        fleet = FleetScheduler.for_strategy(tampered, verify=False)
+        assert fleet is not None
+
+    def test_strategy_from_dict_never_raises_keyerror(self, strategy):
+        from repro.optimizer.serialize import strategy_to_dict
+
+        payload = strategy_to_dict(strategy)
+        for key in list(payload):
+            damaged = {k: v for k, v in payload.items() if k != key}
+            try:
+                strategy_from_dict(damaged, strategy.network)
+            except ArtifactError as exc:
+                assert exc.code
+            except KeyError as exc:  # pragma: no cover
+                pytest.fail(f"KeyError escaped for missing {key!r}: {exc}")

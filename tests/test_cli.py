@@ -245,7 +245,9 @@ class TestPartition:
         payload = json.loads(capsys.readouterr().out)
         assert payload["fleet"]["devices"] == ["testchip", "testchip"]
         assert payload["stages"]
-        assert json.loads(path.read_text()) == payload
+        saved = json.loads(path.read_text())
+        assert saved["repro_artifact"] == "partition_plan"
+        assert saved["payload"] == payload
 
     def test_partition_link_flags(self, capsys):
         """A crawling link forces the whole model onto one board."""
@@ -456,6 +458,118 @@ class TestServeSim:
         first = capsys.readouterr().out
         assert main(argv) == 0
         assert capsys.readouterr().out == first
+
+
+class TestCheckCommand:
+    def test_check_validates_strategy_and_plan(self, capsys, tmp_path):
+        from repro.hardware.device import get_device
+        from repro.optimizer.dp import optimize
+        from repro.optimizer.serialize import save_strategy
+        from repro.toolflow import partition_model
+
+        net = models.tiny_cnn()
+        strategy = optimize(net, get_device("testchip"), net.feature_map_bytes())
+        spath = save_strategy(strategy, tmp_path / "strategy.json")
+        plan = partition_model(net, devices="testchip,testchip")
+        ppath = plan.save(tmp_path / "plan.json")
+        assert main(["check", str(spath), str(ppath)]) == 0
+        out = capsys.readouterr().out
+        assert "strategy" in out and "partition_plan" in out
+        assert "2 artifact(s) ok" in out
+
+    def test_check_rejects_corrupted_artifact(self, capsys, tmp_path):
+        from repro.hardware.device import get_device
+        from repro.optimizer.dp import optimize
+        from repro.optimizer.serialize import save_strategy
+
+        net = models.tiny_cnn()
+        strategy = optimize(net, get_device("testchip"), net.feature_map_bytes())
+        path = save_strategy(strategy, tmp_path / "strategy.json")
+        path.write_text(path.read_text().replace('"groups"', '"gruops"', 1))
+        assert main(["check", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "E_" in err  # the stable error code surfaces
+
+    def test_check_validates_codegen_blob(self, capsys, tmp_path):
+        from repro.toolflow import compile_model
+
+        result = compile_model(models.tiny_cnn(), device="testchip")
+        out_dir = tmp_path / "proj"
+        result.project.write_to(out_dir)
+        assert main(["check", str(out_dir / "strategy.json")]) == 0
+        assert "codegen_strategy" in capsys.readouterr().out
+
+
+class TestDoctorCommand:
+    def test_doctor_quick_passes(self, capsys):
+        assert main(["doctor"]) == 0
+        out = capsys.readouterr().out
+        assert "all checks passed" in out
+        assert "corruption-detection" in out
+
+    def test_doctor_json(self, capsys):
+        assert main(["doctor", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["deep"] is False
+        assert payload["checks"]
+
+
+class TestNoVerifyFlag:
+    def test_compile_no_verify_bit_identical(self, capsys):
+        assert main(["compile", "tiny_cnn", "--device", "testchip", "--json"]) == 0
+        verified = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "compile", "tiny_cnn", "--device", "testchip",
+                    "--json", "--no-verify",
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == verified
+
+    def test_partition_no_verify_bit_identical(self, capsys):
+        base = ["partition", "tiny_cnn", "--devices", "testchip,testchip",
+                "--json"]
+        assert main(base) == 0
+        verified = capsys.readouterr().out
+        assert main(base + ["--no-verify"]) == 0
+        assert capsys.readouterr().out == verified
+
+    def test_serve_sim_no_verify_bit_identical(self, capsys):
+        base = ["serve-sim", "tiny_cnn", "--device", "testchip",
+                "--requests", "20", "--json"]
+        assert main(base) == 0
+        verified = capsys.readouterr().out
+        assert main(base + ["--no-verify"]) == 0
+        assert capsys.readouterr().out == verified
+
+
+class TestSubcommandFailurePaths:
+    """Every artifact-touching subcommand exits 1 with a one-line
+    ``error:`` message when a ReproError surfaces."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["compile", "no_such_model"],
+            ["sweep", "no_such_model"],
+            ["partition", "tiny_cnn", "--devices", "ghost,ghost"],
+            ["serve-sim", "no_such_model"],
+            ["winograd", "0", "3"],
+            ["check", "/nonexistent/artifact.json"],
+        ],
+        ids=["compile", "sweep", "partition", "serve-sim", "winograd", "check"],
+    )
+    def test_exits_nonzero_with_one_line_error(self, argv, capsys):
+        assert main(argv) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
 
 
 class TestErgonomics:

@@ -143,11 +143,20 @@ class TestProject:
         assert "xc7z010clg400-1" in project.files["build.tcl"]
 
     def test_strategy_json_roundtrips(self, project, strategy):
-        payload = json.loads(project.files["strategy.json"])
+        document = json.loads(project.files["strategy.json"])
+        assert document["repro_artifact"] == "codegen_strategy"
+        payload = document["payload"]
         assert payload["network"] == strategy.network.name
         assert payload["latency_cycles"] == strategy.latency_cycles
         total_layers = sum(len(g["layers"]) for g in payload["groups"])
         assert total_layers == len(strategy.network)
+
+    def test_strategy_json_envelope_validates(self, project):
+        from repro.check.artifacts import parse_envelope
+
+        document = json.loads(project.files["strategy.json"])
+        envelope = parse_envelope(document, expected_kind="codegen_strategy")
+        assert "network" in envelope.digests and "device" in envelope.digests
 
     def test_write_to_disk(self, project, tmp_path):
         written = project.write_to(tmp_path)

@@ -113,3 +113,38 @@ class TestSerializationInvariants:
         reloaded = strategy_from_dict(payload, net)
         assert reloaded.latency_cycles == strategy.latency_cycles
         assert reloaded.choices() == strategy.choices()
+
+    @settings(max_examples=6, deadline=None)
+    @given(net=random_networks())
+    def test_optimized_strategy_passes_validators(self, net):
+        from repro.check import verify_strategy
+
+        device = get_device("testchip")
+        budget = net.feature_map_bytes()
+        strategy = optimize(net, device, budget)
+        report = verify_strategy(strategy, transfer_constraint_bytes=budget)
+        assert report.ok, report.summary()
+
+
+class TestPartitionPlanInvariants:
+    @settings(max_examples=6, deadline=None)
+    @given(net=random_networks())
+    def test_plan_roundtrip_and_validators(self, net):
+        from repro.check import verify_plan
+        from repro.partition.plan import plan_from_dict
+        from repro.toolflow import partition_model
+
+        plan = partition_model(net, devices="testchip,testchip")
+        report = verify_plan(plan)
+        assert report.ok, report.summary()
+        reloaded = plan_from_dict(plan.to_dict(), plan.network)
+        assert reloaded.num_stages == plan.num_stages
+        assert reloaded.bottleneck_seconds == plan.bottleneck_seconds
+        assert reloaded.latency_seconds == plan.latency_seconds
+        assert [p.device_index for p in reloaded.placements] == [
+            p.device_index for p in plan.placements
+        ]
+        assert [t.tensor_bytes for t in reloaded.transfers] == [
+            t.tensor_bytes for t in plan.transfers
+        ]
+        assert verify_plan(reloaded).ok

@@ -190,12 +190,15 @@ class TestPlanArtifact:
         assert payload["fleet"]["devices"] == ["testchip", "testchip"]
 
     def test_unknown_schema_version_rejected(self, two_chip_plan):
+        from repro.errors import ArtifactVersionError
         from repro.partition import plan_from_dict
 
         payload = two_chip_plan.to_dict()
         payload["schema_version"] = 99
-        with pytest.raises(PartitionError):
+        with pytest.raises(ArtifactVersionError) as excinfo:
             plan_from_dict(payload, two_chip_plan.network)
+        assert excinfo.value.code == "E_VERSION"
+        assert "schema_version" in excinfo.value.json_path
 
     def test_non_contiguous_stages_rejected(self, two_chip_plan):
         placements = list(two_chip_plan.placements)

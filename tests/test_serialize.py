@@ -4,7 +4,11 @@ import json
 
 import pytest
 
-from repro.errors import OptimizationError
+from repro.errors import (
+    ArtifactError,
+    ArtifactMismatchError,
+    ArtifactVersionError,
+)
 from repro.hardware.device import get_device
 from repro.nn import models
 from repro.optimizer.dp import optimize
@@ -101,26 +105,30 @@ class TestValidation:
         net, _, strategy = setup
         payload = strategy_to_dict(strategy)
         payload["schema_version"] = 999
-        with pytest.raises(OptimizationError):
+        with pytest.raises(ArtifactVersionError) as excinfo:
             strategy_from_dict(payload, net)
+        assert excinfo.value.code == "E_VERSION"
 
     def test_layer_name_mismatch(self, setup):
         net, _, strategy = setup
         payload = strategy_to_dict(strategy)
         payload["groups"][0]["layers"][0]["name"] = "imposter"
-        with pytest.raises(OptimizationError):
+        with pytest.raises(ArtifactMismatchError) as excinfo:
             strategy_from_dict(payload, net)
+        assert excinfo.value.code == "E_NETWORK"
+        assert "groups[0].layers[0].name" in excinfo.value.json_path
 
     def test_stale_latency_detected(self, setup):
         net, _, strategy = setup
         payload = strategy_to_dict(strategy)
         payload["latency_cycles"] = 1
-        with pytest.raises(OptimizationError, match="cost model"):
+        with pytest.raises(ArtifactMismatchError, match="cost model"):
             strategy_from_dict(payload, net)
 
     def test_wrong_network_rejected(self, setup, tmp_path):
         _, _, strategy = setup
         path = save_strategy(strategy, tmp_path / "s.json")
         other = models.alexnet()
-        with pytest.raises(OptimizationError):
+        with pytest.raises(ArtifactError) as excinfo:
             load_strategy(path, other)
+        assert excinfo.value.code in ("E_NETWORK", "E_CHECKSUM")
