@@ -37,9 +37,10 @@ import os
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.errors import (
+    ArtifactError,
     ArtifactIntegrityError,
     ArtifactMismatchError,
     ArtifactSchemaError,
@@ -455,6 +456,71 @@ def load_envelope(
             f"{exc.colno}: {exc.msg}): the file is truncated or corrupted",
         )
     return parse_envelope(document, expected_kind=expected_kind, source=path)
+
+
+def append_envelope_line(
+    path: Union[str, Path],
+    kind: str,
+    payload: dict,
+    digests: Optional[Dict[str, str]] = None,
+) -> Path:
+    """Append one envelope as a single JSONL line (the journal format).
+
+    Unlike :func:`save_artifact`, the file accumulates one envelope per
+    line, so long-running producers (the sweep engine) can record each
+    result as it lands.  Each line is independently checksummed; a crash
+    mid-append damages at most the final line, which
+    :func:`read_envelope_lines` detects and skips.
+    """
+    path = Path(path)
+    document = wrap_payload(kind, payload, digests)
+    line = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    return path
+
+
+def read_envelope_lines(
+    path: Union[str, Path], expected_kind: Optional[str] = None
+) -> Tuple[List[Envelope], int]:
+    """Read a JSONL journal of envelopes, skipping damaged lines.
+
+    Returns ``(envelopes, skipped)``: every line that parses and
+    validates, plus the count of lines that did not (truncated tail
+    after a crash, bit damage, checksum mismatch, wrong kind).  A
+    missing file reads as empty — the journal's "nothing done yet"
+    state.
+
+    Raises:
+        ArtifactIntegrityError: Only when the file exists but cannot be
+            read at all (``E_IO``).
+    """
+    path = Path(path)
+    if not path.exists():
+        return [], 0
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as exc:
+        raise ArtifactIntegrityError(E_IO, "$", f"cannot read {path}: {exc}")
+    envelopes: List[Envelope] = []
+    skipped = 0
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            document = json.loads(line)
+        except json.JSONDecodeError:
+            skipped += 1
+            continue
+        try:
+            envelopes.append(
+                parse_envelope(document, expected_kind=expected_kind, source=path)
+            )
+        except ArtifactError:
+            skipped += 1
+    return envelopes, skipped
 
 
 def describe_artifact(envelope: Envelope) -> str:

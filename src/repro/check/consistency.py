@@ -188,9 +188,10 @@ def doctor(deep: bool = False, workdir=None) -> DoctorReport:
     Quick level (default, a few seconds): device catalog sanity, a
     compile on the test device, strategy invariants, envelope round-trip
     plus corruption detection, simulator functional + latency
-    consistency, and a two-board partition with plan invariants and its
-    own round-trip.  Deep level adds the DP-vs-exhaustive-oracle
-    equivalence and a short serving smoke run.
+    consistency, a cost-store corruption/self-heal probe, and a
+    two-board partition with plan invariants and its own round-trip.
+    Deep level adds the DP-vs-exhaustive-oracle equivalence and a short
+    serving smoke run.
     """
     import tempfile
     from pathlib import Path
@@ -265,6 +266,40 @@ def doctor(deep: bool = False, workdir=None) -> DoctorReport:
         ratio, error = check_sim_consistency(state["compiled"].strategy)
         return f"latency ratio {ratio:.2f}, functional error {error:.1e}"
 
+    def cost_store_probe() -> str:
+        from repro.dse.store import CostStore
+        from repro.hardware.device import get_device
+        from repro.nn import models
+        from repro.optimizer.dp import optimize
+
+        root = Path(state["dir"]) / "doctor_store"
+        network = models.tiny_cnn()
+        device = get_device("testchip")
+        budget = network.feature_map_bytes()
+        baseline = optimize(network, device, budget, store=CostStore(root))
+        shards = CostStore(root).shard_paths()
+        if not shards:
+            raise ReproError("store-backed compile wrote no shard files")
+        victim = shards[0]
+        victim.write_text(
+            victim.read_text().replace('"entries"', '"entr!es"', 1)
+        )
+        try:
+            CostStore(root).load_shard(victim)
+        except ArtifactError as exc:
+            code = exc.code
+        else:
+            raise ReproError(
+                "a corrupted store shard loaded without an ArtifactError"
+            )
+        # The lookup path must heal around the damage: serve misses,
+        # recompute, and rewrite the shard on flush — same cost out.
+        recomputed = optimize(network, device, budget, store=CostStore(root))
+        if recomputed.latency_cycles != baseline.latency_cycles:
+            raise ReproError("self-healed store changed the strategy cost")
+        CostStore(root).load_shard(victim)  # the flush rewrote the shard
+        return f"corrupt shard rejected ({code}), recomputed and healed"
+
     def partition_checks() -> str:
         from repro.check.invariants import verify_plan
         from repro.nn import models
@@ -317,6 +352,7 @@ def doctor(deep: bool = False, workdir=None) -> DoctorReport:
             if _run("artifact-roundtrip", artifact_roundtrip, results):
                 _run("corruption-detection", corruption_detection, results)
             _run("sim-consistency", sim_consistency, results)
+        _run("cost-store", cost_store_probe, results)
         _run("partition-plan", partition_checks, results)
         if deep:
             _run("dp-vs-oracle", dp_oracle, results)

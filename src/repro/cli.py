@@ -6,10 +6,12 @@ Usage (also via ``python -m repro``)::
     repro devices                     # list the FPGA device catalog
     repro compile MODEL [options]     # prototxt/zoo-name -> strategy + HLS
     repro sweep MODEL [options]       # latency vs transfer-constraint table
+    repro sweep-grid --out DIR [...]  # parallel, resumable design-space sweep
     repro partition MODEL [options]   # split a model across a device fleet
     repro serve-sim MODEL [options]   # batched multi-replica serving sim
     repro winograd M R                # print F(M, R) transform matrices
     repro check ARTIFACT [...]        # validate saved strategy/plan files
+    repro cache {stats,gc,clear}      # maintain the persistent cost store
     repro doctor [--deep]             # self-diagnose the whole toolflow
 
 ``MODEL`` is a prototxt path or a model-zoo name (``repro models``).
@@ -54,6 +56,16 @@ def _parse_size(text: str) -> int:
         return int(float(cleaned) * multiplier)
     except ValueError:
         raise argparse.ArgumentTypeError(f"cannot parse size {text!r}") from None
+
+
+def _store_from_args(args: argparse.Namespace):
+    """``--cache [DIR]`` -> CostStore (empty DIR means the default root)."""
+    cache = getattr(args, "cache", None)
+    if cache is None:
+        return None
+    from repro.dse.store import CostStore
+
+    return CostStore(cache or None)
 
 
 def _load_model(name_or_path: str) -> Network:
@@ -124,6 +136,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         output_dir=Path(args.out) if args.out else None,
         workers=args.workers,
         verify=not args.no_verify,
+        store=_store_from_args(args),
     )
     if args.json:
         from repro.optimizer.serialize import strategy_to_dict
@@ -156,7 +169,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     network = _load_model(args.model).accelerated_prefix()
     device = get_device(args.device)
     constraints = [_parse_size(c) for c in args.constraints.split(",")]
-    strategies = optimize_many(network, device, constraints, workers=args.workers)
+    strategies = optimize_many(
+        network, device, constraints, workers=args.workers,
+        store=_store_from_args(args),
+    )
     baseline = None
     if args.baseline:
         from repro.baselines.alwani import alwani_design
@@ -211,6 +227,108 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print()
         print(strategies[-1].telemetry.summary())
     return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.dse.store import CostStore
+
+    store = CostStore(args.dir or None)
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"from {store.root}")
+        return 0
+    if args.action == "gc":
+        max_age_s = None
+        if args.max_age_days is not None:
+            max_age_s = args.max_age_days * 86400.0
+        evicted = store.gc(max_entries=args.max_entries, max_age_s=max_age_s)
+        print(f"evicted {evicted} entr{'y' if evicted == 1 else 'ies'}; "
+              f"{store.stats().entries} remain in {store.root}")
+        return 0
+    stats = store.stats()
+    if args.json:
+        print(json.dumps(stats.to_dict(), indent=2))
+    else:
+        print(stats.summary())
+    return 0
+
+
+def _cmd_sweep_grid(args: argparse.Namespace) -> int:
+    from repro.dse.grid import GridPoint, GridSpec
+    from repro.dse.sweep import sweep_grid
+
+    if args.spec:
+        if any([args.models, args.devices]):
+            print(
+                "error: pass either --spec or --models/--devices, not both",
+                file=sys.stderr,
+            )
+            return 1
+        spec = GridSpec.from_file(args.spec)
+    else:
+        if not (args.models and args.devices):
+            print(
+                "error: either --spec FILE or both --models and --devices "
+                "are required",
+                file=sys.stderr,
+            )
+            return 1
+        transfers = []
+        for text in args.transfers.split(","):
+            text = text.strip()
+            transfers.append(None if text.lower() == "none" else _parse_size(text))
+        spec = GridSpec(
+            models=tuple(m.strip() for m in args.models.split(",")),
+            devices=tuple(d.strip() for d in args.devices.split(",")),
+            bandwidth_factors=tuple(
+                float(f) for f in args.bw_factors.split(",")
+            ),
+            transfer_bytes=tuple(transfers),
+            fleet_sizes=tuple(int(s) for s in args.fleet_sizes.split(",")),
+        )
+    out_dir = Path(args.out)
+    store = None
+    if not args.no_cache:
+        store = args.cache or (out_dir / "cost_store")
+    result = sweep_grid(
+        spec,
+        out_dir,
+        store=store,
+        workers=args.workers,
+        resume=args.resume,
+        log=None if args.json else print,
+    )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0 if result.ok else 1
+    rows = []
+    for record in result.records:
+        point = GridPoint.from_dict(record["point"])
+        body = record.get("result") or {}
+        if record.get("ok"):
+            latency = body.get("latency_seconds")
+            gops = body.get("effective_gops")
+            status = record.get("source", "computed")
+            rows.append(
+                [
+                    point.describe(),
+                    f"{latency * 1e3:.2f}" if latency else "-",
+                    f"{gops:.0f}" if gops else "-",
+                    status,
+                ]
+            )
+        else:
+            rows.append([point.describe(), "-", "-",
+                         f"FAILED: {record.get('error')}"])
+    print(format_table(
+        ["point", "latency (ms)", "GOPS", "status"], rows,
+        title=f"sweep grid ({len(result.records)} points)",
+    ))
+    print()
+    print(result.summary())
+    print(f"results: {out_dir / 'sweep_results.json'}")
+    return 0 if result.ok else 1
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
@@ -485,6 +603,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the admission-time invariant validators "
         "(output is bit-identical when verification passes)",
     )
+    compile_p.add_argument(
+        "--cache", nargs="?", const="", default=None, metavar="DIR",
+        help="warm the search from (and persist it to) an on-disk cost "
+        "store; DIR defaults to $REPRO_COST_CACHE or "
+        "~/.cache/repro/cost_store (strategy-preserving)",
+    )
     compile_p.set_defaults(func=_cmd_compile)
 
     sweep_p = sub.add_parser("sweep", help="latency vs transfer-constraint table")
@@ -513,7 +637,101 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the sweep rows as JSON instead of the table",
     )
+    sweep_p.add_argument(
+        "--cache", nargs="?", const="", default=None, metavar="DIR",
+        help="warm the sweep from (and persist it to) an on-disk cost "
+        "store; DIR defaults to $REPRO_COST_CACHE or "
+        "~/.cache/repro/cost_store (strategy-preserving)",
+    )
     sweep_p.set_defaults(func=_cmd_sweep)
+
+    grid_p = sub.add_parser(
+        "sweep-grid",
+        help="parallel, resumable design-space sweep over a grid spec",
+    )
+    grid_p.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="JSON grid spec (models/devices/bandwidth_factors/"
+        "transfer_bytes/fleet_sizes axes); or build one with the "
+        "axis flags below",
+    )
+    grid_p.add_argument(
+        "--models", default=None,
+        help="comma-separated model-zoo names or prototxt paths",
+    )
+    grid_p.add_argument(
+        "--devices", default=None,
+        help="comma-separated device catalog names",
+    )
+    grid_p.add_argument(
+        "--transfers", default="none", metavar="LIST",
+        help="comma-separated transfer budgets, e.g. 2MB,8MB,none "
+        "(default: none = unconstrained)",
+    )
+    grid_p.add_argument(
+        "--bw-factors", default="1.0", metavar="LIST",
+        help="comma-separated bandwidth scale factors (default 1.0)",
+    )
+    grid_p.add_argument(
+        "--fleet-sizes", default="1", metavar="LIST",
+        help="comma-separated fleet sizes; >1 partitions the model "
+        "across that many copies of the device (default 1)",
+    )
+    grid_p.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="output directory for the journal and sweep_results.json",
+    )
+    grid_p.add_argument(
+        "--workers", type=int, default=None,
+        help="fan points out over N worker processes (results are "
+        "bit-identical to a serial run)",
+    )
+    grid_p.add_argument(
+        "--resume", action="store_true",
+        help="honor the journal of an interrupted sweep in --out: "
+        "completed points are not recomputed",
+    )
+    grid_p.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="cost store shared by all workers "
+        "(default: <out>/cost_store)",
+    )
+    grid_p.add_argument(
+        "--no-cache", action="store_true",
+        help="run memory-only, without the persistent cost store",
+    )
+    grid_p.add_argument(
+        "--json", action="store_true",
+        help="emit the full sweep result as JSON instead of the table",
+    )
+    grid_p.set_defaults(func=_cmd_sweep_grid)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or maintain the persistent cost store"
+    )
+    cache_p.add_argument(
+        "action", choices=["stats", "gc", "clear"],
+        help="stats: show size/shard counters; gc: evict by age/count "
+        "and compact; clear: delete every entry",
+    )
+    cache_p.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="store root (default: $REPRO_COST_CACHE or "
+        "~/.cache/repro/cost_store)",
+    )
+    cache_p.add_argument(
+        "--max-entries", type=int, default=None,
+        help="gc: keep at most this many entries (newest kept)",
+    )
+    cache_p.add_argument(
+        "--max-age-days", type=float, default=None,
+        help="gc: evict entries older than this many days",
+    )
+    cache_p.add_argument(
+        "--json", action="store_true",
+        help="stats: emit JSON instead of the summary",
+    )
+    cache_p.set_defaults(func=_cmd_cache)
 
     part_p = sub.add_parser(
         "partition", help="split a model across a fleet of FPGAs"

@@ -1,0 +1,49 @@
+"""repro.dse — persistent cost store + resumable design-space sweeps.
+
+Two services on top of the single-device optimizer and the partitioner:
+
+* :mod:`repro.dse.store` — a content-addressed, envelope-serialized
+  on-disk cache of ``EvalContext.implement()`` results, shared across
+  processes and sweeps (``repro cache {stats,gc,clear}``).
+* :mod:`repro.dse.grid` / :mod:`repro.dse.sweep` — declarative sweep
+  grids expanded into independent jobs, fanned out over a process
+  pool, journaled per point for ``--resume`` (``repro sweep-grid``).
+
+See ``docs/dse.md`` for the full guide.
+"""
+
+from repro.dse.grid import GRID_KIND, GridPoint, GridSpec
+from repro.dse.store import (
+    KEY_VERSION,
+    STORE_ENV,
+    CostStore,
+    CostStoreStats,
+    default_store_root,
+    key_digest,
+    resolve_store,
+)
+from repro.dse.sweep import (
+    POINT_KIND,
+    RESULTS_KIND,
+    SweepEngine,
+    SweepResult,
+    sweep_grid,
+)
+
+__all__ = [
+    "GRID_KIND",
+    "KEY_VERSION",
+    "POINT_KIND",
+    "RESULTS_KIND",
+    "STORE_ENV",
+    "CostStore",
+    "CostStoreStats",
+    "GridPoint",
+    "GridSpec",
+    "SweepEngine",
+    "SweepResult",
+    "default_store_root",
+    "key_digest",
+    "resolve_store",
+    "sweep_grid",
+]

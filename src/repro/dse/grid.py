@@ -1,0 +1,238 @@
+"""Declarative sweep grids: device catalog x budgets x models x fleets.
+
+A :class:`GridSpec` names the axes of a design-space sweep — models,
+devices, bandwidth scale factors, feature-map transfer budgets and
+fleet sizes — and :meth:`GridSpec.expand` turns it into the full cross
+product of :class:`GridPoint` jobs.  Every point carries a stable
+content-derived ``point_id``, which is what makes interrupted sweeps
+resumable: a journaled result is matched to its grid point by id, not
+by position, so editing a spec (adding a device, reordering budgets)
+never mis-attributes old results.
+
+Specs are plain JSON (see ``docs/dse.md``)::
+
+    {
+      "models": ["vgg_e", "alexnet"],
+      "devices": ["zc706", "zcu102"],
+      "transfer_bytes": [2097152, 8388608, null],
+      "bandwidth_factors": [1.0, 2.0],
+      "fleet_sizes": [1, 2]
+    }
+
+``null`` in ``transfer_bytes`` means "unconstrained" (the model's full
+unfused feature-map traffic, as in :func:`repro.toolflow.compile_model`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.check.artifacts import (
+    ENVELOPE_KEY,
+    parse_envelope,
+    payload_sha256,
+    require,
+)
+from repro.errors import SweepError
+
+#: Artifact kind of a spec saved inside an envelope (specs are also
+#: accepted bare, since they are user-authored).
+GRID_KIND = "sweep_grid"
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One independent compile/partition job of a sweep."""
+
+    model: str
+    device: str
+    bandwidth_factor: float = 1.0
+    transfer_bytes: Optional[int] = None
+    fleet_size: int = 1
+
+    @property
+    def point_id(self) -> str:
+        """Stable content-derived identity (resume key)."""
+        return payload_sha256(self.to_dict())[:16]
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "device": self.device,
+            "bandwidth_factor": self.bandwidth_factor,
+            "transfer_bytes": self.transfer_bytes,
+            "fleet_size": self.fleet_size,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict, path: str = "$") -> "GridPoint":
+        transfer = payload.get("transfer_bytes")
+        if transfer is not None and not isinstance(transfer, int):
+            raise SweepError(
+                f"{path}.transfer_bytes must be an integer or null, "
+                f"got {transfer!r}"
+            )
+        return cls(
+            model=require(payload, "model", str, path),
+            device=require(payload, "device", str, path),
+            bandwidth_factor=float(
+                require(payload, "bandwidth_factor", (int, float), path)
+            ),
+            transfer_bytes=transfer,
+            fleet_size=require(payload, "fleet_size", int, path),
+        )
+
+    def describe(self) -> str:
+        bits = [self.model, self.device]
+        if self.bandwidth_factor != 1.0:
+            bits.append(f"bw{self.bandwidth_factor:g}x")
+        bits.append(
+            "T=none"
+            if self.transfer_bytes is None
+            else f"T={self.transfer_bytes / 2**20:g}MB"
+        )
+        if self.fleet_size != 1:
+            bits.append(f"fleet={self.fleet_size}")
+        return " ".join(bits)
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """The axes of a sweep; expansion order is the declared order."""
+
+    models: Tuple[str, ...]
+    devices: Tuple[str, ...]
+    bandwidth_factors: Tuple[float, ...] = (1.0,)
+    transfer_bytes: Tuple[Optional[int], ...] = (None,)
+    fleet_sizes: Tuple[int, ...] = (1,)
+
+    def __post_init__(self) -> None:
+        for name in ("models", "devices", "bandwidth_factors",
+                     "transfer_bytes", "fleet_sizes"):
+            if not getattr(self, name):
+                raise SweepError(f"grid axis {name!r} must be non-empty")
+        for factor in self.bandwidth_factors:
+            if factor <= 0:
+                raise SweepError(
+                    f"bandwidth factor must be positive, got {factor}"
+                )
+        for size in self.fleet_sizes:
+            if size < 1:
+                raise SweepError(f"fleet size must be >= 1, got {size}")
+        for transfer in self.transfer_bytes:
+            if transfer is not None and transfer <= 0:
+                raise SweepError(
+                    f"transfer budget must be positive or null, got {transfer}"
+                )
+
+    @property
+    def num_points(self) -> int:
+        return (
+            len(self.models)
+            * len(self.devices)
+            * len(self.bandwidth_factors)
+            * len(self.transfer_bytes)
+            * len(self.fleet_sizes)
+        )
+
+    def expand(self) -> List[GridPoint]:
+        """The full cross product, in deterministic declared order."""
+        points = []
+        for model in self.models:
+            for device in self.devices:
+                for factor in self.bandwidth_factors:
+                    for transfer in self.transfer_bytes:
+                        for size in self.fleet_sizes:
+                            points.append(
+                                GridPoint(
+                                    model=model,
+                                    device=device,
+                                    bandwidth_factor=factor,
+                                    transfer_bytes=transfer,
+                                    fleet_size=size,
+                                )
+                            )
+        seen = {}
+        for point in points:
+            previous = seen.setdefault(point.point_id, point)
+            if previous is not point:
+                raise SweepError(
+                    f"grid expands to duplicate points ({point.describe()}); "
+                    "remove repeated axis values"
+                )
+        return points
+
+    def to_dict(self) -> dict:
+        return {
+            "models": list(self.models),
+            "devices": list(self.devices),
+            "bandwidth_factors": list(self.bandwidth_factors),
+            "transfer_bytes": list(self.transfer_bytes),
+            "fleet_sizes": list(self.fleet_sizes),
+        }
+
+    def digest(self) -> str:
+        """Stable identity of the spec (recorded in sweep results)."""
+        return payload_sha256(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, payload: dict, path: str = "$") -> "GridSpec":
+        if not isinstance(payload, dict):
+            raise SweepError(
+                f"grid spec must be a JSON object, got {type(payload).__name__}"
+            )
+        models = require(payload, "models", list, path)
+        devices = require(payload, "devices", list, path)
+        for name, values in (("models", models), ("devices", devices)):
+            if not all(isinstance(v, str) for v in values):
+                raise SweepError(f"{path}.{name} must be a list of strings")
+        factors = payload.get("bandwidth_factors", [1.0])
+        transfers = payload.get("transfer_bytes", [None])
+        sizes = payload.get("fleet_sizes", [1])
+        if not isinstance(factors, list) or not all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in factors
+        ):
+            raise SweepError(f"{path}.bandwidth_factors must be a number list")
+        if not isinstance(transfers, list) or not all(
+            v is None or (isinstance(v, int) and not isinstance(v, bool))
+            for v in transfers
+        ):
+            raise SweepError(
+                f"{path}.transfer_bytes must be a list of integers/null"
+            )
+        if not isinstance(sizes, list) or not all(
+            isinstance(v, int) and not isinstance(v, bool) for v in sizes
+        ):
+            raise SweepError(f"{path}.fleet_sizes must be an integer list")
+        return cls(
+            models=tuple(models),
+            devices=tuple(devices),
+            bandwidth_factors=tuple(float(v) for v in factors),
+            transfer_bytes=tuple(transfers),
+            fleet_sizes=tuple(sizes),
+        )
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "GridSpec":
+        """Load a spec file — bare JSON or an envelope-wrapped one."""
+        path = Path(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise SweepError(f"cannot read grid spec {path}: {exc}") from None
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SweepError(
+                f"grid spec {path} is not valid JSON (line {exc.lineno}: "
+                f"{exc.msg})"
+            ) from None
+        if isinstance(document, dict) and ENVELOPE_KEY in document:
+            document = parse_envelope(
+                document, expected_kind=GRID_KIND, source=path
+            ).payload
+        return cls.from_dict(document)

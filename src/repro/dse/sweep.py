@@ -1,0 +1,394 @@
+"""The parallel, resumable design-space sweep engine.
+
+A sweep is an embarrassingly parallel bag of compile/partition jobs (the
+:class:`~repro.dse.grid.GridPoint` expansion of a
+:class:`~repro.dse.grid.GridSpec`), run through a ``multiprocessing``
+pool with three pieces of shared state:
+
+* the **persistent cost store** (:mod:`repro.dse.store`) — every worker
+  warms its :class:`~repro.perf.cost.EvalContext` from it and flushes
+  fresh evaluations back, so later points (and later *sweeps*) skip
+  work earlier ones already paid for;
+* the **journal** — each finished point is appended to
+  ``journal.jsonl`` as an independently checksummed envelope line the
+  moment it lands, so a killed sweep resumes with ``--resume`` skipping
+  every completed point (matched by content-derived ``point_id``, not
+  position);
+* the **results artifact** — when the sweep completes, the full record
+  set is written as one ``sweep_results`` envelope.
+
+Strategies produced by a store-backed or ``workers=N`` sweep are
+bit-identical to the in-memory single-process path: points are
+independent, and every cached value is a pure function of its key
+(asserted in ``tests/test_sweep_grid.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.check.artifacts import (
+    append_envelope_line,
+    read_envelope_lines,
+    save_artifact,
+)
+from repro.dse.grid import GridPoint, GridSpec
+from repro.dse.store import CostStore, resolve_store
+from repro.errors import ReproError, SweepError
+
+#: Artifact kinds of the journal lines and the final results file.
+POINT_KIND = "sweep_point"
+RESULTS_KIND = "sweep_results"
+
+#: Journal and results file names inside the sweep output directory.
+JOURNAL_NAME = "journal.jsonl"
+RESULTS_NAME = "sweep_results.json"
+
+
+def _resolve_grid_network(name: str):
+    """Model-zoo name or prototxt path -> accelerated-prefix Network."""
+    from repro.nn import models
+    from repro.nn.caffe import network_from_prototxt
+
+    zoo = models.catalog()
+    if name in zoo:
+        network = zoo[name]()
+    else:
+        path = Path(name)
+        if not path.exists():
+            raise SweepError(
+                f"model {name!r} is neither a model-zoo name "
+                f"({', '.join(sorted(zoo))}) nor an existing prototxt file"
+            )
+        network = network_from_prototxt(path.read_text())
+    return network.accelerated_prefix()
+
+
+def _execute_point(point: GridPoint, store: Optional[CostStore]) -> dict:
+    """Run one grid point; returns its JSON-serializable result body."""
+    from repro.hardware.device import get_device
+    from repro.hardware.dse import scale_bandwidth
+    from repro.optimizer.dp import optimize
+    from repro.optimizer.serialize import strategy_to_dict
+    from repro.perf.cost import EvalContext
+
+    network = _resolve_grid_network(point.model)
+    device = get_device(point.device)
+    if point.bandwidth_factor != 1.0:
+        device = scale_bandwidth(device, point.bandwidth_factor)
+    context = EvalContext(store=store)
+    if point.fleet_size == 1:
+        transfer = point.transfer_bytes
+        if transfer is None:
+            transfer = network.feature_map_bytes(device.element_bytes)
+        strategy = optimize(network, device, transfer, context=context)
+        result = {
+            "kind": "strategy",
+            "latency_cycles": strategy.latency_cycles,
+            "latency_seconds": strategy.latency_seconds(),
+            "effective_gops": strategy.effective_gops(),
+            "groups": len(strategy.designs),
+            "strategy": strategy_to_dict(strategy),
+        }
+    else:
+        from repro.partition.cut import partition_network
+        from repro.partition.fleet import DeviceFleet
+
+        fleet = DeviceFleet.from_spec([device] * point.fleet_size)
+        plan = partition_network(
+            network,
+            fleet,
+            transfer_constraint_bytes=point.transfer_bytes,
+            context=context,
+        )
+        result = {
+            "kind": "partition_plan",
+            "stages": plan.num_stages,
+            "latency_seconds": plan.latency_seconds,
+            "bottleneck_seconds": plan.bottleneck_seconds,
+            "effective_gops": plan.effective_gops(),
+            "plan": plan.to_dict(),
+        }
+    context.flush_store()
+    result["telemetry"] = context.stats.to_dict()
+    return result
+
+
+def run_point_job(job: dict) -> dict:
+    """Pool worker entry: one grid point -> one journal record payload.
+
+    Takes a plain dict (pickled across the process boundary) of the
+    point and the store root; every :class:`~repro.errors.ReproError`
+    is folded into the record so one infeasible point never kills the
+    sweep.
+    """
+    point = GridPoint.from_dict(job["point"])
+    store = CostStore(job["store_root"]) if job.get("store_root") else None
+    started = time.perf_counter()
+    try:
+        result = _execute_point(point, store)
+        ok, error = True, None
+    except ReproError as exc:
+        result, ok, error = {}, False, str(exc)
+    return {
+        "point_id": point.point_id,
+        "point": point.to_dict(),
+        "ok": ok,
+        "error": error,
+        "result": result,
+        "elapsed_s": time.perf_counter() - started,
+    }
+
+
+@dataclass
+class SweepResult:
+    """Everything one :meth:`SweepEngine.run` produced."""
+
+    spec: GridSpec
+    records: List[dict]
+    computed: int
+    resumed: int
+    failed: int
+    journal_skipped: int
+    elapsed_s: float
+    store_root: Optional[str]
+    telemetry: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.failed == 0
+
+    @property
+    def store_hit_rate(self) -> float:
+        """Store hits / (store hits + evaluations) across computed points."""
+        hits = self.telemetry.get("store_hits", 0)
+        total = hits + self.telemetry.get("evaluations", 0)
+        return hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "grid": self.spec.to_dict(),
+            "grid_digest": self.spec.digest(),
+            "points": len(self.records),
+            "computed": self.computed,
+            "resumed": self.resumed,
+            "failed": self.failed,
+            "journal_skipped": self.journal_skipped,
+            "elapsed_s": self.elapsed_s,
+            "store": None
+            if self.store_root is None
+            else {
+                "root": self.store_root,
+                "hits": self.telemetry.get("store_hits", 0),
+                "misses": self.telemetry.get("evaluations", 0),
+                "hit_rate": self.store_hit_rate,
+            },
+            "records": self.records,
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"sweep of {len(self.records)} point(s): "
+            f"{self.computed} computed, {self.resumed} resumed, "
+            f"{self.failed} failed ({self.elapsed_s:.2f}s)",
+        ]
+        if self.store_root is not None:
+            hits = self.telemetry.get("store_hits", 0)
+            misses = self.telemetry.get("evaluations", 0)
+            lines.append(
+                f"cost store: {hits:,} hits / {misses:,} misses "
+                f"({self.store_hit_rate * 100:.1f}% warm) at {self.store_root}"
+            )
+        if self.journal_skipped:
+            lines.append(
+                f"journal: {self.journal_skipped} damaged line(s) skipped "
+                "and recomputed"
+            )
+        return "\n".join(lines)
+
+
+class SweepEngine:
+    """Expand a grid, fan it out, journal it, resume it.
+
+    Args:
+        spec: The declarative grid.
+        out_dir: Directory receiving the journal and results artifact
+            (created if missing).
+        store: Persistent cost store shared by every worker — a
+            :class:`CostStore`, a path, or ``None`` to run memory-only.
+        workers: Process-pool width; ``None``/``0``/``1`` runs inline
+            (deterministic debugging path, same results).
+    """
+
+    def __init__(
+        self,
+        spec: GridSpec,
+        out_dir: Union[str, Path],
+        store: Union[CostStore, str, Path, None] = None,
+        workers: Optional[int] = None,
+    ):
+        self.spec = spec
+        self.out_dir = Path(out_dir)
+        self.store = resolve_store(store)
+        self.workers = workers
+        self.journal_path = self.out_dir / JOURNAL_NAME
+        self.results_path = self.out_dir / RESULTS_NAME
+
+    # -- journal -------------------------------------------------------------
+
+    def completed_records(self) -> tuple:
+        """Journaled results keyed by point id, plus damaged-line count."""
+        envelopes, skipped = read_envelope_lines(
+            self.journal_path, expected_kind=POINT_KIND
+        )
+        records: Dict[str, dict] = {}
+        for envelope in envelopes:
+            payload = envelope.payload
+            point_id = payload.get("point_id")
+            if isinstance(point_id, str) and payload.get("ok") is not None:
+                records[point_id] = payload
+        return records, skipped
+
+    def _journal(self, record: dict) -> None:
+        append_envelope_line(self.journal_path, POINT_KIND, record)
+
+    # -- running -------------------------------------------------------------
+
+    def run(
+        self,
+        resume: bool = False,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> SweepResult:
+        """Run (or finish) the sweep.
+
+        With ``resume`` the existing journal is honored: completed
+        points are reported from their journaled records and only the
+        remainder is computed.  Without it any prior journal is
+        discarded and every point recomputes (a warm cost store still
+        accelerates that).
+        """
+        emit = log or (lambda _line: None)
+        started = time.perf_counter()
+        points = self.spec.expand()
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+
+        done: Dict[str, dict] = {}
+        journal_skipped = 0
+        if resume:
+            done, journal_skipped = self.completed_records()
+            # Keep only successful records for points still in the grid;
+            # failed points get another chance.
+            grid_ids = {point.point_id for point in points}
+            done = {
+                pid: record
+                for pid, record in done.items()
+                if pid in grid_ids and record.get("ok")
+            }
+        elif self.journal_path.exists():
+            self.journal_path.unlink()
+
+        pending = [p for p in points if p.point_id not in done]
+        if done:
+            emit(f"resuming: {len(done)} point(s) already journaled")
+        if pending:
+            emit(
+                f"computing {len(pending)} point(s)"
+                + (f" on {self.workers} workers" if self._pool_size() else "")
+            )
+
+        computed: Dict[str, dict] = {}
+        for record in self._run_pending(pending):
+            self._journal(record)
+            computed[record["point_id"]] = record
+            point = GridPoint.from_dict(record["point"])
+            status = "ok" if record["ok"] else f"FAILED: {record['error']}"
+            emit(f"  {point.describe()}: {status} ({record['elapsed_s']:.2f}s)")
+
+        records = []
+        telemetry: Dict[str, int] = {"evaluations": 0, "store_hits": 0,
+                                     "cache_hits": 0}
+        failed = 0
+        for point in points:
+            record = computed.get(point.point_id)
+            if record is not None:
+                record = dict(record, source="computed")
+                stats = record.get("result", {}).get("telemetry") or {}
+                for counter in telemetry:
+                    value = stats.get(counter)
+                    if isinstance(value, int):
+                        telemetry[counter] += value
+            else:
+                record = dict(done[point.point_id], source="resumed")
+            if not record.get("ok"):
+                failed += 1
+            records.append(record)
+
+        result = SweepResult(
+            spec=self.spec,
+            records=records,
+            computed=len(computed),
+            resumed=len(records) - len(computed),
+            failed=failed,
+            journal_skipped=journal_skipped,
+            elapsed_s=time.perf_counter() - started,
+            store_root=str(self.store.root) if self.store else None,
+            telemetry=telemetry,
+        )
+        save_artifact(
+            self.results_path,
+            RESULTS_KIND,
+            result.to_dict(),
+            digests={"grid": self.spec.digest()},
+        )
+        return result
+
+    def _pool_size(self) -> int:
+        """Worker processes to use; 0 means run inline."""
+        if self.workers is None or self.workers <= 1:
+            return 0
+        return self.workers
+
+    def _run_pending(self, pending: List[GridPoint]):
+        """Yield one journal record per pending point (pool or inline)."""
+        jobs = [
+            {
+                "point": point.to_dict(),
+                "store_root": str(self.store.root) if self.store else None,
+            }
+            for point in pending
+        ]
+        size = self._pool_size()
+        if not jobs:
+            return
+        if size == 0:
+            for job in jobs:
+                yield run_point_job(job)
+            return
+        import multiprocessing
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = multiprocessing.get_context()
+        with ctx.Pool(processes=min(size, len(jobs))) as pool:
+            # imap (ordered) keeps the journal in grid order on the
+            # happy path; resume correctness never depends on order.
+            for record in pool.imap(run_point_job, jobs):
+                yield record
+
+
+def sweep_grid(
+    spec: GridSpec,
+    out_dir: Union[str, Path],
+    store: Union[CostStore, str, Path, None] = None,
+    workers: Optional[int] = None,
+    resume: bool = False,
+    log: Optional[Callable[[str], None]] = None,
+) -> SweepResult:
+    """One-call front end (what ``repro sweep-grid`` and
+    :func:`repro.toolflow.sweep_grid` invoke)."""
+    engine = SweepEngine(spec, out_dir, store=store, workers=workers)
+    return engine.run(resume=resume, log=log)

@@ -50,6 +50,11 @@ class VerificationError(ReproError):
     """An invariant validator found violations (see repro.check)."""
 
 
+class SweepError(ReproError):
+    """A design-space sweep grid or engine was misconfigured
+    (see repro.dse)."""
+
+
 class ArtifactError(ReproError):
     """A persisted artifact (strategy/plan/codegen blob) failed to load.
 

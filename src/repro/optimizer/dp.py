@@ -193,6 +193,29 @@ class FrontierOptimizer:
         )
 
 
+def _store_context(
+    context: Optional[CostModel], store
+) -> Optional[CostModel]:
+    """Resolve the (context, store) pair callers may mix and match."""
+    if store is None:
+        return context
+    if context is not None:
+        raise OptimizationError(
+            "pass either a shared context or a store, not both "
+            "(give the store to EvalContext instead)"
+        )
+    from repro.dse.store import resolve_store
+
+    return EvalContext(store=resolve_store(store))
+
+
+def _flush_context(context: Optional[CostModel]) -> None:
+    """Persist any store-backed context's fresh evaluations."""
+    flush = getattr(context, "flush_store", None)
+    if flush is not None:
+        flush()
+
+
 def optimize(
     network: Network,
     device: FPGADevice,
@@ -201,6 +224,7 @@ def optimize(
     node_budget: int = 250_000,
     context: Optional[CostModel] = None,
     workers: Optional[int] = None,
+    store=None,
 ) -> Strategy:
     """Problem 1: minimal-latency strategy under a transfer constraint.
 
@@ -215,7 +239,13 @@ def optimize(
             sweep) and to collect telemetry externally.
         workers: Precompute the independent ``fusion[i][j]`` searches
             with a thread pool of this size (strategy-preserving).
+        store: Persistent cost store (a :class:`repro.dse.CostStore` or
+            its root path) to warm the search from and flush fresh
+            evaluations to; mutually exclusive with ``context`` (attach
+            the store to your own ``EvalContext`` for that).  The
+            resulting strategy is bit-identical to a store-less run.
     """
+    context = _store_context(context, store)
     optimizer = FrontierOptimizer(
         network, device, explore_tile_sizes=explore_tile_sizes,
         node_budget=node_budget, context=context, workers=workers,
@@ -223,6 +253,7 @@ def optimize(
     plan = optimizer.best_plan(transfer_constraint_bytes)
     strategy = optimizer.materialize(plan)
     strategy.validate(transfer_constraint_bytes)
+    _flush_context(context)
     return strategy
 
 
@@ -234,15 +265,17 @@ def optimize_many(
     node_budget: int = 250_000,
     context: Optional[CostModel] = None,
     workers: Optional[int] = None,
+    store=None,
 ) -> List[Strategy]:
     """Optimize under several transfer constraints, sharing the search.
 
     Equivalent to calling :func:`optimize` per constraint — with the
-    same ``explore_tile_sizes``/``node_budget`` knobs honored — but
-    amortizes the Algorithm-2 ``fusion[i][j]`` table and the
-    signature-keyed evaluation cache across all of them; this is how
-    the Figure 5 sweep is produced.
+    same ``explore_tile_sizes``/``node_budget``/``store`` knobs
+    honored — but amortizes the Algorithm-2 ``fusion[i][j]`` table and
+    the signature-keyed evaluation cache across all of them; this is
+    how the Figure 5 sweep is produced.
     """
+    context = _store_context(context, store)
     optimizer = FrontierOptimizer(
         network, device, explore_tile_sizes=explore_tile_sizes,
         node_budget=node_budget, context=context, workers=workers,
@@ -253,6 +286,7 @@ def optimize_many(
         strategy = optimizer.materialize(plan)
         strategy.validate(constraint)
         strategies.append(strategy)
+    _flush_context(context)
     return strategies
 
 

@@ -87,9 +87,13 @@ class SearchTelemetry:
     shared one :class:`EvalContext`.
 
     Attributes:
-        evaluations: Cost-model runs (cache misses — actual
-            ``implement()`` executions).
-        cache_hits: Queries answered from the signature-keyed cache.
+        evaluations: Cost-model runs (misses of every cache tier —
+            actual ``implement()`` executions).
+        cache_hits: Queries answered from the in-memory
+            signature-keyed cache.
+        store_hits: Queries answered from the persistent on-disk cost
+            store (:mod:`repro.dse.store`) — warm-start reuse across
+            processes.
         nodes_visited: Branch-and-bound nodes expanded (Algorithm 2).
         nodes_pruned: Branch cuts taken by the admissible bounds
             (incumbent cuts, resource floors, work-conservation floors
@@ -108,6 +112,7 @@ class SearchTelemetry:
 
     evaluations: int = 0
     cache_hits: int = 0
+    store_hits: int = 0
     nodes_visited: int = 0
     nodes_pruned: int = 0
     groups_searched: int = 0
@@ -120,15 +125,31 @@ class SearchTelemetry:
 
     @property
     def hit_rate(self) -> float:
-        total = self.evaluations + self.cache_hits
-        return self.cache_hits / total if total else 0.0
+        """Fraction of queries answered from *any* cache tier."""
+        hits = self.cache_hits + self.store_hits
+        total = self.evaluations + hits
+        return hits / total if total else 0.0
+
+    @property
+    def store_hit_rate(self) -> float:
+        """Of the queries that missed memory, the fraction the
+        persistent store answered — the warm-start figure of merit."""
+        total = self.evaluations + self.store_hits
+        return self.store_hits / total if total else 0.0
 
     def to_dict(self) -> dict:
         """JSON-serializable counters (the ``--json --stats`` payload)."""
         return {
             "evaluations": self.evaluations,
             "cache_hits": self.cache_hits,
+            "store_hits": self.store_hits,
             "hit_rate": self.hit_rate,
+            "store_hit_rate": self.store_hit_rate,
+            "cache_tiers": {
+                "memory_hits": self.cache_hits,
+                "store_hits": self.store_hits,
+                "misses": self.evaluations,
+            },
             "nodes_visited": self.nodes_visited,
             "nodes_pruned": self.nodes_pruned,
             "groups_searched": self.groups_searched,
@@ -142,8 +163,18 @@ class SearchTelemetry:
         lines = [
             "search telemetry:",
             f"  implement() evaluations: {self.evaluations:,}",
-            f"  cache hits:              {self.cache_hits:,} "
+            f"  cache hits:              {self.cache_hits + self.store_hits:,} "
             f"({self.hit_rate * 100:.1f}% hit rate)",
+        ]
+        if self.store_hits:
+            lines.append(
+                f"    memory tier:           {self.cache_hits:,} hits"
+            )
+            lines.append(
+                f"    store tier:            {self.store_hits:,} hits "
+                f"({self.store_hit_rate * 100:.1f}% of memory misses)"
+            )
+        lines += [
             f"  B&B nodes visited:       {self.nodes_visited:,}",
             f"  B&B nodes pruned:        {self.nodes_pruned:,}",
             f"  groups searched:         {self.groups_searched:,}",
@@ -201,6 +232,13 @@ class EvalContext:
             entries.  When False the layer index joins the key,
             reproducing the legacy per-layer caching — kept for A/B
             accounting in benchmarks.
+        store: Optional persistent tier
+            (:class:`repro.dse.store.CostStore` or a path to one): on a
+            memory miss the store is consulted before ``implement()``
+            runs, and fresh evaluations are buffered write-back style
+            until :meth:`flush_store`.  Because stored values are pure
+            functions of the key, a store-backed context produces
+            bit-identical results to a cold one — only faster.
 
     The context is the *only* state shared between parallel
     ``fusion[i][j]`` searches (``workers=N``); its cache and telemetry
@@ -208,10 +246,16 @@ class EvalContext:
     function of the key, concurrent searches are deterministic.
     """
 
-    def __init__(self, share_identical_layers: bool = True):
+    def __init__(self, share_identical_layers: bool = True, store=None):
+        if store is not None and not hasattr(store, "put_many"):
+            from repro.dse.store import CostStore
+
+            store = CostStore(store)
         self.share_identical_layers = share_identical_layers
+        self.store = store
         self.stats = SearchTelemetry()
         self._cache: Dict[Hashable, Implementation] = {}
+        self._dirty: Dict[Hashable, Implementation] = {}
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
@@ -263,6 +307,15 @@ class EvalContext:
                 if cached.layer_name != info.name:
                     cached = replace(cached, layer_name=info.name)
                 return cached
+        if self.store is not None:
+            stored = self.store.get(key)
+            if stored is not None:
+                with self._lock:
+                    self.stats.store_hits += 1
+                    self._cache[key] = stored
+                if stored.layer_name != info.name:
+                    stored = replace(stored, layer_name=info.name)
+                return stored
         impl = implement(
             info,
             algorithm,
@@ -274,7 +327,25 @@ class EvalContext:
         with self._lock:
             self.stats.evaluations += 1
             self._cache[key] = impl
+            if self.store is not None:
+                self._dirty[key] = impl
         return impl
+
+    def flush_store(self) -> int:
+        """Write back fresh evaluations to the persistent store.
+
+        A no-op without a store.  Called automatically at the end of
+        :func:`repro.optimizer.dp.optimize` (and friends); safe to call
+        repeatedly — each evaluation is written once.  Returns the
+        number of entries written.
+        """
+        if self.store is None:
+            return 0
+        with self._lock:
+            dirty, self._dirty = self._dirty, {}
+        if not dirty:
+            return 0
+        return self.store.put_many(dirty)
 
     # -- telemetry hooks used by the searches -------------------------------
 

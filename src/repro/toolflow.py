@@ -29,7 +29,7 @@ from repro.codegen.generator import GeneratedProject, generate_project
 from repro.hardware.device import FPGADevice, get_device
 from repro.nn.caffe import network_from_prototxt
 from repro.nn.network import Network
-from repro.optimizer.dp import optimize
+from repro.optimizer.dp import _flush_context, _store_context, optimize
 from repro.optimizer.strategy import Strategy
 from repro.partition.cut import partition_network
 from repro.partition.fleet import DeviceFleet, Link
@@ -140,6 +140,7 @@ def compile_model(
     workers: Optional[int] = None,
     context: Optional[CostModel] = None,
     verify: bool = True,
+    store=None,
 ) -> CompileResult:
     """Map a Caffe model (or Network) onto an FPGA.
 
@@ -165,6 +166,10 @@ def compile_model(
             validators on the optimized strategy before code generation
             (CLI ``--no-verify`` disables; the verified path's output is
             bit-identical to the unverified one).
+        store: Persistent cost store (:class:`repro.dse.CostStore` or
+            its root path; CLI ``--cache``) to warm the search from and
+            flush fresh evaluations to.  Strategy output is
+            bit-identical with or without it.
 
     Returns:
         The strategy, the generated HLS project, and simulation hooks.
@@ -182,6 +187,7 @@ def compile_model(
     target = get_device(device) if isinstance(device, str) else device
     if transfer_constraint_bytes is None:
         transfer_constraint_bytes = network.feature_map_bytes(target.element_bytes)
+    context = _store_context(context, store)
     strategy = optimize(
         network, target, transfer_constraint_bytes,
         explore_tile_sizes=explore_tile_sizes,
@@ -210,6 +216,7 @@ def partition_model(
     workers: Optional[int] = None,
     context: Optional[CostModel] = None,
     verify: bool = True,
+    store=None,
 ) -> PartitionPlan:
     """Split a model across a fleet of FPGAs for pipelined execution.
 
@@ -231,8 +238,9 @@ def partition_model(
         transfer_constraint_bytes: Optional per-stage DRAM feature-map
             budget (each board gets the paper's T separately).
         accelerated_only / explore_tile_sizes / node_budget / workers /
-            context / verify: As in :func:`compile_model` (``verify``
-            runs :func:`repro.check.verify_plan` on the finished plan).
+            context / verify / store: As in :func:`compile_model`
+            (``verify`` runs :func:`repro.check.verify_plan` on the
+            finished plan).
 
     Returns:
         A :class:`~repro.partition.plan.PartitionPlan` with one
@@ -249,6 +257,7 @@ def partition_model(
         fleet = devices
     else:
         fleet = DeviceFleet.from_spec(devices, link=link)
+    context = _store_context(context, store)
     plan = partition_network(
         network,
         fleet,
@@ -258,8 +267,40 @@ def partition_model(
         context=context,
         workers=workers,
     )
+    _flush_context(context)
     if verify:
         from repro.check.invariants import verify_plan
 
         verify_plan(plan).raise_if_failed()
     return plan
+
+
+def sweep_grid(
+    spec,
+    out_dir,
+    store=None,
+    workers: Optional[int] = None,
+    resume: bool = False,
+    log=None,
+):
+    """Run a declarative design-space sweep (see :mod:`repro.dse`).
+
+    The batch sibling of :func:`compile_model` / :func:`partition_model`:
+    ``spec`` (a :class:`repro.dse.GridSpec`, a spec dict, or a JSON spec
+    file path) expands into independent compile/partition points, fanned
+    out over ``workers`` processes, each warming from and flushing to
+    the shared persistent cost ``store``.  Per-point results are
+    journaled into ``out_dir`` as they land, so an interrupted sweep
+    finishes with ``resume=True`` without recomputing (CLI
+    ``repro sweep-grid``).  Returns a :class:`repro.dse.SweepResult`.
+    """
+    from repro.dse.grid import GridSpec
+    from repro.dse.sweep import sweep_grid as _sweep
+
+    if isinstance(spec, dict):
+        spec = GridSpec.from_dict(spec)
+    elif isinstance(spec, (str, Path)):
+        spec = GridSpec.from_file(spec)
+    return _sweep(
+        spec, out_dir, store=store, workers=workers, resume=resume, log=log
+    )

@@ -548,6 +548,154 @@ class TestNoVerifyFlag:
         assert capsys.readouterr().out == verified
 
 
+class TestCacheCommand:
+    def _warm(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_COST_CACHE", str(tmp_path / "cache"))
+        assert main(
+            ["compile", "tiny_cnn", "--device", "testchip", "--cache"]
+        ) == 0
+
+    def test_compile_cache_then_stats(self, capsys, tmp_path, monkeypatch):
+        self._warm(tmp_path, monkeypatch)
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "cost store" in out
+        assert str(tmp_path / "cache") in out
+
+    def test_warm_compile_reports_store_hits(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        self._warm(tmp_path, monkeypatch)
+        capsys.readouterr()
+        assert main(
+            [
+                "compile", "tiny_cnn", "--device", "testchip",
+                "--cache", "--stats", "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        tiers = payload["telemetry"]["cache_tiers"]
+        assert tiers["misses"] == 0
+        assert tiers["store_hits"] > 0
+
+    def test_stats_json(self, capsys, tmp_path, monkeypatch):
+        self._warm(tmp_path, monkeypatch)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] > 0
+        assert payload["corrupt_shards"] == 0
+
+    def test_gc_and_clear(self, capsys, tmp_path, monkeypatch):
+        self._warm(tmp_path, monkeypatch)
+        capsys.readouterr()
+        assert main(["cache", "gc", "--max-entries", "5"]) == 0
+        assert "5 remain" in capsys.readouterr().out
+        assert main(["cache", "clear"]) == 0
+        assert "removed 5" in capsys.readouterr().out
+
+    def test_explicit_dir_flag(self, capsys, tmp_path):
+        assert main(
+            [
+                "compile", "tiny_cnn", "--device", "testchip",
+                "--cache", str(tmp_path / "explicit"),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["cache", "stats", "--dir", str(tmp_path / "explicit"), "--json"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] > 0
+
+    def test_sweep_cache_flag(self, capsys, tmp_path):
+        argv = [
+            "sweep", "tiny_cnn", "--device", "testchip",
+            "--constraints", "1MB", "--cache", str(tmp_path / "c"), "--json",
+        ]
+        assert main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert cold["rows"] == warm["rows"]
+
+
+class TestSweepGridCommand:
+    ARGS = [
+        "sweep-grid", "--models", "tiny_cnn", "--devices", "testchip",
+        "--transfers", "1MB,none",
+    ]
+
+    def test_axis_flags_table_output(self, capsys, tmp_path):
+        assert main(self.ARGS + ["--out", str(tmp_path / "out")]) == 0
+        out = capsys.readouterr().out
+        assert "sweep grid (2 points)" in out
+        assert "computed" in out
+        assert (tmp_path / "out" / "sweep_results.json").exists()
+        assert (tmp_path / "out" / "journal.jsonl").exists()
+        assert (tmp_path / "out" / "cost_store").is_dir()
+
+    def test_json_output_and_resume(self, capsys, tmp_path):
+        argv = self.ARGS + ["--out", str(tmp_path / "out"), "--json"]
+        assert main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["computed"] == 2
+        assert main(argv + ["--resume"]) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert resumed["computed"] == 0
+        assert resumed["resumed"] == 2
+
+    def test_spec_file(self, capsys, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(
+            json.dumps({"models": ["tiny_cnn"], "devices": ["testchip"]})
+        )
+        assert main(
+            [
+                "sweep-grid", "--spec", str(spec),
+                "--out", str(tmp_path / "out"), "--json",
+            ]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["points"] == 1
+
+    def test_no_cache_flag(self, capsys, tmp_path):
+        assert main(
+            self.ARGS + ["--out", str(tmp_path / "out"), "--no-cache"]
+        ) == 0
+        assert not (tmp_path / "out" / "cost_store").exists()
+
+    def test_workers_flag(self, capsys, tmp_path):
+        assert main(
+            self.ARGS + ["--out", str(tmp_path / "out"), "--workers", "2"]
+        ) == 0
+        assert "2 computed" in capsys.readouterr().out
+
+    def test_spec_and_axes_conflict(self, capsys, tmp_path):
+        assert main(
+            [
+                "sweep-grid", "--spec", "x.json", "--models", "tiny_cnn",
+                "--out", str(tmp_path / "out"),
+            ]
+        ) == 1
+        assert "not both" in capsys.readouterr().err
+
+    def test_missing_axes(self, capsys, tmp_path):
+        assert main(
+            ["sweep-grid", "--models", "tiny_cnn", "--out", str(tmp_path)]
+        ) == 1
+        assert "required" in capsys.readouterr().err
+
+    def test_failed_point_exits_nonzero(self, capsys, tmp_path):
+        assert main(
+            [
+                "sweep-grid", "--models", "tiny_cnn", "--devices",
+                "testchip", "--transfers", "1B",
+                "--out", str(tmp_path / "out"),
+            ]
+        ) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+
 class TestSubcommandFailurePaths:
     """Every artifact-touching subcommand exits 1 with a one-line
     ``error:`` message when a ReproError surfaces."""
@@ -561,8 +709,12 @@ class TestSubcommandFailurePaths:
             ["serve-sim", "no_such_model"],
             ["winograd", "0", "3"],
             ["check", "/nonexistent/artifact.json"],
+            ["sweep-grid", "--spec", "/nonexistent/spec.json", "--out", "/tmp/x"],
         ],
-        ids=["compile", "sweep", "partition", "serve-sim", "winograd", "check"],
+        ids=[
+            "compile", "sweep", "partition", "serve-sim", "winograd",
+            "check", "sweep-grid",
+        ],
     )
     def test_exits_nonzero_with_one_line_error(self, argv, capsys):
         assert main(argv) == 1

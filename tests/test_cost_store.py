@@ -1,0 +1,407 @@
+"""The persistent cost store: addressing, persistence, damage, concurrency.
+
+The contract under test (see ``src/repro/dse/store.py``):
+
+* keys address the same entry in every process (no hash randomization);
+* a store-backed search returns bit-identical strategies to a
+  store-less one, while skipping recomputation;
+* any on-disk damage surfaces as a typed ``ArtifactError`` from the
+  strict loader and as a transparent recompute from the lookup path;
+* two processes flushing overlapping keys never lose or tear entries.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import subprocess
+import sys
+from dataclasses import replace
+
+import pytest
+
+from repro.dse.store import (
+    KEY_VERSION,
+    CostStore,
+    implementation_from_dict,
+    implementation_to_dict,
+    key_digest,
+    resolve_store,
+    stable_key_text,
+)
+from repro.errors import ArtifactError, OptimizationError
+from repro.optimizer.dp import optimize, optimize_many
+from repro.optimizer.serialize import strategy_to_dict
+from repro.perf.cost import EvalContext
+
+
+def _first_key_and_impl(tiny_net, testchip):
+    """One real (cache key, Implementation) pair from a live search."""
+    context = EvalContext()
+    optimize(tiny_net, testchip, tiny_net.feature_map_bytes(), context=context)
+    key, impl = next(iter(context._cache.items()))
+    return key, impl
+
+
+class TestAddressing:
+    def test_key_text_is_deterministic_across_processes(
+        self, tiny_net, testchip
+    ):
+        """repr() of a cache key must not embed memory addresses."""
+        key, _ = _first_key_and_impl(tiny_net, testchip)
+        text = stable_key_text(key)
+        assert "0x" not in text
+        script = (
+            "from repro.nn import models\n"
+            "from repro.hardware.device import get_device\n"
+            "from repro.optimizer.dp import optimize\n"
+            "from repro.perf.cost import EvalContext\n"
+            "from repro.dse.store import key_digest\n"
+            "net = models.tiny_cnn()\n"
+            "ctx = EvalContext()\n"
+            "optimize(net, get_device('testchip'), "
+            "net.feature_map_bytes(), context=ctx)\n"
+            "print('\\n'.join(sorted(key_digest(k) for k in ctx._cache)))\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+        )
+        context = EvalContext()
+        optimize(
+            tiny_net, testchip, tiny_net.feature_map_bytes(), context=context
+        )
+        ours = sorted(key_digest(k) for k in context._cache)
+        assert result.stdout.split() == ours
+
+    def test_digest_is_salted_with_key_version(
+        self, tiny_net, testchip, monkeypatch
+    ):
+        import repro.dse.store as store_mod
+
+        key, _ = _first_key_and_impl(tiny_net, testchip)
+        before = key_digest(key)
+        assert len(before) == 64
+        monkeypatch.setattr(store_mod, "KEY_VERSION", KEY_VERSION + 1)
+        assert key_digest(key) != before
+
+
+class TestImplementationRoundtrip:
+    def test_roundtrip_every_field(self, tiny_net, testchip):
+        _, impl = _first_key_and_impl(tiny_net, testchip)
+        rebuilt = implementation_from_dict(implementation_to_dict(impl))
+        assert rebuilt == impl
+
+    def test_roundtrip_with_weight_mode_none(self, tiny_net, testchip):
+        _, impl = _first_key_and_impl(tiny_net, testchip)
+        impl = replace(impl, weight_mode=None)
+        rebuilt = implementation_from_dict(implementation_to_dict(impl))
+        assert rebuilt == impl
+
+    def test_damaged_entry_raises_typed_error(self, tiny_net, testchip):
+        _, impl = _first_key_and_impl(tiny_net, testchip)
+        entry = implementation_to_dict(impl)
+        entry["algorithm"] = "quantum"
+        with pytest.raises(ArtifactError) as exc:
+            implementation_from_dict(entry)
+        assert exc.value.code
+        assert "algorithm" in exc.value.json_path
+
+
+class TestStoreTier:
+    def test_cold_then_warm_context(self, tiny_net, testchip, tmp_path):
+        budget = tiny_net.feature_map_bytes()
+        store = CostStore(tmp_path / "store")
+        cold = EvalContext(store=store)
+        optimize(tiny_net, testchip, budget, context=cold)
+        assert cold.stats.store_hits == 0
+        assert cold.stats.evaluations > 0
+
+        warm = EvalContext(store=CostStore(tmp_path / "store"))
+        optimize(tiny_net, testchip, budget, context=warm)
+        assert warm.stats.evaluations == 0
+        assert warm.stats.store_hits > 0
+        assert warm.stats.store_hit_rate == 1.0
+
+    def test_store_backed_strategy_is_bit_identical(
+        self, tiny_net, testchip, tmp_path
+    ):
+        budget = tiny_net.feature_map_bytes()
+        plain = optimize(tiny_net, testchip, budget)
+        cold = optimize(tiny_net, testchip, budget, store=tmp_path / "s")
+        warm = optimize(tiny_net, testchip, budget, store=tmp_path / "s")
+        assert (
+            strategy_to_dict(plain)
+            == strategy_to_dict(cold)
+            == strategy_to_dict(warm)
+        )
+
+    def test_optimize_many_shares_the_store(
+        self, tiny_net, testchip, tmp_path
+    ):
+        budgets = [tiny_net.feature_map_bytes(), 1 << 20]
+        first = optimize_many(tiny_net, testchip, budgets, store=tmp_path / "s")
+        second = optimize_many(
+            tiny_net, testchip, budgets, store=tmp_path / "s"
+        )
+        assert [strategy_to_dict(s) for s in first] == [
+            strategy_to_dict(s) for s in second
+        ]
+        probe = EvalContext(store=CostStore(tmp_path / "s"))
+        optimize(tiny_net, testchip, budgets[0], context=probe)
+        assert probe.stats.evaluations == 0
+
+    def test_store_and_context_are_mutually_exclusive(
+        self, tiny_net, testchip, tmp_path
+    ):
+        with pytest.raises(OptimizationError):
+            optimize(
+                tiny_net,
+                testchip,
+                tiny_net.feature_map_bytes(),
+                context=EvalContext(),
+                store=tmp_path / "s",
+            )
+
+    def test_eval_context_coerces_path_store(self, tiny_net, testchip, tmp_path):
+        context = EvalContext(store=tmp_path / "s")
+        assert isinstance(context.store, CostStore)
+        optimize(
+            tiny_net, testchip, tiny_net.feature_map_bytes(), context=context
+        )
+        context.flush_store()
+        assert CostStore(tmp_path / "s").stats().entries > 0
+
+    def test_flush_store_reports_and_drains(self, tiny_net, testchip, tmp_path):
+        context = EvalContext(store=CostStore(tmp_path / "s"))
+        # optimize() flushes internally; re-flush must be a no-op.
+        optimize(
+            tiny_net, testchip, tiny_net.feature_map_bytes(), context=context
+        )
+        assert context.flush_store() == 0
+
+    def test_telemetry_reports_cache_tiers(self, tiny_net, testchip, tmp_path):
+        budget = tiny_net.feature_map_bytes()
+        optimize(tiny_net, testchip, budget, store=tmp_path / "s")
+        warm = EvalContext(store=CostStore(tmp_path / "s"))
+        optimize(tiny_net, testchip, budget, context=warm)
+        tiers = warm.stats.to_dict()["cache_tiers"]
+        assert tiers["misses"] == 0
+        assert tiers["store_hits"] > 0
+        assert tiers["memory_hits"] >= 0
+        assert "store tier" in warm.stats.summary()
+
+
+class TestDamage:
+    def _warm_store(self, tiny_net, testchip, root):
+        optimize(tiny_net, testchip, tiny_net.feature_map_bytes(), store=root)
+        return CostStore(root)
+
+    def test_corrupt_shard_raises_typed_error_strictly(
+        self, tiny_net, testchip, tmp_path
+    ):
+        store = self._warm_store(tiny_net, testchip, tmp_path / "s")
+        victim = store.shard_paths()[0]
+        victim.write_text(victim.read_text()[: victim.stat().st_size // 2])
+        with pytest.raises(ArtifactError) as exc:
+            CostStore(store.root).load_shard(victim)
+        assert exc.value.code
+
+    def test_corrupt_shard_self_heals_through_lookup(
+        self, tiny_net, testchip, tmp_path
+    ):
+        budget = tiny_net.feature_map_bytes()
+        baseline = optimize(tiny_net, testchip, budget, store=tmp_path / "s")
+        store = CostStore(tmp_path / "s")
+        for victim in store.shard_paths():
+            victim.write_text(
+                victim.read_text().replace('"entries"', '"entr!es"', 1)
+            )
+        healing = CostStore(tmp_path / "s")
+        context = EvalContext(store=healing)
+        recomputed = optimize(tiny_net, testchip, budget, context=context)
+        assert healing.corrupt_shards > 0
+        assert strategy_to_dict(recomputed) == strategy_to_dict(baseline)
+        # The flush rewrote every damaged shard back to validity.
+        fresh = CostStore(tmp_path / "s")
+        for path in fresh.shard_paths():
+            fresh.load_shard(path)
+
+    def test_damaged_single_entry_serves_a_miss(
+        self, tiny_net, testchip, tmp_path
+    ):
+        """One bad entry inside a valid envelope: get() -> None, counted."""
+        from repro.check.artifacts import save_artifact
+        from repro.dse.store import SHARD_KIND
+
+        context = EvalContext(store=CostStore(tmp_path / "s"))
+        optimize(
+            tiny_net, testchip, tiny_net.feature_map_bytes(), context=context
+        )
+        key = next(iter(context._cache))
+        store = CostStore(tmp_path / "s")
+        assert store.get(key) is not None
+        digest = key_digest(key)
+        victim = store.shard_path(digest[:2])
+        entries = store.load_shard(victim)
+        entries[digest]["impl"]["algorithm"] = "quantum"
+        save_artifact(
+            victim,
+            SHARD_KIND,
+            {"key_version": KEY_VERSION, "entries": entries},
+        )
+        fresh = CostStore(tmp_path / "s")
+        assert fresh.get(key) is None
+        assert fresh.corrupt_entries == 1
+        # Repeated misses don't double-count the same forgotten entry.
+        assert fresh.get(key) is None
+        assert fresh.corrupt_entries == 1
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_truncation_fuzz_never_uncaught(
+        self, tiny_net, testchip, tmp_path, seed
+    ):
+        """Truncating any shard anywhere yields a typed error or empty."""
+        import random
+
+        store = self._warm_store(tiny_net, testchip, tmp_path / "s")
+        rng = random.Random(seed)
+        victim = rng.choice(store.shard_paths())
+        text = victim.read_text()
+        cut = rng.randrange(0, len(text))
+        victim.write_text(text[:cut])
+        fresh = CostStore(tmp_path / "s")
+        try:
+            fresh.load_shard(victim)
+        except ArtifactError as exc:
+            assert exc.code
+        # The lookup path must stay silent and serve misses.
+        healing = CostStore(tmp_path / "s")
+        entries = healing._entries(victim.stem)
+        assert isinstance(entries, dict)
+
+
+class TestHygiene:
+    def test_stats_counts_entries_and_bytes(self, tiny_net, testchip, tmp_path):
+        optimize(
+            tiny_net, testchip, tiny_net.feature_map_bytes(),
+            store=tmp_path / "s",
+        )
+        stats = CostStore(tmp_path / "s").stats()
+        assert stats.entries > 0
+        assert stats.shards > 0
+        assert stats.bytes > 0
+        assert stats.corrupt_shards == 0
+        assert stats.to_dict()["entries"] == stats.entries
+        assert "cost store" in stats.summary()
+
+    def test_gc_by_count_keeps_newest(self, tiny_net, testchip, tmp_path):
+        optimize(
+            tiny_net, testchip, tiny_net.feature_map_bytes(),
+            store=tmp_path / "s",
+        )
+        store = CostStore(tmp_path / "s")
+        before = store.stats().entries
+        evicted = store.gc(max_entries=5)
+        assert evicted == before - 5
+        assert CostStore(tmp_path / "s").stats().entries == 5
+
+    def test_gc_by_age_evicts_old_entries(self, tiny_net, testchip, tmp_path):
+        optimize(
+            tiny_net, testchip, tiny_net.feature_map_bytes(),
+            store=tmp_path / "s",
+        )
+        store = CostStore(tmp_path / "s")
+        # Everything was written "now": a generous age bound keeps all,
+        # a zero bound evicts all.
+        assert store.gc(max_age_s=3600.0) == 0
+        evicted = CostStore(tmp_path / "s").gc(max_age_s=0.0)
+        assert evicted > 0
+        assert CostStore(tmp_path / "s").stats().entries == 0
+
+    def test_gc_compacts_damaged_shards(self, tiny_net, testchip, tmp_path):
+        optimize(
+            tiny_net, testchip, tiny_net.feature_map_bytes(),
+            store=tmp_path / "s",
+        )
+        store = CostStore(tmp_path / "s")
+        victim = store.shard_paths()[0]
+        victim.write_text("not json at all")
+        CostStore(tmp_path / "s").gc()
+        stats = CostStore(tmp_path / "s").stats()
+        assert stats.corrupt_shards == 0
+
+    def test_clear_removes_everything(self, tiny_net, testchip, tmp_path):
+        optimize(
+            tiny_net, testchip, tiny_net.feature_map_bytes(),
+            store=tmp_path / "s",
+        )
+        store = CostStore(tmp_path / "s")
+        removed = store.clear()
+        assert removed > 0
+        assert CostStore(tmp_path / "s").stats().entries == 0
+
+    def test_stale_key_version_shard_reads_empty(
+        self, tiny_net, testchip, tmp_path
+    ):
+        from repro.check.artifacts import save_artifact
+        from repro.dse.store import SHARD_KIND
+
+        store = CostStore(tmp_path / "s")
+        store.shards_dir.mkdir(parents=True)
+        path = store.shard_path("ab")
+        save_artifact(
+            path,
+            SHARD_KIND,
+            {"key_version": KEY_VERSION + 1, "entries": {"x": {"impl": {}}}},
+        )
+        assert store.load_shard(path) == {}
+
+    def test_resolve_store_coercions(self, tmp_path):
+        assert resolve_store(None) is None
+        store = CostStore(tmp_path)
+        assert resolve_store(store) is store
+        assert isinstance(resolve_store(tmp_path / "x"), CostStore)
+
+
+def _concurrent_writer(args):
+    """Worker for the two-process overlap test (module-level: picklable)."""
+    root, offset = args
+    from repro.hardware.device import get_device
+    from repro.nn import models
+
+    network = models.tiny_cnn()
+    device = get_device("testchip")
+    budgets = [network.feature_map_bytes(), (1 << 20) + offset]
+    for budget in budgets:
+        optimize(network, device, budget, store=root)
+    return True
+
+
+class TestConcurrency:
+    def test_two_processes_overlapping_keys(self, tmp_path):
+        """Concurrent flushes into one store: no corruption, no loss."""
+        root = str(tmp_path / "shared")
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(2) as pool:
+            results = pool.map(
+                _concurrent_writer, [(root, 0), (root, 4096)]
+            )
+        assert results == [True, True]
+        store = CostStore(root)
+        stats = store.stats()
+        assert stats.corrupt_shards == 0
+        assert stats.entries > 0
+        for path in store.shard_paths():
+            store.load_shard(path)  # every shard loads cleanly
+
+    def test_shard_files_are_valid_json_envelopes(
+        self, tiny_net, testchip, tmp_path
+    ):
+        optimize(
+            tiny_net, testchip, tiny_net.feature_map_bytes(),
+            store=tmp_path / "s",
+        )
+        for path in CostStore(tmp_path / "s").shard_paths():
+            document = json.loads(path.read_text())
+            assert document["repro_artifact"] == "cost_store_shard"
