@@ -40,7 +40,12 @@ from repro.errors import (
     UnsupportedLayerError,
     VerificationError,
 )
-from repro.toolflow import CompileResult, compile_model
+from repro.toolflow import (
+    CompileResult,
+    GraphCompileResult,
+    compile_graph,
+    compile_model,
+)
 
 __version__ = "1.1.0"
 
@@ -53,6 +58,7 @@ __all__ = [
     "ArtifactVersionError",
     "CodegenError",
     "CompileResult",
+    "GraphCompileResult",
     "OptimizationError",
     "ParseError",
     "ReproError",
@@ -61,6 +67,7 @@ __all__ = [
     "SimulationError",
     "UnsupportedLayerError",
     "VerificationError",
+    "compile_graph",
     "compile_model",
     "__version__",
 ]

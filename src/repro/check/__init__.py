@@ -33,6 +33,7 @@ from repro.check.invariants import (
     VerificationReport,
     Violation,
     verify_fleet_config,
+    verify_graph_strategy,
     verify_plan,
     verify_strategy,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "register_migration",
     "save_artifact",
     "verify_fleet_config",
+    "verify_graph_strategy",
     "verify_plan",
     "verify_strategy",
     "wrap_payload",

@@ -188,10 +188,11 @@ def doctor(deep: bool = False, workdir=None) -> DoctorReport:
     Quick level (default, a few seconds): device catalog sanity, a
     compile on the test device, strategy invariants, envelope round-trip
     plus corruption detection, simulator functional + latency
-    consistency, a cost-store corruption/self-heal probe, and a
-    two-board partition with plan invariants and its own round-trip.
-    Deep level adds the DP-vs-exhaustive-oracle equivalence and a short
-    serving smoke run.
+    consistency, a cost-store corruption/self-heal probe, a two-board
+    partition with plan invariants and its own round-trip, and a DAG
+    probe (graph-DP chain degeneracy, branch invariants, graph-simulator
+    functional agreement).  Deep level adds the DP-vs-exhaustive-oracle
+    equivalence and a short serving smoke run.
     """
     import tempfile
     from pathlib import Path
@@ -319,6 +320,62 @@ def doctor(deep: bool = False, workdir=None) -> DoctorReport:
             f"{plan.num_stages}-stage plan verified and round-tripped"
         )
 
+    def dag_probe() -> str:
+        import numpy as np
+
+        from repro.check.invariants import verify_graph_strategy
+        from repro.hardware.device import get_device
+        from repro.nn import models
+        from repro.nn.functional import forward_graph, init_graph_weights
+        from repro.nn.graph import Graph
+        from repro.optimizer.dp import optimize
+        from repro.optimizer.graph_dp import optimize_graph
+        from repro.sim.graph import simulate_graph_strategy
+
+        device = get_device("testchip")
+        # Chain degeneracy: the graph DP on a linear model must be
+        # bit-identical to the chain optimizer.
+        network = models.tiny_cnn()
+        budget = network.feature_map_bytes()
+        chain = optimize(network, device, budget)
+        as_graph = optimize_graph(Graph.from_network(network), device, budget)
+        if (
+            len(as_graph.segments) != 1
+            or as_graph.segments[0].kind != "chain"
+            or as_graph.segments[0].strategy.boundaries != chain.boundaries
+            or as_graph.latency_cycles != chain.latency_cycles
+        ):
+            raise ReproError(
+                "graph DP on a chain diverged from the chain optimizer"
+            )
+        # Native branch optimization: fork-join model, invariants, and
+        # functional agreement between the graph simulator and the
+        # nn.functional reference.
+        graph = models.tiny_branch()
+        strategy = optimize_graph(
+            graph, device, graph.feature_map_bytes(device.element_bytes)
+        )
+        verify_graph_strategy(strategy).raise_if_failed()
+        kinds = {segment.kind for segment in strategy.segments}
+        if kinds == {"chain"}:
+            raise ReproError(
+                "branch model optimized without any parallel segment"
+            )
+        rng = np.random.default_rng(0)
+        data = rng.normal(0, 0.5, graph.input_spec.shape)
+        weights = init_graph_weights(graph, np.random.default_rng(0))
+        sim = simulate_graph_strategy(strategy, data, weights)
+        expected = forward_graph(graph, data, weights)
+        error = float(np.max(np.abs(sim.output - expected)))
+        if error > 1e-6:
+            raise ReproError(
+                f"graph simulator deviates from forward_graph by {error:.3e}"
+            )
+        return (
+            f"chain degeneracy exact; branch strategy verified, "
+            f"functional error {error:.1e}"
+        )
+
     def dp_oracle() -> str:
         from repro.hardware.device import get_device
         from repro.nn import models
@@ -354,6 +411,7 @@ def doctor(deep: bool = False, workdir=None) -> DoctorReport:
             _run("sim-consistency", sim_consistency, results)
         _run("cost-store", cost_store_probe, results)
         _run("partition-plan", partition_checks, results)
+        _run("dag-probe", dag_probe, results)
         if deep:
             _run("dp-vs-oracle", dp_oracle, results)
             if "compiled" in state:

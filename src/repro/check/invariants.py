@@ -38,6 +38,8 @@ V_LINKS = "V_LINKS"  # plan transfers disagree with the fleet links
 V_BOTTLENECK = "V_BOTTLENECK"  # pipeline bottleneck math is wrong
 V_DEVICE = "V_DEVICE"  # stage bound to the wrong fleet device
 V_FLEET = "V_FLEET"  # fleet configuration is unserviceable
+V_BRANCH = "V_BRANCH"  # graph strategy branch coverage is broken
+V_JOIN = "V_JOIN"  # join transfer/latency accounting is wrong
 
 
 @dataclass(frozen=True)
@@ -235,6 +237,170 @@ def verify_strategy(
                 )
 
     # Budget.
+    if (
+        transfer_constraint_bytes is not None
+        and strategy.feature_transfer_bytes > transfer_constraint_bytes
+    ):
+        report.add(
+            V_TRANSFER, "feature_transfer_bytes",
+            f"{strategy.feature_transfer_bytes} bytes exceed the "
+            f"{transfer_constraint_bytes}-byte constraint",
+        )
+    return report
+
+
+# -- graph strategy ----------------------------------------------------------
+
+
+def verify_graph_strategy(
+    strategy,
+    transfer_constraint_bytes: Optional[int] = None,
+    check_cost_model: bool = True,
+) -> VerificationReport:
+    """Validate a branch-aware :class:`~repro.optimizer.graph_dp.GraphStrategy`.
+
+    On top of running :func:`verify_strategy` on every chain segment
+    (against its own sub-network), this learns the DAG-specific
+    invariants:
+
+    * **V_BRANCH** — the segments' nodes must cover every graph node
+      exactly once: no branch dropped, none double-executed.
+    * **V_JOIN** — join transfer accounting: a concat join must be free
+      (channel-major layout makes it address aliasing), an eltwise join
+      must pay exactly one DRAM round trip over its inputs and output
+      at the device's streaming rate.
+    * Fused fork-join blocks must fit the device and their latency must
+      follow the composition law (max of compute and transfer, plus
+      fill).
+    """
+    import math
+
+    from repro.nn.layers import ConcatLayer
+    from repro.optimizer.graph_dp import (
+        ChainSegment,
+        FusedParallelSegment,
+        ParallelSegment,
+    )
+
+    graph = strategy.graph
+    device = strategy.device
+    report = VerificationReport(
+        f"graph-strategy[{graph.name} on {device.name}]"
+    )
+
+    # Branch coverage: every node exactly once.
+    covered = strategy.node_names()
+    expected = [info.name for info in graph.infos]
+    missing = sorted(set(expected) - set(covered))
+    extra = sorted(set(covered) - set(expected))
+    duplicated = sorted({name for name in covered if covered.count(name) > 1})
+    if missing:
+        report.add(
+            V_BRANCH, "segments",
+            f"nodes never executed: {', '.join(missing)}",
+        )
+    if extra:
+        report.add(
+            V_BRANCH, "segments",
+            f"nodes outside the graph: {', '.join(extra)}",
+        )
+    if duplicated:
+        report.add(
+            V_BRANCH, "segments",
+            f"nodes executed more than once: {', '.join(duplicated)}",
+        )
+
+    def check_join(where: str, join_name: str, kind: str,
+                   transfer: int, latency: int) -> None:
+        info = graph.node(join_name)
+        is_concat = isinstance(info.layer, ConcatLayer)
+        if is_concat != (kind == "concat"):
+            report.add(
+                V_JOIN, where,
+                f"join {join_name!r} recorded as {kind!r} but the layer "
+                f"is {info.layer.type_name}",
+            )
+            return
+        if is_concat:
+            if transfer != 0 or latency != 0:
+                report.add(
+                    V_JOIN, where,
+                    f"concat join {join_name!r} must be free, recorded "
+                    f"{transfer} bytes / {latency} cycles",
+                )
+            return
+        expected_bytes = (
+            (info.input_size + info.output_size) * device.element_bytes
+        )
+        expected_latency = math.ceil(expected_bytes / device.bytes_per_cycle)
+        if transfer != expected_bytes:
+            report.add(
+                V_JOIN, where,
+                f"eltwise join {join_name!r} transfers {transfer} bytes, "
+                f"one DRAM round trip is {expected_bytes}",
+            )
+        if latency != expected_latency:
+            report.add(
+                V_JOIN, where,
+                f"eltwise join {join_name!r} records {latency} cycles, "
+                f"streaming {expected_bytes} bytes takes {expected_latency}",
+            )
+
+    for index, segment in enumerate(strategy.segments):
+        where = f"segments[{index}]"
+        if isinstance(segment, ChainSegment):
+            report.extend(
+                verify_strategy(
+                    segment.strategy, check_cost_model=check_cost_model
+                ),
+                where,
+            )
+        elif isinstance(segment, ParallelSegment):
+            check_join(
+                where, segment.join, segment.join_kind,
+                segment.join_transfer_bytes, segment.join_latency_cycles,
+            )
+            branch_total = sum(
+                b.latency_cycles for b in segment.branches
+            ) + segment.join_latency_cycles
+            if segment.latency_cycles != branch_total:
+                report.add(
+                    V_CYCLES, where,
+                    f"records {segment.latency_cycles} cycles, branch sum "
+                    f"plus join is {branch_total}",
+                )
+            for b, branch in enumerate(segment.branches):
+                if not branch.segments:
+                    continue  # identity skip carries nothing to check
+                report.extend(
+                    verify_graph_strategy(
+                        branch, check_cost_model=check_cost_model
+                    ),
+                    f"{where}.branches[{b}]",
+                )
+        elif isinstance(segment, FusedParallelSegment):
+            if not segment.resources.fits(device.resources):
+                report.add(
+                    V_RESOURCES, where,
+                    f"fused block needs {segment.resources}, device "
+                    f"{device.name} provides {device.resources}",
+                )
+            composed = (
+                max(segment.compute_cycles, segment.transfer_cycles)
+                + segment.fill_cycles
+            )
+            if segment.latency_cycles != composed:
+                report.add(
+                    V_CYCLES, where,
+                    f"records {segment.latency_cycles} cycles, composition "
+                    f"law gives {composed}",
+                )
+        else:
+            report.add(
+                V_BRANCH, where,
+                f"unknown segment kind {type(segment).__name__}",
+            )
+
     if (
         transfer_constraint_bytes is not None
         and strategy.feature_transfer_bytes > transfer_constraint_bytes

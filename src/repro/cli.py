@@ -33,12 +33,12 @@ from repro import __version__
 from repro.errors import ReproError
 from repro.hardware.device import DEVICES, get_device
 from repro.nn import models
-from repro.nn.caffe import network_from_prototxt
-from repro.nn.network import Network
+from repro.nn.caffe import model_from_prototxt
+from repro.nn.graph import Graph
 from repro.optimizer.dp import optimize_many
 from repro.reporting import format_ratio, format_table
 from repro.serve.scheduler import Policy
-from repro.toolflow import compile_model
+from repro.toolflow import GraphCompileResult, compile_model
 
 MB = 2**20
 
@@ -68,15 +68,21 @@ def _store_from_args(args: argparse.Namespace):
     return CostStore(cache or None)
 
 
-def _load_model(name_or_path: str) -> Network:
+def _load_model(name_or_path: str):
+    """Resolve a zoo name or prototxt path to a Network or (DAG) Graph."""
     zoo = models.catalog()
     if name_or_path in zoo:
         return zoo[name_or_path]()
+    graph_zoo = models.graph_catalog()
+    if name_or_path in graph_zoo:
+        return graph_zoo[name_or_path]()
     path = Path(name_or_path)
     if path.exists():
-        return network_from_prototxt(path.read_text())
+        # A branching prototxt resolves to a Graph; chains stay Networks.
+        return model_from_prototxt(path.read_text())
+    names = sorted(zoo) + sorted(graph_zoo)
     raise ReproError(
-        f"{name_or_path!r} is neither a model-zoo name ({', '.join(sorted(zoo))}) "
+        f"{name_or_path!r} is neither a model-zoo name ({', '.join(names)}) "
         "nor an existing prototxt file"
     )
 
@@ -97,6 +103,26 @@ def _cmd_models(_args: argparse.Namespace) -> int:
     print(
         format_table(
             ["model", "layers", "input", "GOP", "Mparams"], rows, title="model zoo"
+        )
+    )
+    graph_rows = []
+    for name, ctor in sorted(models.graph_catalog().items()):
+        graph = ctor()
+        graph_rows.append(
+            [
+                name,
+                len(graph),
+                str(graph.input_spec.shape),
+                f"{graph.total_ops() / 1e9:.2f}",
+                f"{graph.total_weights() / 1e6:.2f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["model", "nodes", "input", "GOP", "Mparams"],
+            graph_rows,
+            title="graph (DAG) model zoo",
         )
     )
     return 0
@@ -139,10 +165,22 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         store=_store_from_args(args),
     )
     if args.json:
-        from repro.optimizer.serialize import strategy_to_dict
-
         strategy = result.strategy
-        payload = strategy_to_dict(strategy)
+        if isinstance(result, GraphCompileResult):
+            payload = {
+                "kind": "graph_strategy",
+                "graph": result.graph.name,
+                "device": result.device.name,
+                "latency_cycles": strategy.latency_cycles,
+                "segments": [
+                    {"kind": s.kind, "nodes": s.node_names()}
+                    for s in strategy.segments
+                ],
+            }
+        else:
+            from repro.optimizer.serialize import strategy_to_dict
+
+            payload = strategy_to_dict(strategy)
         payload["latency_seconds"] = strategy.latency_seconds()
         payload["effective_gops"] = strategy.effective_gops()
         if args.stats and result.telemetry is not None:
@@ -166,7 +204,13 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    network = _load_model(args.model).accelerated_prefix()
+    model = _load_model(args.model)
+    if isinstance(model, Graph):
+        raise ReproError(
+            "repro sweep is chain-only; compile a branching graph with "
+            "'repro compile' (vary --transfer per run)"
+        )
+    network = model.accelerated_prefix()
     device = get_device(args.device)
     constraints = [_parse_size(c) for c in args.constraints.split(",")]
     strategies = optimize_many(
@@ -355,6 +399,15 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         workers=args.workers,
         verify=not args.no_verify,
     )
+    from repro.partition.graph_cut import GraphPartitionPlan
+
+    if isinstance(plan, GraphPartitionPlan) and (
+        args.simulate or args.serve is not None or args.save
+    ):
+        raise ReproError(
+            "--simulate/--serve/--save are chain-only for now; graph "
+            "partition plans support the report and --json views"
+        )
     if args.json:
         payload = plan.to_dict()
         if args.stats and plan.telemetry is not None:

@@ -10,7 +10,9 @@ used as the functional oracle for the accelerator simulator.
 """
 
 from repro.nn.layers import (
+    ConcatLayer,
     ConvLayer,
+    EltwiseLayer,
     FCLayer,
     InputSpec,
     Layer,
@@ -19,12 +21,17 @@ from repro.nn.layers import (
     ReLULayer,
     SoftmaxLayer,
 )
+from repro.nn.graph import Graph, GraphNode
 from repro.nn.network import Network
 from repro.nn import models
 
 __all__ = [
+    "ConcatLayer",
     "ConvLayer",
+    "EltwiseLayer",
     "FCLayer",
+    "Graph",
+    "GraphNode",
     "InputSpec",
     "LRNLayer",
     "Layer",

@@ -7,10 +7,18 @@ nested messages in braces, scalar ``key: value`` fields, repeated fields,
 quoted strings, booleans and enums, and ``#`` comments.
 
 Parsing happens in two stages: :func:`parse_prototxt` produces a generic
-:class:`Message` tree, and :func:`network_from_prototxt` lowers it to a
-:class:`repro.nn.network.Network`, folding standalone ReLU layers into
-their preceding convolution (as the paper's architecture does) and
-checking the topology is a linear chain.
+:class:`Message` tree, and a lowering pass turns it into the IR:
+:func:`network_from_prototxt` produces a linear-chain
+:class:`repro.nn.network.Network` (rejecting any branching), while
+:func:`graph_from_prototxt` produces a DAG
+:class:`repro.nn.graph.Graph`, accepting multi-``bottom``/multi-``top``
+layers (``Concat``, ``Eltwise``) and resolving Caffe's named-blob
+wiring, including in-place tops.  Both fold standalone ReLU layers into
+their preceding convolution (as the paper's architecture does).  Every
+lowering failure — unknown blob, unsupported axis/operation, a cycle in
+the wiring, a non-series-parallel topology — is a single-line
+:class:`~repro.errors.ParseError` carrying the offending prototxt line
+and field.
 """
 
 from __future__ import annotations
@@ -18,9 +26,12 @@ from __future__ import annotations
 import re
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
-from repro.errors import ParseError
+from repro.errors import ParseError, ShapeError
+from repro.nn.graph import Graph, GraphNode
 from repro.nn.layers import (
+    ConcatLayer,
     ConvLayer,
+    EltwiseLayer,
     FCLayer,
     InputSpec,
     Layer,
@@ -447,6 +458,208 @@ def _set_relu(layer: Layer) -> Layer:
     return replace(layer, relu=True)
 
 
+# -- lowering to Graph -------------------------------------------------------
+
+
+def _input_blob_name(root: Message) -> str:
+    name = root.get_str("input")
+    if name is not None:
+        return name
+    for entry in root.get_all("layer"):
+        if isinstance(entry, Message) and entry.get_str("type") == "Input":
+            tops = [t for t in entry.get_all("top") if isinstance(t, str)]
+            if tops:
+                return tops[0]
+            declared = entry.get_str("name")
+            if declared is not None:
+                return declared
+    return "data"
+
+
+def _lower_concat(name: str, msg: Message) -> ConcatLayer:
+    param = msg.get_message("concat_param")
+    axis = param.get_int("axis", 1) if param is not None else 1
+    if axis != 1:
+        where = param if param is not None else msg
+        raise ParseError(
+            f"line {where.line_of('axis')}: concat layer {name!r} field "
+            f"'axis' must be 1 (channel concat), got {axis}"
+        )
+    return ConcatLayer(name=name)
+
+
+_ELTWISE_OPS = {"SUM": "sum", "MAX": "max", 1: "sum", 2: "max"}
+
+
+def _lower_eltwise(name: str, msg: Message) -> EltwiseLayer:
+    param = msg.get_message("eltwise_param")
+    op = param.get("operation", "SUM") if param is not None else "SUM"
+    operation = _ELTWISE_OPS.get(op)
+    if operation is None:
+        where = param if param is not None else msg
+        raise ParseError(
+            f"line {where.line_of('operation')}: eltwise layer {name!r} "
+            f"field 'operation' has unsupported value {op!r} "
+            f"(supported: SUM, MAX)"
+        )
+    return EltwiseLayer(name=name, operation=operation)
+
+
+def graph_from_prototxt(
+    text: str, fold_relu: bool = True, require_series_parallel: bool = True
+) -> Graph:
+    """Lower prototxt text to a DAG :class:`~repro.nn.graph.Graph`.
+
+    The branching sibling of :func:`network_from_prototxt`: ``bottom``/
+    ``top`` wiring is resolved through Caffe's named blobs (in-place
+    tops shadow their blob), multi-``bottom`` ``Concat`` and ``Eltwise``
+    layers become join nodes, and standalone ReLU layers fold into their
+    producing conv/FC when ``fold_relu`` is set.
+
+    Raises:
+        ParseError: One line with the offending prototxt line and field,
+            for unknown blobs, unsupported Concat axes or Eltwise
+            operations, cyclic wiring and — unless
+            ``require_series_parallel`` is off — topologies the
+            series-parallel optimizer cannot decompose.
+    """
+    root = parse_prototxt(text)
+    spec = _input_spec(root)
+    name = root.get_str("name", "network")
+    input_blob = _input_blob_name(root)
+
+    nodes: List[GraphNode] = []
+    node_lines: Dict[str, int] = {}
+    # blob name -> producing node name (input_blob for the graph input).
+    producer: Dict[str, str] = {input_blob: input_blob}
+    node_by_name: Dict[str, GraphNode] = {}
+
+    def resolve(entry: Message, layer_name: str, bottoms: List[str]) -> List[str]:
+        refs = []
+        for bottom in bottoms:
+            ref = producer.get(bottom)
+            if ref is None:
+                raise ParseError(
+                    f"line {entry.line_of('bottom')}: layer {layer_name!r} "
+                    f"field 'bottom' references unknown blob {bottom!r}"
+                )
+            refs.append(ref)
+        return refs
+
+    def add_node(entry: Message, layer: Layer, inputs: List[str],
+                 tops: List[str]) -> None:
+        if layer.name in node_by_name:
+            raise ParseError(
+                f"line {entry.line_of('name')}: layer field 'name' "
+                f"value {layer.name!r} is duplicated"
+            )
+        node = GraphNode(name=layer.name, layer=layer, inputs=tuple(inputs))
+        nodes.append(node)
+        node_by_name[layer.name] = node
+        node_lines[layer.name] = entry.line
+        for top in tops or [layer.name]:
+            producer[top] = layer.name
+
+    for entry in root.get_all("layer") + root.get_all("layers"):
+        if not isinstance(entry, Message):
+            raise ParseError(
+                f"line {root.line_of('layer')}: field 'layer' must be a "
+                f"message, got {entry!r}"
+            )
+        layer_type = entry.get_str("type")
+        layer_name = entry.get_str("name")
+        if layer_type is None:
+            raise ParseError(f"line {entry.line}: layer missing field 'type'")
+        if layer_name is None:
+            raise ParseError(f"line {entry.line}: layer missing field 'name'")
+        bottoms = [b for b in entry.get_all("bottom") if isinstance(b, str)]
+        tops = [t for t in entry.get_all("top") if isinstance(t, str)]
+        if layer_type in ("Input", "Data", "Accuracy"):
+            continue
+        if layer_type == "Dropout":
+            # Inference no-op: route its top straight to its bottom.
+            if bottoms:
+                ref = resolve(entry, layer_name, bottoms[:1])[0]
+                for top in tops or bottoms[:1]:
+                    producer[top] = ref
+            continue
+        inputs = resolve(entry, layer_name, bottoms or [input_blob])
+        if layer_type == "Convolution":
+            add_node(entry, _lower_conv(layer_name, entry), inputs, tops)
+        elif layer_type == "Pooling":
+            add_node(entry, _lower_pool(layer_name, entry), inputs, tops)
+        elif layer_type == "LRN":
+            add_node(entry, _lower_lrn(layer_name, entry), inputs, tops)
+        elif layer_type == "InnerProduct":
+            add_node(entry, _lower_fc(layer_name, entry), inputs, tops)
+        elif layer_type == "Concat":
+            add_node(entry, _lower_concat(layer_name, entry), inputs, tops)
+        elif layer_type == "Eltwise":
+            add_node(entry, _lower_eltwise(layer_name, entry), inputs, tops)
+        elif layer_type == "ReLU":
+            ref = inputs[0]
+            target = node_by_name.get(ref)
+            if (
+                fold_relu
+                and target is not None
+                and isinstance(target.layer, (ConvLayer, FCLayer))
+                and not target.layer.relu
+            ):
+                folded = GraphNode(
+                    name=target.name,
+                    layer=_set_relu(target.layer),
+                    inputs=target.inputs,
+                )
+                nodes[nodes.index(target)] = folded
+                node_by_name[target.name] = folded
+                for top in tops or bottoms[:1]:
+                    producer[top] = target.name
+            else:
+                add_node(entry, ReLULayer(name=layer_name), inputs, tops)
+        elif layer_type == "Softmax":
+            add_node(entry, SoftmaxLayer(name=layer_name), inputs, tops)
+        else:
+            raise ParseError(
+                f"line {entry.line_of('type')}: layer {layer_name!r} field "
+                f"'type' has unsupported value {layer_type!r}"
+            )
+
+    def _offending_line(message: str) -> int:
+        for node_name, line in node_lines.items():
+            if f"'{node_name}'" in message or f"{node_name!r}" in message:
+                return line
+        return root.line_of("layer")
+
+    try:
+        graph = Graph(name, spec, nodes, input_name=input_blob)
+    except ShapeError as exc:
+        raise ParseError(
+            f"line {_offending_line(str(exc))}: field 'layer': {exc}"
+        ) from None
+    if require_series_parallel:
+        try:
+            graph.decompose()
+        except ShapeError as exc:
+            raise ParseError(
+                f"line {_offending_line(str(exc))}: field 'layer': {exc}"
+            ) from None
+    return graph
+
+
+def model_from_prototxt(text: str, fold_relu: bool = True):
+    """Lower prototxt to the thinnest IR that fits its topology.
+
+    Returns a chain :class:`Network` when the wiring is linear (through
+    :func:`network_from_prototxt`, so chain models stay bit-identical to
+    the historical parser) and a :class:`~repro.nn.graph.Graph`
+    otherwise.
+    """
+    graph = graph_from_prototxt(text, fold_relu=fold_relu)
+    if graph.is_chain:
+        return network_from_prototxt(text, fold_relu=fold_relu)
+    return graph
+
+
 # -- serialization ----------------------------------------------------------
 
 
@@ -586,4 +799,63 @@ def network_to_prototxt(network: Network) -> str:
         else:
             raise ParseError(f"cannot serialize layer type {type(layer).__name__}")
         bottom = layer.name
+    return "\n".join(parts) + "\n"
+
+
+def _join_block(layer: Layer, caffe_type: str, bottoms: Tuple[str, ...],
+                param: str = "") -> str:
+    lines = ["layer {", f'  name: "{layer.name}"', f'  type: "{caffe_type}"']
+    lines.extend(f'  bottom: "{bottom}"' for bottom in bottoms)
+    lines.append(f'  top: "{layer.name}"')
+    if param:
+        lines.append(param)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def graph_to_prototxt(graph: Graph) -> str:
+    """Serialize a :class:`~repro.nn.graph.Graph` to Caffe prototxt text.
+
+    Blob names equal node names (the graph input keeps the graph's
+    ``input_name``), so :func:`graph_from_prototxt` round-trips the
+    topology exactly.
+    """
+    spec = graph.input_spec
+    parts = [
+        f'name: "{graph.name}"',
+        f'input: "{graph.input_name}"',
+        "input_dim: 1",
+        f"input_dim: {spec.channels}",
+        f"input_dim: {spec.height}",
+        f"input_dim: {spec.width}",
+    ]
+    for info in graph:
+        layer = info.layer
+        bottoms = info.inputs
+        if isinstance(layer, ConcatLayer):
+            parts.append(
+                _join_block(layer, "Concat", bottoms, "  concat_param {\n    axis: 1\n  }")
+            )
+        elif isinstance(layer, EltwiseLayer):
+            operation = "SUM" if layer.operation == "sum" else "MAX"
+            parts.append(
+                _join_block(
+                    layer, "Eltwise", bottoms,
+                    f"  eltwise_param {{\n    operation: {operation}\n  }}",
+                )
+            )
+        elif isinstance(layer, ConvLayer):
+            parts.append(_conv_block(layer, bottoms[0]))
+        elif isinstance(layer, PoolLayer):
+            parts.append(_pool_block(layer, bottoms[0]))
+        elif isinstance(layer, LRNLayer):
+            parts.append(_lrn_block(layer, bottoms[0]))
+        elif isinstance(layer, FCLayer):
+            parts.append(_fc_block(layer, bottoms[0]))
+        elif isinstance(layer, ReLULayer):
+            parts.append(_simple_block(layer, "ReLU", bottoms[0]))
+        elif isinstance(layer, SoftmaxLayer):
+            parts.append(_simple_block(layer, "Softmax", bottoms[0]))
+        else:
+            raise ParseError(f"cannot serialize layer type {type(layer).__name__}")
     return "\n".join(parts) + "\n"

@@ -16,13 +16,16 @@ import numpy as np
 
 from repro.errors import ShapeError, UnsupportedLayerError
 from repro.nn.layers import (
+    ConcatLayer,
     ConvLayer,
+    EltwiseLayer,
     FCLayer,
     Layer,
     LRNLayer,
     PoolLayer,
     ReLULayer,
     SoftmaxLayer,
+    is_join,
 )
 from repro.nn.modules import InceptionModule
 from repro.nn.network import Network
@@ -291,6 +294,95 @@ def forward_layer(
     if isinstance(layer, SoftmaxLayer):
         return softmax(data)
     raise UnsupportedLayerError(f"no reference implementation for {type(layer).__name__}")
+
+
+def forward_join(layer: Layer, inputs) -> np.ndarray:
+    """Run a multi-input join layer (concat / eltwise) on its inputs."""
+    blobs = list(inputs)
+    if len(blobs) < 2:
+        raise ShapeError(
+            f"join {layer.name!r} needs at least 2 inputs, got {len(blobs)}"
+        )
+    if isinstance(layer, ConcatLayer):
+        return np.concatenate(blobs, axis=0)
+    if isinstance(layer, EltwiseLayer):
+        out = blobs[0]
+        for blob in blobs[1:]:
+            if blob.shape != out.shape:
+                raise ShapeError(
+                    f"eltwise {layer.name!r} inputs disagree on shape: "
+                    f"{out.shape} vs {blob.shape}"
+                )
+            out = np.maximum(out, blob) if layer.operation == "max" else out + blob
+        return out
+    raise UnsupportedLayerError(
+        f"layer {layer.name!r} ({type(layer).__name__}) is not a join"
+    )
+
+
+def init_graph_weights(
+    graph, rng: Optional[np.random.Generator] = None, scale: float = 0.1
+) -> Dict[str, Dict[str, np.ndarray]]:
+    """Random (shape-faithful) weights for every parameterized graph node."""
+    rng = rng or np.random.default_rng(0)
+    weights: Dict[str, Dict[str, np.ndarray]] = {}
+    for info in graph:
+        layer = info.layer
+        if is_join(layer):
+            continue
+        shape = info.input_shapes[0]
+        if isinstance(layer, ConvLayer):
+            weights[layer.name] = _conv_params(layer, shape, rng, scale)
+        elif isinstance(layer, FCLayer):
+            in_features = layer.in_features(shape)
+            weights[layer.name] = {
+                "weight": rng.normal(0, scale, (layer.out_features, in_features)),
+                "bias": rng.normal(0, scale, (layer.out_features,)),
+            }
+    return weights
+
+
+def forward_graph(
+    graph,
+    data: np.ndarray,
+    weights: Optional[Dict[str, Dict[str, np.ndarray]]] = None,
+    collect: bool = False,
+):
+    """Run a whole :class:`~repro.nn.graph.Graph` on ``data``.
+
+    The DAG sibling of :func:`forward`: activations propagate in the
+    graph's deterministic topological order, join nodes merging their
+    producers' blobs (channel concat / element-wise combine).
+
+    Args:
+        graph: The graph to evaluate.
+        data: Input blob of shape ``graph.input_spec.shape``.
+        weights: Per-node parameter dict; generated randomly if omitted.
+        collect: If set, return a dict of every node activation instead
+            of just the sink output.
+    """
+    if tuple(data.shape) != graph.input_spec.shape:
+        raise ShapeError(
+            f"input shape {data.shape} != graph input {graph.input_spec.shape}"
+        )
+    if weights is None:
+        weights = init_graph_weights(graph)
+    activations: Dict[str, np.ndarray] = {graph.input_name: data}
+    current = data
+    for info in graph:
+        if is_join(info.layer):
+            current = forward_join(
+                info.layer, (activations[ref] for ref in info.inputs)
+            )
+        else:
+            current = forward_layer(
+                info.layer, activations[info.inputs[0]], weights.get(info.name)
+            )
+        activations[info.name] = current
+    if collect:
+        activations.pop(graph.input_name)
+        return activations
+    return current
 
 
 def forward(

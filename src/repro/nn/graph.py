@@ -1,0 +1,606 @@
+"""DAG intermediate representation: nodes carry layers, edges carry tensors.
+
+The linear :class:`~repro.nn.network.Network` chain cannot express
+branching topologies — GoogLeNet's Inception branches or ResNet's skip
+connections — so the optimizer historically saw them only through the
+macro-layer flattening of :mod:`repro.nn.modules`.  A :class:`Graph`
+makes branches first-class:
+
+* every :class:`GraphNode` names its producers (``inputs``), so edges
+  are tensors;
+* shape inference runs over the whole DAG, with the multi-input join
+  layers (:class:`~repro.nn.layers.ConcatLayer`,
+  :class:`~repro.nn.layers.EltwiseLayer`) merging branch shapes;
+* the topological order is deterministic (Kahn's algorithm with the
+  node-declaration order as tie-break), so reports, cost evaluation and
+  serialization are reproducible;
+* :meth:`Graph.decompose` factors the DAG into a series-parallel tree
+  (:class:`SPSeries` / :class:`SPParallel` / :class:`SPLeaf`), the shape
+  the branch-aware optimizer (:mod:`repro.optimizer.graph_dp`) consumes.
+
+A chain is the degenerate case: :meth:`Graph.from_network` /
+:meth:`Graph.to_network` convert losslessly, and the optimizer's DAG
+path produces bit-identical strategies for linear graphs (asserted in
+tests).  Graphs that are not series-parallel — a branch feeding two
+different joins, crossing edges between branches — are rejected with a
+:class:`~repro.errors.ShapeError` naming the offending nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ShapeError
+from repro.nn.layers import (
+    InputSpec,
+    Layer,
+    Shape,
+    is_accelerated,
+    is_join,
+)
+from repro.nn.network import Network
+
+
+@dataclass(frozen=True)
+class GraphNode:
+    """One DAG node: a layer plus the names of its producers.
+
+    ``inputs`` entries reference either other node names or the graph's
+    ``input_name`` (the input blob).  Multi-input nodes must carry a
+    join layer (concat/eltwise); every other layer consumes exactly one
+    tensor.
+    """
+
+    name: str
+    layer: Layer
+    inputs: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.inputs:
+            raise ShapeError(
+                f"node {self.name!r} has no inputs; source nodes must "
+                f"reference the graph input by name"
+            )
+
+
+@dataclass(frozen=True)
+class GraphNodeInfo:
+    """A node with its resolved input/output shapes (topo-ordered)."""
+
+    index: int
+    node: GraphNode
+    input_shapes: Tuple[Shape, ...]
+    output_shape: Shape
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def layer(self) -> Layer:
+        return self.node.layer
+
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        return self.node.inputs
+
+    @property
+    def input_size(self) -> int:
+        """Total elements consumed (sum over all inputs for joins)."""
+        return sum(c * h * w for c, h, w in self.input_shapes)
+
+    @property
+    def output_size(self) -> int:
+        c, h, w = self.output_shape
+        return c * h * w
+
+    @property
+    def ops(self) -> int:
+        if is_join(self.layer):
+            return self.layer.multi_ops(self.input_shapes)
+        return self.layer.ops(self.input_shapes[0])
+
+    @property
+    def weight_count(self) -> int:
+        if is_join(self.layer):
+            return 0
+        return self.layer.weight_count(self.input_shapes[0])
+
+
+# -- series-parallel decomposition tree --------------------------------------
+
+
+@dataclass(frozen=True)
+class SPLeaf:
+    """A single node executed in series."""
+
+    node: str
+
+
+@dataclass(frozen=True)
+class SPSeries:
+    """Blocks executed one after another (leaves and parallel blocks)."""
+
+    blocks: Tuple[Union["SPLeaf", "SPParallel"], ...]
+
+
+@dataclass(frozen=True)
+class SPParallel:
+    """A fork-join region: branches between a fork tensor and a join node.
+
+    Attributes:
+        fork: Name of the node producing the fork tensor (``None`` when
+            the branches fork directly off the graph input).
+        join: Name of the join node (concat/eltwise) merging the
+            branches; the join layer belongs to this block.
+        branches: One :class:`SPSeries` per join input, in the join's
+            input order (channel order for concat).  An empty series is
+            an identity branch — the fork tensor wired straight into the
+            join (a ResNet skip).
+    """
+
+    fork: Optional[str]
+    join: str
+    branches: Tuple[SPSeries, ...]
+
+
+def sp_leaf_names(tree: Union[SPLeaf, SPSeries, SPParallel]) -> List[str]:
+    """Every node name in the tree, in execution order (joins included)."""
+    if isinstance(tree, SPLeaf):
+        return [tree.node]
+    if isinstance(tree, SPSeries):
+        names: List[str] = []
+        for block in tree.blocks:
+            names.extend(sp_leaf_names(block))
+        return names
+    names = []
+    for branch in tree.branches:
+        names.extend(sp_leaf_names(branch))
+    names.append(tree.join)
+    return names
+
+
+class Graph:
+    """A shape-checked DAG of layers with one input blob and one sink.
+
+    Args:
+        name: Graph name (used in reports).
+        input_spec: Shape of the input blob.
+        nodes: The DAG nodes, in any valid declaration order; the
+            declaration order breaks topological ties deterministically.
+        input_name: Name nodes use to reference the input blob.
+
+    Raises:
+        ShapeError: On duplicate/unknown names, cycles, multiple sinks,
+            a join with fewer than two inputs, a non-join with more than
+            one, or any per-layer shape mismatch.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        input_spec: InputSpec,
+        nodes: Sequence[GraphNode],
+        input_name: str = "data",
+    ):
+        self.name = name
+        self.input_spec = input_spec
+        self.input_name = input_name
+        self._declared: List[GraphNode] = list(nodes)
+        self._infos: List[GraphNodeInfo] = []
+        self._by_name: Dict[str, GraphNodeInfo] = {}
+        self._consumers: Dict[str, List[str]] = {}
+        self._validate_names()
+        self._toposort_and_infer()
+
+    # -- construction ---------------------------------------------------------
+
+    def _validate_names(self) -> None:
+        known = {self.input_name}
+        for node in self._declared:
+            if node.name == self.input_name:
+                raise ShapeError(
+                    f"node name {node.name!r} collides with the graph input"
+                )
+            if node.name in known:
+                raise ShapeError(f"duplicate node name {node.name!r}")
+            known.add(node.name)
+        for node in self._declared:
+            for ref in node.inputs:
+                if ref not in known:
+                    raise ShapeError(
+                        f"node {node.name!r} references unknown input {ref!r}"
+                    )
+        self._consumers = {self.input_name: []}
+        for node in self._declared:
+            self._consumers[node.name] = []
+        for node in self._declared:
+            for ref in node.inputs:
+                self._consumers[ref].append(node.name)
+
+    def _toposort_and_infer(self) -> None:
+        # Kahn's algorithm; ready nodes are taken in declaration order,
+        # so the topological order is deterministic for a given node list.
+        shapes: Dict[str, Shape] = {self.input_name: self.input_spec.shape}
+        remaining = list(self._declared)
+        index = 0
+        while remaining:
+            picked = None
+            for position, node in enumerate(remaining):
+                if all(ref in shapes for ref in node.inputs):
+                    picked = position
+                    break
+            if picked is None:
+                cycle = ", ".join(sorted(node.name for node in remaining))
+                raise ShapeError(
+                    f"graph {self.name!r} has a cycle through: {cycle}"
+                )
+            node = remaining.pop(picked)
+            input_shapes = tuple(shapes[ref] for ref in node.inputs)
+            if is_join(node.layer):
+                out = node.layer.multi_output_shape(input_shapes)
+            else:
+                if len(input_shapes) != 1:
+                    raise ShapeError(
+                        f"node {node.name!r} ({type(node.layer).__name__}) "
+                        f"consumes {len(input_shapes)} inputs but is not a "
+                        f"join layer"
+                    )
+                out = node.layer.output_shape(input_shapes[0])
+            info = GraphNodeInfo(
+                index=index,
+                node=node,
+                input_shapes=input_shapes,
+                output_shape=out,
+            )
+            self._infos.append(info)
+            self._by_name[node.name] = info
+            shapes[node.name] = out
+            index += 1
+        sinks = [
+            info.name for info in self._infos if not self._consumers[info.name]
+        ]
+        if len(sinks) > 1:
+            raise ShapeError(
+                f"graph {self.name!r} has multiple sinks: {', '.join(sinks)} "
+                f"— not a single-output network"
+            )
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._infos)
+
+    def __iter__(self) -> Iterator[GraphNodeInfo]:
+        return iter(self._infos)
+
+    def __getitem__(self, index: int) -> GraphNodeInfo:
+        return self._infos[index]
+
+    def node(self, name: str) -> GraphNodeInfo:
+        """Look up a node by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ShapeError(
+                f"no node named {name!r} in graph {self.name!r}"
+            ) from None
+
+    def consumers(self, name: str) -> Tuple[str, ...]:
+        """Names of the nodes consuming ``name``'s output tensor."""
+        try:
+            return tuple(self._consumers[name])
+        except KeyError:
+            raise ShapeError(
+                f"no node named {name!r} in graph {self.name!r}"
+            ) from None
+
+    @property
+    def infos(self) -> Tuple[GraphNodeInfo, ...]:
+        """Node infos in deterministic topological order."""
+        return tuple(self._infos)
+
+    @property
+    def topo_order(self) -> Tuple[str, ...]:
+        """Node names in deterministic topological order."""
+        return tuple(info.name for info in self._infos)
+
+    @property
+    def sink(self) -> Optional[GraphNodeInfo]:
+        """The unique output node (None for an empty graph)."""
+        for info in self._infos:
+            if not self._consumers[info.name]:
+                return info
+        return None
+
+    @property
+    def output_shape(self) -> Shape:
+        sink = self.sink
+        return self.input_spec.shape if sink is None else sink.output_shape
+
+    def producer_shape(self, ref: str) -> Shape:
+        """Output shape of a node name or the graph input."""
+        if ref == self.input_name:
+            return self.input_spec.shape
+        return self.node(ref).output_shape
+
+    # -- analysis -------------------------------------------------------------
+
+    def total_ops(self) -> int:
+        return sum(info.ops for info in self._infos)
+
+    def total_weights(self) -> int:
+        return sum(info.weight_count for info in self._infos)
+
+    def feature_map_bytes(self, element_bytes: int = 2) -> int:
+        """Feature-map traffic if every edge round-trips DRAM.
+
+        The graph analogue of :meth:`Network.feature_map_bytes` — the
+        unfused worst case, used as the default (effectively
+        unconstrained) transfer budget.
+        """
+        total = 0
+        for info in self._infos:
+            total += (info.input_size + info.output_size) * element_bytes
+        return total
+
+    # -- chain degeneracy -----------------------------------------------------
+
+    @property
+    def is_chain(self) -> bool:
+        """True when the DAG is a linear chain (no forks, no joins)."""
+        if not self._infos:
+            return True
+        input_consumers = self._consumers[self.input_name]
+        if len(input_consumers) > 1:
+            return False
+        for info in self._infos:
+            if len(info.inputs) != 1:
+                return False
+            if len(self._consumers[info.name]) > 1:
+                return False
+        return True
+
+    @classmethod
+    def from_network(cls, network: Network, input_name: str = "data") -> "Graph":
+        """Lift a linear chain into the DAG IR (lossless)."""
+        if any(layer.name == input_name for layer in network.layers):
+            input_name = "@input"
+        nodes: List[GraphNode] = []
+        previous = input_name
+        for layer in network.layers:
+            nodes.append(GraphNode(name=layer.name, layer=layer, inputs=(previous,)))
+            previous = layer.name
+        return cls(network.name, network.input_spec, nodes, input_name=input_name)
+
+    def to_network(self, name: Optional[str] = None) -> Network:
+        """Lower a chain graph back to a :class:`Network`.
+
+        Raises:
+            ShapeError: When the graph branches (not a chain).
+        """
+        if not self.is_chain:
+            raise ShapeError(
+                f"graph {self.name!r} branches; only chain graphs lower to "
+                f"a Network"
+            )
+        return Network(
+            name or self.name,
+            self.input_spec,
+            [info.layer for info in self._infos],
+        )
+
+    def subgraph(
+        self,
+        names: Sequence[str],
+        name: str,
+        input_name: str,
+        input_spec: InputSpec,
+    ) -> "Graph":
+        """A new graph over ``names`` fed by the tensor ``input_name``.
+
+        Used by the series-parallel decomposition to carve out branch
+        and stage subgraphs: node references to ``input_name`` resolve
+        to the new graph's input blob, so no rewriting is needed.
+        """
+        members = set(names)
+        nodes = [self.node(n).node for n in self.topo_order if n in members]
+        return Graph(name, input_spec, nodes, input_name=input_name)
+
+    def accelerated_subgraph(self) -> "Graph":
+        """Strip trailing host-side layers (FC/softmax) off the sink.
+
+        The DAG analogue of :meth:`Network.accelerated_prefix`: the
+        paper runs the trailing classifier layers on the host.
+        """
+        keep = [info.node for info in self._infos]
+        consumers = {k: list(v) for k, v in self._consumers.items()}
+        while keep:
+            sink = next(
+                (node for node in keep if not consumers[node.name]), None
+            )
+            if sink is None or is_accelerated(sink.layer):
+                break
+            keep = [node for node in keep if node.name != sink.name]
+            for ref in sink.inputs:
+                consumers[ref].remove(sink.name)
+        if len(keep) == len(self._infos):
+            return self
+        return Graph(
+            f"{self.name}[accel]",
+            self.input_spec,
+            keep,
+            input_name=self.input_name,
+        )
+
+    # -- series-parallel decomposition ---------------------------------------
+
+    def _cut_positions(self) -> List[int]:
+        """Topo positions through which every input->sink path passes.
+
+        Scanning the topological order, the boundary after position
+        ``i`` is crossed by every edge from a processed node to an
+        unprocessed one; position ``i`` is a cut exactly when the node
+        at ``i`` is the only processed node with such edges.
+        """
+        pending: Dict[str, int] = {
+            name: len(consumers)
+            for name, consumers in self._consumers.items()
+        }
+        # Number of producers (input included) with un-consumed edges.
+        open_producers = 1 if pending[self.input_name] else 0
+        cuts: List[int] = []
+        for position, info in enumerate(self._infos):
+            for ref in set(info.inputs):
+                pending[ref] -= info.inputs.count(ref)
+                if pending[ref] == 0:
+                    open_producers -= 1
+            if pending[info.name] > 0:
+                open_producers += 1
+            if open_producers <= (1 if pending[info.name] > 0 else 0):
+                cuts.append(position)
+        return cuts
+
+    def _components(self, names: List[str]) -> List[List[str]]:
+        """Weakly-connected components of a node subset, topo-ordered."""
+        members = set(names)
+        parent = {name: name for name in names}
+
+        def find(x: str) -> str:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for name in names:
+            for ref in self.node(name).inputs:
+                if ref in members:
+                    parent[find(ref)] = find(name)
+        groups: Dict[str, List[str]] = {}
+        for name in names:  # names arrive topo-ordered
+            groups.setdefault(find(name), []).append(name)
+        return list(groups.values())
+
+    def decompose(self) -> SPSeries:
+        """Factor the DAG into its series-parallel tree.
+
+        Returns:
+            The top-level :class:`SPSeries`; every node appears exactly
+            once (joins as their parallel block's ``join``).
+
+        Raises:
+            ShapeError: When the graph is not series-parallel (e.g. a
+                branch feeding two different joins).
+        """
+        cuts = self._cut_positions()
+        blocks: List[Union[SPLeaf, SPParallel]] = []
+        prev_position = -1
+        prev_name: Optional[str] = None  # None = the graph input
+        for position in cuts:
+            info = self._infos[position]
+            region = [
+                self._infos[p].name for p in range(prev_position + 1, position)
+            ]
+            if not region:
+                blocks.append(SPLeaf(info.name))
+            else:
+                blocks.append(self._parallel_block(prev_name, info, region))
+            prev_position = position
+            prev_name = info.name
+        if prev_position != len(self._infos) - 1:
+            stranded = ", ".join(
+                self._infos[p].name
+                for p in range(prev_position + 1, len(self._infos))
+            )
+            raise ShapeError(
+                f"graph {self.name!r} is not series-parallel: nodes "
+                f"{stranded} never converge to a single join"
+            )
+        return SPSeries(tuple(blocks))
+
+    def _parallel_block(
+        self,
+        fork: Optional[str],
+        join: GraphNodeInfo,
+        region: List[str],
+    ) -> SPParallel:
+        fork_ref = self.input_name if fork is None else fork
+        if not is_join(join.layer):
+            raise ShapeError(
+                f"graph {self.name!r} is not series-parallel: branches "
+                f"{', '.join(region)} converge on {join.name!r}, which is "
+                f"not a concat/eltwise join"
+            )
+        if len(set(join.inputs)) != len(join.inputs):
+            raise ShapeError(
+                f"join {join.name!r} lists the same input twice; duplicate "
+                f"join inputs are not supported"
+            )
+        components = self._components(region)
+        component_of: Dict[str, int] = {}
+        for cid, component in enumerate(components):
+            for name in component:
+                component_of[name] = cid
+        branches: List[SPSeries] = []
+        used: set = set()
+        fork_shape = self.producer_shape(fork_ref)
+        spec = InputSpec(*fork_shape)
+        for ref in join.inputs:
+            if ref == fork_ref:
+                branches.append(SPSeries(()))  # identity skip
+                continue
+            cid = component_of.get(ref)
+            if cid is None or cid in used:
+                raise ShapeError(
+                    f"graph {self.name!r} is not series-parallel: join "
+                    f"{join.name!r} input {ref!r} does not terminate a "
+                    f"distinct branch of fork {fork_ref!r}"
+                )
+            used.add(cid)
+            sub = self.subgraph(
+                components[cid],
+                name=f"{self.name}/{fork_ref}..{join.name}#{len(branches)}",
+                input_name=fork_ref,
+                input_spec=spec,
+            )
+            branches.append(sub.decompose())
+        if len(used) != len(components):
+            missing = [
+                name
+                for cid, component in enumerate(components)
+                if cid not in used
+                for name in component
+            ]
+            raise ShapeError(
+                f"graph {self.name!r} is not series-parallel: nodes "
+                f"{', '.join(missing)} between {fork_ref!r} and "
+                f"{join.name!r} do not feed the join"
+            )
+        return SPParallel(fork=fork, join=join.name, branches=tuple(branches))
+
+    # -- reporting ------------------------------------------------------------
+
+    def summary(self) -> str:
+        """Human-readable per-node table (topological order)."""
+        lines = [
+            f"Graph {self.name!r}: input {self.input_spec.shape}, "
+            f"{len(self)} nodes, {self.total_ops() / 1e9:.2f} GOP, "
+            f"{self.total_weights() / 1e6:.2f} M params"
+        ]
+        header = (
+            f"{'#':>3} {'name':<16} {'type':<12} {'inputs':<24} "
+            f"{'output':<18} {'MOPs':>10}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for info in self._infos:
+            lines.append(
+                f"{info.index:>3} {info.name:<16} {info.layer.type_name:<12} "
+                f"{','.join(info.inputs):<24} {str(info.output_shape):<18} "
+                f"{info.ops / 1e6:>10.1f}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Graph(name={self.name!r}, nodes={len(self)})"

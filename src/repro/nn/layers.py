@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Tuple
+from typing import Sequence, Tuple
 
 from repro.errors import ShapeError
 
@@ -280,6 +280,117 @@ class FCLayer(Layer):
 
 
 @dataclass(frozen=True)
+class ConcatLayer(Layer):
+    """Channel concatenation join (multi-input; DAG IR only).
+
+    Joins the outputs of several producer nodes along the channel axis —
+    the merge point of an Inception module's branches.  Spatial extents
+    of every input must agree.  In the channel-major ``(C, H, W)``
+    on-chip/DRAM layout the branches write adjacent channel ranges, so a
+    concat is pure address aliasing: zero arithmetic, zero extra DRAM
+    traffic (the optimizer prices it that way; see
+    :mod:`repro.optimizer.graph_dp`).
+
+    Only meaningful inside a :class:`repro.nn.graph.Graph`; a linear
+    :class:`~repro.nn.network.Network` cannot host a join.
+    """
+
+    type_name = "Concat"
+
+    def multi_output_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        """Shape produced when joining ``input_shapes`` (>= 2 inputs)."""
+        if len(input_shapes) < 2:
+            raise ShapeError(
+                f"concat {self.name!r} needs at least 2 inputs, "
+                f"got {len(input_shapes)}"
+            )
+        _, height, width = input_shapes[0]
+        for shape in input_shapes[1:]:
+            if shape[1:] != (height, width):
+                raise ShapeError(
+                    f"concat {self.name!r} inputs disagree on spatial size: "
+                    f"{input_shapes[0]} vs {shape}"
+                )
+        return (sum(s[0] for s in input_shapes), height, width)
+
+    def multi_ops(self, input_shapes: Sequence[Shape]) -> int:
+        """Concat is free: channel-adjacent writes, no arithmetic."""
+        return 0
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        raise ShapeError(
+            f"concat {self.name!r} is a multi-input join; it cannot sit in "
+            f"a linear chain (use repro.nn.graph.Graph)"
+        )
+
+    def ops(self, input_shape: Shape) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class EltwiseLayer(Layer):
+    """Element-wise join (sum or max) of several producers — ResNet skips.
+
+    All input shapes must be identical.  Unlike a concat, the combine is
+    real arithmetic over full feature maps, so the optimizer prices an
+    eltwise join's DRAM round trip (read every input, write the output).
+
+    Only meaningful inside a :class:`repro.nn.graph.Graph`.
+    """
+
+    operation: str = "sum"
+
+    type_name = "Eltwise"
+
+    def __post_init__(self) -> None:
+        if self.operation not in ("sum", "max"):
+            raise ShapeError(
+                f"eltwise operation must be 'sum' or 'max', "
+                f"got {self.operation!r}"
+            )
+
+    def multi_output_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        """Shape produced when joining ``input_shapes`` (>= 2 inputs)."""
+        if len(input_shapes) < 2:
+            raise ShapeError(
+                f"eltwise {self.name!r} needs at least 2 inputs, "
+                f"got {len(input_shapes)}"
+            )
+        first = input_shapes[0]
+        for shape in input_shapes[1:]:
+            if shape != first:
+                raise ShapeError(
+                    f"eltwise {self.name!r} inputs disagree on shape: "
+                    f"{first} vs {shape}"
+                )
+        return first
+
+    def multi_ops(self, input_shapes: Sequence[Shape]) -> int:
+        """One add/compare per element per extra input."""
+        c, h, w = input_shapes[0]
+        return (len(input_shapes) - 1) * c * h * w
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        raise ShapeError(
+            f"eltwise {self.name!r} is a multi-input join; it cannot sit in "
+            f"a linear chain (use repro.nn.graph.Graph)"
+        )
+
+    def ops(self, input_shape: Shape) -> int:
+        c, h, w = input_shape
+        return c * h * w
+
+
+#: Multi-input join layer classes of the DAG IR.
+JOIN_LAYER_TYPES = (ConcatLayer, EltwiseLayer)
+
+
+def is_join(layer: Layer) -> bool:
+    """True if the layer merges multiple producer tensors (graph IR)."""
+    return isinstance(layer, JOIN_LAYER_TYPES)
+
+
+@dataclass(frozen=True)
 class SoftmaxLayer(Layer):
     """Softmax over the channel dimension."""
 
@@ -298,11 +409,16 @@ def is_accelerated(layer: Layer) -> bool:
     """True if the layer runs on the FPGA datapath (not host-side FC/softmax).
 
     Conv, pool and LRN layers have engine templates (paper S6); composite
-    Inception modules are accelerated as macro-layers (paper S7.1).
+    Inception modules are accelerated as macro-layers (paper S7.1); the
+    DAG IR's concat/eltwise joins execute on-device (address aliasing /
+    an adder tree) as part of their parallel block.
     """
     from repro.nn.modules import InceptionModule
 
-    return isinstance(layer, (ConvLayer, PoolLayer, LRNLayer, InceptionModule))
+    return isinstance(
+        layer,
+        (ConvLayer, PoolLayer, LRNLayer, InceptionModule) + JOIN_LAYER_TYPES,
+    )
 
 
 #: Layer classes the fused accelerator datapath supports directly.

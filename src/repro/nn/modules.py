@@ -1,11 +1,18 @@
 """Composite modules: Inception blocks treated as single layers.
 
-The paper (S7.1): "Very deep CNNs such as GoogleNet are usually based on
-modules and highly structured.  To further improve the efficiency of our
-algorithm, we can treat every module as a single layer."  The linear
-fusion architecture cannot express branching graphs, but a whole
-Inception module has one input and one output, so it drops into the
-chain as a composite :class:`InceptionModule` layer.
+**Legacy fallback.**  The paper (S7.1): "Very deep CNNs such as
+GoogleNet are usually based on modules and highly structured.  To
+further improve the efficiency of our algorithm, we can treat every
+module as a single layer."  The linear fusion architecture could not
+express branching graphs, so a whole Inception module — one input, one
+output — dropped into the chain as a composite :class:`InceptionModule`
+layer.  The DAG IR (:mod:`repro.nn.graph`) has since made branches
+first-class: ``repro.nn.models.googlenet_graph`` expresses the same
+network natively and the branch-aware optimizer
+(:mod:`repro.optimizer.graph_dp`) prices each branch's layers
+individually.  This macro-layer form remains the baseline the native
+path is compared against (``repro doctor``'s DAG probe, the
+``dag-smoke`` CI job) and the input to the chain-only codegen.
 
 An Inception v1 module runs four parallel branches over the same input
 and concatenates their channel outputs:

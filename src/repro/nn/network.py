@@ -1,11 +1,14 @@
 """Feed-forward network container with shape inference.
 
-A :class:`Network` is an ordered chain of layers plus an input spec.  The
-paper's architecture (line-buffer fusion, DP over contiguous layer ranges)
-assumes a linear chain; branching networks like GoogleNet are handled, per
-the paper's suggestion, by collapsing each module into a single composite
-layer before optimization (see :meth:`Network.prefix` and
-:mod:`repro.nn.models` for module flattening helpers).
+A :class:`Network` is an ordered chain of layers plus an input spec — the
+shape the paper's architecture (line-buffer fusion, DP over contiguous
+layer ranges) operates on.  Branching topologies are first-class in the
+DAG IR (:class:`repro.nn.graph.Graph`), which the branch-aware optimizer
+consumes directly and which degenerates to this chain form losslessly
+(:meth:`Graph.to_network` / :meth:`Graph.from_network`).  The older
+workaround — collapsing each GoogLeNet module into a single composite
+layer (:mod:`repro.nn.modules`) — is kept as a legacy fallback for the
+chain-only paths.
 """
 
 from __future__ import annotations

@@ -13,7 +13,11 @@ parallelism>} minimizing end-to-end latency:
   tabular recurrence over 10 KB transfer units and as an equivalent
   exact Pareto-frontier formulation that is fast in Python;
 * :mod:`repro.optimizer.exhaustive` — a brute-force oracle used by the
-  tests to certify optimality on small networks.
+  tests to certify optimality on small networks;
+* :mod:`repro.optimizer.graph_dp` — the branch-aware lift of the whole
+  stack onto the DAG IR: series-parallel decomposition drives the same
+  DP/B&B machinery per branch, joins are priced for transfer, and chain
+  graphs degenerate bit-identically to :func:`~repro.optimizer.dp.optimize`.
 
 All of them evaluate design points through the shared signature-keyed
 evaluation layer (:mod:`repro.perf.cost`): pass one
@@ -30,21 +34,35 @@ from repro.optimizer.dp import (
     optimize_many,
     optimize_tabular,
 )
+from repro.optimizer.graph_dp import (
+    ChainSegment,
+    FusedParallelSegment,
+    GraphOptimizer,
+    GraphStrategy,
+    ParallelSegment,
+    optimize_graph,
+)
 from repro.optimizer.serialize import load_strategy, save_strategy
 from repro.perf.cost import CostModel, EvalContext, SearchTelemetry
 
 __all__ = [
+    "ChainSegment",
     "CostModel",
     "EvalContext",
     "FrontierOptimizer",
+    "FusedParallelSegment",
+    "GraphOptimizer",
+    "GraphStrategy",
     "GroupSearch",
     "LayerChoice",
+    "ParallelSegment",
     "SearchTelemetry",
     "Strategy",
     "TRANSFER_UNIT_BYTES",
     "fuse_group",
     "load_strategy",
     "optimize",
+    "optimize_graph",
     "optimize_many",
     "optimize_tabular",
     "save_strategy",

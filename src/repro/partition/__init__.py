@@ -6,12 +6,21 @@ The layer between the single-device optimizer and the serving runtime:
 * :mod:`repro.partition.cut` — the cut-point DP minimizing the pipeline
   bottleneck, built on the existing single-device DP and the shared
   evaluation layer;
+* :mod:`repro.partition.graph_cut` — the same DP over the DAG IR,
+  cutting only on true DAG edges (parallel fork-join blocks stay whole
+  on one board);
 * :mod:`repro.partition.plan` — the :class:`PartitionPlan` artifact with
   per-stage strategies, serialization, and simulate/serve hooks.
 """
 
 from repro.partition.cut import CutOptimizer, partition_network
 from repro.partition.fleet import DEFAULT_LINK_BANDWIDTH, DeviceFleet, Link
+from repro.partition.graph_cut import (
+    GraphCutOptimizer,
+    GraphPartitionPlan,
+    GraphStagePlacement,
+    partition_graph,
+)
 from repro.partition.plan import (
     PartitionPlan,
     StagePlacement,
@@ -24,11 +33,15 @@ __all__ = [
     "CutOptimizer",
     "DEFAULT_LINK_BANDWIDTH",
     "DeviceFleet",
+    "GraphCutOptimizer",
+    "GraphPartitionPlan",
+    "GraphStagePlacement",
     "Link",
     "PartitionPlan",
     "StagePlacement",
     "StageTransfer",
     "load_plan",
+    "partition_graph",
     "partition_network",
     "plan_from_dict",
 ]

@@ -1,0 +1,503 @@
+"""Cut-point DP over DAG edges: partition a graph across a fleet.
+
+The chain partitioner (:mod:`repro.partition.cut`) cuts between layer
+*indices*; a DAG has no global index, but its series-parallel
+decomposition linearizes the top level into a sequence of atomic
+**units** — a plain node, or a whole fork-join block — separated by
+exactly the edges every dataflow must cross.  Those edges are the only
+sound cut points: cutting inside a parallel region would put the fork
+tensor on two boards at once and ship partial branch results over the
+link, so parallel blocks stay whole.
+
+With units in hand the search is the same bottleneck DP as the chain
+version — ``B[d][i] = min over cut k of max(B[d-1][k], link(k),
+stage(k, i, d))`` — except ``stage`` is a branch-aware
+:class:`~repro.optimizer.graph_dp.GraphOptimizer` frontier query on the
+unit range's subgraph, and the cut tensor is the output of the unit's
+last producer (a parallel unit's join).  On a chain graph every unit is
+a single node and the DP coincides with the chain partitioner's.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import PartitionError
+from repro.hardware.device import FPGADevice
+from repro.nn.graph import Graph, SPLeaf, sp_leaf_names
+from repro.nn.layers import InputSpec
+from repro.optimizer.graph_dp import GraphOptimizer, GraphStrategy, _GPlan
+from repro.partition.fleet import DeviceFleet
+from repro.partition.plan import StageTransfer
+from repro.perf.cost import CostModel, EvalContext, SearchTelemetry
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class _Unit:
+    """One atomic top-level element: a node or a whole parallel block."""
+
+    nodes: Tuple[str, ...]  #: covered node names, execution order
+    tail: str  #: the node producing the unit's output (leaf or join)
+
+
+def graph_units(graph: Graph) -> List[_Unit]:
+    """Linearize the top-level SP decomposition into cut-atomic units."""
+    units: List[_Unit] = []
+    for block in graph.decompose().blocks:
+        if isinstance(block, SPLeaf):
+            units.append(_Unit(nodes=(block.node,), tail=block.node))
+        else:
+            names = tuple(sp_leaf_names(block))
+            units.append(_Unit(nodes=names, tail=block.join))
+    return units
+
+
+@dataclass(frozen=True)
+class GraphStagePlacement:
+    """One pipeline stage: a unit range bound to one fleet device."""
+
+    stage_id: int
+    device_index: int
+    start: int  #: first unit index
+    stop: int  #: one past the last unit index
+    nodes: Tuple[str, ...]  #: graph nodes this stage executes
+    strategy: GraphStrategy
+
+    @property
+    def device(self):
+        return self.strategy.device
+
+    @property
+    def latency_seconds(self) -> float:
+        return self.strategy.latency_seconds()
+
+    @property
+    def num_units(self) -> int:
+        return self.stop - self.start
+
+
+class GraphPartitionPlan:
+    """A mapping of one graph onto a device fleet, cut on DAG edges.
+
+    The DAG sibling of :class:`~repro.partition.plan.PartitionPlan`:
+    stages cover the graph's top-level units contiguously and pipeline
+    through the recorded link transfers.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        fleet: DeviceFleet,
+        placements: List[GraphStagePlacement],
+        transfers: List[StageTransfer],
+        telemetry: Optional[SearchTelemetry] = None,
+        baseline_latency_seconds: Optional[float] = None,
+    ):
+        if not placements:
+            raise PartitionError("a graph partition plan needs at least one stage")
+        if len(transfers) != len(placements) - 1:
+            raise PartitionError(
+                f"{len(placements)} stages need {len(placements) - 1} "
+                f"transfers, got {len(transfers)}"
+            )
+        covered = [name for p in placements for name in p.nodes]
+        expected = [info.name for info in graph.infos]
+        if sorted(covered) != sorted(expected):
+            raise PartitionError(
+                f"stages cover {len(covered)} nodes, graph has {len(expected)}"
+            )
+        self.graph = graph
+        self.fleet = fleet
+        self.placements = placements
+        self.transfers = transfers
+        self.telemetry = telemetry
+        self.baseline_latency_seconds = baseline_latency_seconds
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.placements)
+
+    @property
+    def stage_seconds(self) -> List[float]:
+        return [p.latency_seconds for p in self.placements]
+
+    @property
+    def transfer_seconds(self) -> List[float]:
+        return [t.seconds for t in self.transfers]
+
+    @property
+    def bottleneck_seconds(self) -> float:
+        return max(self.stage_seconds + self.transfer_seconds)
+
+    @property
+    def latency_seconds(self) -> float:
+        return sum(self.stage_seconds) + sum(self.transfer_seconds)
+
+    @property
+    def throughput_images_per_s(self) -> float:
+        return 1.0 / self.bottleneck_seconds
+
+    @property
+    def total_ops(self) -> int:
+        return sum(p.strategy.total_ops for p in self.placements)
+
+    def effective_gops(self) -> float:
+        return self.total_ops / self.bottleneck_seconds / 1e9
+
+    def pipelined_speedup(self) -> Optional[float]:
+        if self.baseline_latency_seconds is None:
+            return None
+        return self.baseline_latency_seconds / self.bottleneck_seconds
+
+    def to_dict(self) -> dict:
+        """JSON-friendly view of the plan (CLI ``repro partition --json``)."""
+        return {
+            "kind": "graph_partition_plan",
+            "graph": self.graph.name,
+            "fleet": self.fleet.name,
+            "num_stages": self.num_stages,
+            "bottleneck_seconds": self.bottleneck_seconds,
+            "latency_seconds": self.latency_seconds,
+            "throughput_images_per_s": self.throughput_images_per_s,
+            "effective_gops": self.effective_gops(),
+            "pipelined_speedup": self.pipelined_speedup(),
+            "stages": [
+                {
+                    "stage_id": p.stage_id,
+                    "device": p.device.name,
+                    "nodes": list(p.nodes),
+                    "segments": [s.kind for s in p.strategy.segments],
+                    "latency_seconds": p.latency_seconds,
+                }
+                for p in self.placements
+            ],
+            "transfers": [
+                {"tensor_bytes": t.tensor_bytes, "seconds": t.seconds}
+                for t in self.transfers
+            ],
+        }
+
+    def report(self) -> str:
+        lines = [
+            f"Graph partition of {self.graph.name} across {self.fleet.name}: "
+            f"{self.num_stages} stage(s), "
+            f"bottleneck {self.bottleneck_seconds * 1e3:.2f} ms "
+            f"({self.throughput_images_per_s:.1f} img/s pipelined), "
+            f"end-to-end latency {self.latency_seconds * 1e3:.2f} ms, "
+            f"{self.effective_gops():.1f} effective GOPS"
+        ]
+        header = (
+            f"{'stage':>5} {'device':<10} {'nodes':<28} {'stages':>6} "
+            f"{'latency ms':>11} {'share':>6}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        bottleneck = self.bottleneck_seconds
+        for p in self.placements:
+            span = (
+                p.nodes[0]
+                if len(p.nodes) == 1
+                else f"{p.nodes[0]}..{p.nodes[-1]}"
+            )
+            lines.append(
+                f"{p.stage_id:>5} {p.device.name:<10} {span:<28} "
+                f"{len(p.strategy.segments):>6} "
+                f"{p.latency_seconds * 1e3:>11.2f} "
+                f"{p.latency_seconds / bottleneck * 100:>5.0f}%"
+            )
+            if p.stage_id < len(self.transfers):
+                t = self.transfers[p.stage_id]
+                lines.append(
+                    f"{'':>5} {'-> link':<10} "
+                    f"{t.tensor_bytes / 1024:.0f} KB cut tensor"
+                    f"{'':<9} {'':>6} {t.seconds * 1e3:>11.3f} "
+                    f"{t.seconds / bottleneck * 100:>5.0f}%"
+                )
+        speedup = self.pipelined_speedup()
+        if speedup is not None and self.num_stages > 1:
+            lines.append(
+                f"single-device baseline on {self.fleet.devices[0].name}: "
+                f"{self.baseline_latency_seconds * 1e3:.2f} ms/img "
+                f"-> pipelined speedup {speedup:.2f}x"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphPartitionPlan(graph={self.graph.name!r}, "
+            f"stages={self.num_stages}, "
+            f"bottleneck={self.bottleneck_seconds * 1e3:.2f}ms)"
+        )
+
+
+class GraphCutOptimizer:
+    """Partition search over one graph and one device fleet.
+
+    Same knobs as :class:`~repro.partition.cut.CutOptimizer`; cut
+    candidates are the graph's top-level DAG edges (unit boundaries).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        fleet: DeviceFleet,
+        transfer_constraint_bytes: Optional[int] = None,
+        explore_tile_sizes: bool = False,
+        node_budget: int = 250_000,
+        context: Optional[CostModel] = None,
+        workers: Optional[int] = None,
+    ):
+        if len(graph) == 0:
+            raise PartitionError("cannot partition an empty graph")
+        self.graph = graph
+        self.fleet = fleet
+        self.transfer_constraint_bytes = transfer_constraint_bytes
+        self.context: CostModel = context if context is not None else EvalContext()
+        self._optimizer_kwargs = dict(
+            explore_tile_sizes=explore_tile_sizes,
+            node_budget=node_budget,
+            workers=workers,
+        )
+        self.units = graph_units(graph)
+        self._subgraphs: Dict[Tuple[int, int], Graph] = {}
+        self._optimizers: Dict[Tuple[FPGADevice, int, int], GraphOptimizer] = {}
+        self._stage_cache: Dict[
+            Tuple[FPGADevice, int, int],
+            Optional[Tuple[_GPlan, GraphOptimizer]],
+        ] = {}
+
+    @property
+    def telemetry(self):
+        return self.context.stats
+
+    def _stage_subgraph(self, start: int, stop: int) -> Graph:
+        key = (start, stop)
+        sub = self._subgraphs.get(key)
+        if sub is not None:
+            return sub
+        if start == 0 and stop == len(self.units):
+            sub = self.graph
+        else:
+            names: List[str] = []
+            for unit in self.units[start:stop]:
+                names.extend(unit.nodes)
+            if start == 0:
+                input_name = self.graph.input_name
+                spec = self.graph.input_spec
+            else:
+                input_name = self.units[start - 1].tail
+                spec = InputSpec(*self.graph.producer_shape(input_name))
+            sub = self.graph.subgraph(
+                names,
+                name=f"{self.graph.name}[u{start}:u{stop}]",
+                input_name=input_name,
+                input_spec=spec,
+            )
+        self._subgraphs[key] = sub
+        return sub
+
+    def _stage_budget(self, device: FPGADevice, start: int, stop: int) -> int:
+        if self.transfer_constraint_bytes is not None:
+            return self.transfer_constraint_bytes
+        sub = self._stage_subgraph(start, stop)
+        return sub.feature_map_bytes(element_bytes=device.element_bytes)
+
+    def stage_plan(
+        self, device: FPGADevice, start: int, stop: int
+    ) -> Optional[Tuple[_GPlan, GraphOptimizer]]:
+        """Best single-device plan for units ``[start, stop)``; None if
+        the range is infeasible on the device."""
+        key = (device, start, stop)
+        if key in self._stage_cache:
+            return self._stage_cache[key]
+        optimizer = self._optimizers.get(key)
+        if optimizer is None:
+            optimizer = GraphOptimizer(
+                self._stage_subgraph(start, stop),
+                device,
+                context=self.context,
+                **self._optimizer_kwargs,
+            )
+            self._optimizers[key] = optimizer
+        budget = self._stage_budget(device, start, stop)
+        feasible = [
+            p for p in optimizer.frontier() if p.transfer_bytes <= budget
+        ]
+        result = (
+            (min(feasible, key=lambda p: p.latency_cycles), optimizer)
+            if feasible
+            else None
+        )
+        self._stage_cache[key] = result
+        self.context.stats.partition_stage_queries += 1
+        return result
+
+    def _stage_seconds(
+        self, device: FPGADevice, entry: Optional[Tuple[_GPlan, GraphOptimizer]]
+    ) -> float:
+        if entry is None:
+            return _INF
+        return device.cycles_to_seconds(entry[0].latency_cycles)
+
+    def _cut_tensor_bytes(self, cut: int, sender: FPGADevice) -> int:
+        """Bytes of the tensor crossing the DAG edge after unit cut-1."""
+        tail = self.units[cut - 1].tail
+        c, h, w = self.graph.node(tail).output_shape
+        return c * h * w * sender.element_bytes
+
+    def solve(self) -> GraphPartitionPlan:
+        """Run the cut DP and materialize the best plan."""
+        n = len(self.units)
+        devices = self.fleet.devices
+        num_devices = len(devices)
+
+        value: List[Dict[int, Tuple[float, float]]] = [
+            {} for _ in range(num_devices)
+        ]
+        back: List[Dict[int, int]] = [{} for _ in range(num_devices)]
+
+        for i in range(1, n + 1):
+            entry = self.stage_plan(devices[0], 0, i)
+            seconds = self._stage_seconds(devices[0], entry)
+            if seconds < _INF:
+                value[0][i] = (seconds, seconds)
+
+        for d in range(1, num_devices):
+            device = devices[d]
+            link = self.fleet.links[d - 1]
+            sender = devices[d - 1]
+            for i in range(d + 1, n + 1):
+                best: Optional[Tuple[float, float]] = None
+                best_cut = -1
+                for cut in range(d, i):
+                    upstream = value[d - 1].get(cut)
+                    if upstream is None:
+                        continue
+                    transfer = link.transfer_seconds(
+                        self._cut_tensor_bytes(cut, sender)
+                    )
+                    stage = self._stage_seconds(
+                        device, self.stage_plan(device, cut, i)
+                    )
+                    if stage == _INF:
+                        continue
+                    self.context.stats.partition_cuts_considered += 1
+                    candidate = (
+                        max(upstream[0], transfer, stage),
+                        upstream[1] + transfer + stage,
+                    )
+                    if best is None or candidate < best:
+                        best = candidate
+                        best_cut = cut
+                if best is not None:
+                    value[d][i] = best
+                    back[d][i] = best_cut
+
+        chosen_d = -1
+        chosen: Optional[Tuple[float, float]] = None
+        for d in range(num_devices):
+            candidate = value[d].get(n)
+            if candidate is None:
+                continue
+            if chosen is None or candidate < chosen:
+                chosen = candidate
+                chosen_d = d
+        if chosen is None:
+            raise PartitionError(
+                f"no feasible partition of graph {self.graph.name!r} "
+                f"({n} units) onto fleet {self.fleet.name}"
+            )
+
+        cuts: List[int] = []
+        i = n
+        for d in range(chosen_d, 0, -1):
+            cut = back[d][i]
+            cuts.append(cut)
+            i = cut
+        cuts.reverse()
+        boundaries = [0] + cuts + [n]
+        return self._materialize(boundaries)
+
+    def _materialize(self, boundaries: List[int]) -> GraphPartitionPlan:
+        placements: List[GraphStagePlacement] = []
+        transfers: List[StageTransfer] = []
+        n = len(self.units)
+        for stage_id in range(len(boundaries) - 1):
+            start, stop = boundaries[stage_id], boundaries[stage_id + 1]
+            device = self.fleet.devices[stage_id]
+            entry = self.stage_plan(device, start, stop)
+            if entry is None:
+                raise PartitionError(
+                    f"stage units [{start}:{stop}] became infeasible "
+                    f"on materialize"
+                )
+            plan, optimizer = entry
+            strategy = optimizer.materialize(plan)
+            strategy.validate(self._stage_budget(device, start, stop))
+            nodes = tuple(
+                name
+                for unit in self.units[start:stop]
+                for name in unit.nodes
+            )
+            placements.append(
+                GraphStagePlacement(
+                    stage_id=stage_id,
+                    device_index=stage_id,
+                    start=start,
+                    stop=stop,
+                    nodes=nodes,
+                    strategy=strategy,
+                )
+            )
+            if stop < n:
+                transfers.append(
+                    StageTransfer(
+                        link_index=stage_id,
+                        link=self.fleet.links[stage_id],
+                        tensor_bytes=self._cut_tensor_bytes(stop, device),
+                    )
+                )
+        baseline = self.stage_plan(self.fleet.devices[0], 0, n)
+        return GraphPartitionPlan(
+            self.graph,
+            self.fleet,
+            placements,
+            transfers,
+            telemetry=self.telemetry,
+            baseline_latency_seconds=(
+                None
+                if baseline is None
+                else self.fleet.devices[0].cycles_to_seconds(
+                    baseline[0].latency_cycles
+                )
+            ),
+        )
+
+
+def partition_graph(
+    graph: Graph,
+    fleet: DeviceFleet,
+    transfer_constraint_bytes: Optional[int] = None,
+    explore_tile_sizes: bool = False,
+    node_budget: int = 250_000,
+    context: Optional[CostModel] = None,
+    workers: Optional[int] = None,
+) -> GraphPartitionPlan:
+    """Split ``graph`` across ``fleet``, cutting only on DAG edges.
+
+    The DAG sibling of :func:`repro.partition.cut.partition_network`.
+    """
+    optimizer = GraphCutOptimizer(
+        graph,
+        fleet,
+        transfer_constraint_bytes=transfer_constraint_bytes,
+        explore_tile_sizes=explore_tile_sizes,
+        node_budget=node_budget,
+        context=context,
+        workers=workers,
+    )
+    return optimizer.solve()

@@ -71,7 +71,11 @@ def layer_signature(info: LayerInfo) -> Hashable:
 
     The layer's name and position are deliberately excluded — the cost
     model never reads them — so shape-identical layers (VGG's repeated
-    conv blocks) collapse onto one signature.  Layers are frozen
+    conv blocks) collapse onto one signature.  "Position" includes graph
+    position: a layer costs the same whether it sits in a linear chain
+    or inside a branch of the DAG IR, so entries written by chain
+    compiles warm graph compiles (and persistent cost-store rows from
+    either remain valid for both).  Layers are frozen
     dataclasses, so stripping the name yields a hashable value whose
     equality is exactly "same type, same hyper-parameters".  The output
     shape is derived from the input shape and is therefore not part of

@@ -227,6 +227,50 @@ class FleetScheduler:
             slo_cycles=slo_cycles,
         )
 
+    @classmethod
+    def for_graph_strategy(
+        cls,
+        strategy,
+        replicas: int = 1,
+        policy: Union[str, Policy] = Policy.LEAST_LOADED,
+        max_batch: int = 8,
+        max_wait_cycles: Optional[float] = None,
+        faults: Union[FaultSpec, str, None] = None,
+        fault_seed: int = 0,
+        retry: Optional[RetryPolicy] = None,
+        max_queue: Optional[int] = None,
+        slo_cycles: Optional[float] = None,
+        verify: bool = True,
+    ) -> "FleetScheduler":
+        """Build a fleet serving a branch-aware graph strategy.
+
+        Identical to :meth:`for_strategy` except the service model comes
+        from the graph strategy's per-segment flattening and admission
+        verification runs the branch-aware validators (branch coverage,
+        join transfer accounting).
+        """
+        if verify:
+            from repro.check.invariants import verify_graph_strategy
+
+            verify_graph_strategy(strategy).raise_if_failed()
+        from repro.sim.graph import build_graph_service_model
+
+        return cls(
+            build_graph_service_model(strategy),
+            replicas=replicas,
+            policy=policy,
+            max_batch=max_batch,
+            max_wait_cycles=max_wait_cycles,
+            frequency_hz=strategy.device.frequency_hz,
+            ops_per_request=strategy.total_ops,
+            reference_gops=strategy.effective_gops(),
+            faults=faults,
+            fault_seed=fault_seed,
+            retry=retry,
+            max_queue=max_queue,
+            slo_cycles=slo_cycles,
+        )
+
     # -- capacity helpers ----------------------------------------------------
 
     def per_request_capacity_cycles(self) -> float:

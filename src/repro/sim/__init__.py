@@ -14,6 +14,12 @@ from repro.sim.fleet import (
     TransferSpan,
     simulate_partition,
 )
+from repro.sim.graph import (
+    GraphSimulationResult,
+    SegmentTrace,
+    build_graph_service_model,
+    simulate_graph_strategy,
+)
 from repro.sim.simulator import (
     GroupServiceModel,
     ServiceModel,
@@ -25,15 +31,19 @@ from repro.sim.trace import GroupTrace, LayerTrace
 
 __all__ = [
     "FleetSimulationResult",
+    "GraphSimulationResult",
     "GroupServiceModel",
     "GroupTrace",
     "LayerTrace",
+    "SegmentTrace",
     "ServiceModel",
     "SimulationResult",
     "StageSpan",
     "TransferSpan",
+    "build_graph_service_model",
     "build_service_model",
     "layer_stream",
+    "simulate_graph_strategy",
     "simulate_partition",
     "simulate_strategy",
 ]

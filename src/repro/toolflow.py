@@ -14,6 +14,12 @@ Typical use::
                            transfer_constraint_bytes=2 * 2**20)
     print(result.strategy.report())
     result.project.write_to("hls_out/")
+
+Branching (DAG) models are first-class: a prototxt with fork–join
+structure resolves to a :class:`repro.nn.graph.Graph` and routes through
+:func:`compile_graph` / the DAG partitioner, returning a
+:class:`GraphCompileResult` whose strategy prices branches natively
+(see ``docs/ir.md``).  Chain models are untouched.
 """
 
 from __future__ import annotations
@@ -27,12 +33,15 @@ import numpy as np
 from repro.errors import OptimizationError
 from repro.codegen.generator import GeneratedProject, generate_project
 from repro.hardware.device import FPGADevice, get_device
-from repro.nn.caffe import network_from_prototxt
+from repro.nn.caffe import model_from_prototxt
+from repro.nn.graph import Graph
 from repro.nn.network import Network
 from repro.optimizer.dp import _flush_context, _store_context, optimize
+from repro.optimizer.graph_dp import GraphStrategy, optimize_graph
 from repro.optimizer.strategy import Strategy
 from repro.partition.cut import partition_network
 from repro.partition.fleet import DeviceFleet, Link
+from repro.partition.graph_cut import GraphPartitionPlan, partition_graph
 from repro.partition.plan import PartitionPlan
 from repro.perf.cost import CostModel, SearchTelemetry
 from repro.sim.simulator import SimulationResult, simulate_strategy
@@ -115,18 +124,172 @@ class CompileResult:
         )
 
 
-def _resolve_network(model: Union[str, Path, Network]) -> Network:
-    if isinstance(model, Network):
+@dataclass
+class GraphCompileResult:
+    """Tool-flow output for a branching (DAG) model.
+
+    The graph sibling of :class:`CompileResult`: same simulate / serve /
+    summary hooks, but the strategy is a
+    :class:`~repro.optimizer.graph_dp.GraphStrategy` whose stages may be
+    whole fork–join blocks.  There is no ``project`` field — HLS code
+    generation is chain-only; flatten the graph first (see
+    ``docs/ir.md``) if you need generated sources.
+    """
+
+    graph: Graph
+    device: FPGADevice
+    strategy: GraphStrategy
+
+    @property
+    def telemetry(self) -> Optional[SearchTelemetry]:
+        return self.strategy.telemetry
+
+    def simulate(
+        self, data: Optional[np.ndarray] = None, weights=None, seed: int = 0
+    ):
+        """Run the cycle-approximate simulator on the compiled design.
+
+        Same seed contract as :meth:`CompileResult.simulate`: ``seed``
+        controls the generated input and the random weights, so repeated
+        runs are bit-identical.
+        """
+        from repro.sim.graph import simulate_graph_strategy
+
+        rng = np.random.default_rng(seed)
+        if data is None:
+            data = rng.normal(0, 0.5, self.graph.input_spec.shape)
+        return simulate_graph_strategy(self.strategy, data, weights, rng=rng)
+
+    def serve(
+        self,
+        replicas: int = 1,
+        policy: str = "least_loaded",
+        max_batch: int = 8,
+        max_wait_cycles: Optional[float] = None,
+        faults=None,
+        fault_seed: int = 0,
+        retry=None,
+        max_queue: Optional[int] = None,
+        slo_cycles: Optional[float] = None,
+        verify: bool = True,
+    ) -> "FleetScheduler":
+        """Stand up a simulated serving fleet for this compiled graph.
+
+        Branch stages are lowered to the standard pipelined service
+        model (see :func:`repro.sim.build_graph_service_model`), so the
+        scheduler, batching and fault machinery are shared with the
+        chain path unchanged.
+        """
+        from repro.serve.scheduler import FleetScheduler
+
+        return FleetScheduler.for_graph_strategy(
+            self.strategy,
+            replicas=replicas,
+            policy=policy,
+            max_batch=max_batch,
+            max_wait_cycles=max_wait_cycles,
+            faults=faults,
+            fault_seed=fault_seed,
+            retry=retry,
+            max_queue=max_queue,
+            slo_cycles=slo_cycles,
+            verify=verify,
+        )
+
+    def summary(self) -> str:
+        return "\n".join(
+            [
+                f"tool-flow result for {self.graph.name!r} on {self.device.name}",
+                self.strategy.report(),
+            ]
+        )
+
+
+def _resolve_model(
+    model: Union[str, Path, Network, Graph]
+) -> Union[Network, Graph]:
+    """Resolve the model input to a Network (linear) or Graph (branching).
+
+    Prototxt sources go through :func:`repro.nn.caffe.model_from_prototxt`,
+    which returns a plain :class:`Network` whenever the topology is a
+    chain — so existing chain flows are untouched — and a
+    :class:`Graph` only for genuinely branching models.
+    """
+    if isinstance(model, (Network, Graph)):
         return model
     if isinstance(model, str) and "\n" in model:
         # Multi-line string: prototxt text, not a path.
-        return network_from_prototxt(model)
+        return model_from_prototxt(model)
     path = Path(model)
     if path.exists():
-        return network_from_prototxt(path.read_text())
+        return model_from_prototxt(path.read_text())
     if isinstance(model, str) and "layer" in model:
-        return network_from_prototxt(model)
+        return model_from_prototxt(model)
     raise OptimizationError(f"cannot interpret model input {str(model)[:80]!r}")
+
+
+def _resolve_network(model: Union[str, Path, Network]) -> Network:
+    resolved = _resolve_model(model)
+    if isinstance(resolved, Graph):
+        raise OptimizationError(
+            f"model {resolved.name!r} is a branching graph; "
+            "this entry point only handles linear networks"
+        )
+    return resolved
+
+
+def compile_graph(
+    model: Union[str, Path, Graph],
+    device: Union[str, FPGADevice] = "zc706",
+    transfer_constraint_bytes: Optional[int] = None,
+    accelerated_only: bool = True,
+    explore_tile_sizes: bool = False,
+    workers: Optional[int] = None,
+    context: Optional[CostModel] = None,
+    verify: bool = True,
+    store=None,
+) -> GraphCompileResult:
+    """Map a branching (DAG) model onto an FPGA.
+
+    The graph sibling of :func:`compile_model`: fork–join blocks are
+    optimized natively by :func:`repro.optimizer.graph_dp.optimize_graph`
+    instead of being flattened into macro-layers.  Chain graphs produce
+    a strategy bit-identical to the chain optimizer's (the graph DP
+    degenerates exactly; see ``docs/ir.md``).
+
+    Accepts a :class:`Graph`, prototxt text, or a prototxt path; a
+    linear model is wrapped via :meth:`Graph.from_network`.  All the
+    shared knobs (``transfer_constraint_bytes`` = the paper's T,
+    ``explore_tile_sizes``, ``workers``, ``context``, ``store``,
+    ``verify``) behave as in :func:`compile_model`; ``verify`` runs the
+    branch-aware :func:`repro.check.verify_graph_strategy` validators.
+    No HLS project is generated — codegen is chain-only.
+    """
+    resolved = _resolve_model(model)
+    graph = (
+        Graph.from_network(resolved) if isinstance(resolved, Network) else resolved
+    )
+    if accelerated_only:
+        graph = graph.accelerated_subgraph()
+    if len(graph) == 0:
+        raise OptimizationError("no accelerator-eligible layers in the model")
+    target = get_device(device) if isinstance(device, str) else device
+    if transfer_constraint_bytes is None:
+        transfer_constraint_bytes = graph.feature_map_bytes(
+            element_bytes=target.element_bytes
+        )
+    strategy = optimize_graph(
+        graph, target, transfer_constraint_bytes,
+        explore_tile_sizes=explore_tile_sizes,
+        workers=workers, context=context, store=store,
+    )
+    if verify:
+        from repro.check.invariants import verify_graph_strategy
+
+        verify_graph_strategy(
+            strategy, transfer_constraint_bytes=transfer_constraint_bytes
+        ).raise_if_failed()
+    return GraphCompileResult(graph=graph, device=target, strategy=strategy)
 
 
 def compile_model(
@@ -178,8 +341,32 @@ def compile_model(
     Raises:
         VerificationError: When ``verify`` is set and the optimizer
             produced a strategy violating its own invariants.
+
+    A branching (DAG) model — a :class:`Graph` or a prototxt with
+    fork–join structure — is routed to :func:`compile_graph` and yields
+    a :class:`GraphCompileResult` (no HLS project; codegen is
+    chain-only, so ``output_dir`` / ``weights`` are rejected for
+    graphs).
     """
-    network = _resolve_network(model)
+    resolved = _resolve_model(model)
+    if isinstance(resolved, Graph):
+        if output_dir is not None or weights is not None:
+            raise OptimizationError(
+                "HLS code generation is chain-only; compile a branching "
+                "graph without output_dir/weights (see docs/ir.md)"
+            )
+        return compile_graph(
+            resolved,
+            device=device,
+            transfer_constraint_bytes=transfer_constraint_bytes,
+            accelerated_only=accelerated_only,
+            explore_tile_sizes=explore_tile_sizes,
+            workers=workers,
+            context=context,
+            verify=verify,
+            store=store,
+        )
+    network = resolved
     if accelerated_only:
         network = network.accelerated_prefix()
     if len(network) == 0:
@@ -247,8 +434,28 @@ def partition_model(
         single-device :class:`Strategy` per stage plus ``simulate()``
         and ``serve()`` hooks.  A 1-device fleet returns a plan whose
         stage strategy is exactly the single-device optimum.
+
+    A branching (DAG) model is routed to
+    :func:`repro.partition.graph_cut.partition_graph` — stages cut on
+    DAG edges, whole fork–join blocks kept on one device — and returns
+    a :class:`~repro.partition.graph_cut.GraphPartitionPlan`.
     """
-    network = _resolve_network(model)
+    resolved = _resolve_model(model)
+    if isinstance(resolved, Graph):
+        return _partition_graph_model(
+            resolved,
+            devices,
+            link=link,
+            transfer_constraint_bytes=transfer_constraint_bytes,
+            accelerated_only=accelerated_only,
+            explore_tile_sizes=explore_tile_sizes,
+            node_budget=node_budget,
+            workers=workers,
+            context=context,
+            verify=verify,
+            store=store,
+        )
+    network = resolved
     if accelerated_only:
         network = network.accelerated_prefix()
     if len(network) == 0:
@@ -272,6 +479,47 @@ def partition_model(
         from repro.check.invariants import verify_plan
 
         verify_plan(plan).raise_if_failed()
+    return plan
+
+
+def _partition_graph_model(
+    graph: Graph,
+    devices: Union[str, Sequence, DeviceFleet],
+    link: Optional[Link] = None,
+    transfer_constraint_bytes: Optional[int] = None,
+    accelerated_only: bool = True,
+    explore_tile_sizes: bool = False,
+    node_budget: int = 250_000,
+    workers: Optional[int] = None,
+    context: Optional[CostModel] = None,
+    verify: bool = True,
+    store=None,
+) -> GraphPartitionPlan:
+    """The DAG leg of :func:`partition_model`."""
+    if accelerated_only:
+        graph = graph.accelerated_subgraph()
+    if len(graph) == 0:
+        raise OptimizationError("no accelerator-eligible layers in the model")
+    if isinstance(devices, DeviceFleet):
+        fleet = devices
+    else:
+        fleet = DeviceFleet.from_spec(devices, link=link)
+    context = _store_context(context, store)
+    plan = partition_graph(
+        graph,
+        fleet,
+        transfer_constraint_bytes=transfer_constraint_bytes,
+        explore_tile_sizes=explore_tile_sizes,
+        node_budget=node_budget,
+        context=context,
+        workers=workers,
+    )
+    _flush_context(context)
+    if verify:
+        from repro.check.invariants import verify_graph_strategy
+
+        for placement in plan.placements:
+            verify_graph_strategy(placement.strategy).raise_if_failed()
     return plan
 
 

@@ -1,0 +1,275 @@
+"""DAG IR tests: shape inference, SP decomposition, caffe lowering.
+
+Covers the :mod:`repro.nn.graph` substrate (validation, topological
+order, series-parallel decomposition, chain round-trips) and the
+multi-``bottom``/multi-``top`` prototxt front end in
+:mod:`repro.nn.caffe`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParseError, ShapeError
+from repro.nn import models
+from repro.nn.caffe import (
+    graph_from_prototxt,
+    graph_to_prototxt,
+    model_from_prototxt,
+)
+from repro.nn.functional import forward, forward_graph, init_graph_weights
+from repro.nn.graph import Graph, GraphNode, SPLeaf, SPParallel, SPSeries
+from repro.nn.layers import (
+    ConcatLayer,
+    ConvLayer,
+    EltwiseLayer,
+    InputSpec,
+)
+from repro.nn.network import Network
+
+
+def _conv(name, _in_c, out_c, k=3, pad=1):
+    return ConvLayer(name, out_channels=out_c, kernel=k, pad=pad)
+
+
+def _node(layer, *inputs):
+    return GraphNode(layer.name, layer, tuple(inputs))
+
+
+def _branch_graph():
+    return models.tiny_branch()
+
+
+class TestGraphConstruction:
+    def test_chain_graph_matches_network(self, tiny_net):
+        graph = Graph.from_network(tiny_net)
+        assert graph.is_chain
+        assert len(graph) == len(tiny_net)
+        assert [i.name for i in graph.infos] == [l.name for l in tiny_net.layers]
+        back = graph.to_network()
+        assert back.name == tiny_net.name
+        assert [l.name for l in back.layers] == [l.name for l in tiny_net.layers]
+
+    def test_branch_graph_shapes(self):
+        graph = _branch_graph()
+        assert not graph.is_chain
+        # Concat of a 1x1 and a 3x3 branch sums channels.
+        join = graph.node("join")
+        assert isinstance(join.layer, ConcatLayer)
+        b1 = graph.producer_shape("b1")
+        b3 = graph.producer_shape("b3")
+        joined = graph.producer_shape("join")
+        assert joined[0] == b1[0] + b3[0]
+        assert joined[1:] == b1[1:] == b3[1:]
+
+    def test_eltwise_requires_matching_shapes(self):
+        spec = InputSpec(3, 8, 8)
+        nodes = [
+            _node(_conv("a", 3, 8), "data"),
+            _node(_conv("b", 3, 4), "data"),
+            _node(EltwiseLayer("sum"), "a", "b"),
+        ]
+        with pytest.raises(ShapeError):
+            Graph("bad", spec, nodes)
+
+    def test_unknown_input_rejected(self):
+        spec = InputSpec(3, 8, 8)
+        nodes = [_node(_conv("a", 3, 8), "ghost")]
+        with pytest.raises(ShapeError):
+            Graph("bad", spec, nodes)
+
+    def test_cycle_rejected(self):
+        spec = InputSpec(3, 8, 8)
+        nodes = [
+            _node(_conv("a", 3, 8), "b"),
+            _node(_conv("b", 8, 8), "a"),
+        ]
+        with pytest.raises(ShapeError):
+            Graph("bad", spec, nodes)
+
+    def test_topo_order_is_declaration_stable(self):
+        graph = _branch_graph()
+        order = graph.topo_order
+        assert order == graph.topo_order  # deterministic across calls
+        positions = {name: i for i, name in enumerate(order)}
+        for info in graph.infos:
+            node = graph.node(info.name)
+            for src in node.inputs:
+                if src == graph.input_name:
+                    continue
+                assert positions[src] < positions[info.name]
+
+
+class TestDecomposition:
+    def test_chain_decomposes_to_leaves(self, tiny_net):
+        tree = Graph.from_network(tiny_net).decompose()
+        assert isinstance(tree, SPSeries)
+        assert all(isinstance(b, SPLeaf) for b in tree.blocks)
+
+    def test_branch_decomposes_to_parallel_block(self):
+        tree = _branch_graph().decompose()
+        kinds = [type(b).__name__ for b in tree.blocks]
+        assert "SPParallel" in kinds
+        block = next(b for b in tree.blocks if isinstance(b, SPParallel))
+        assert block.join == "join"
+        assert len(block.branches) == 2
+
+    def test_resnet_identity_branch(self):
+        tree = models.tiny_resnet().decompose()
+        block = next(b for b in tree.blocks if isinstance(b, SPParallel))
+        # The skip connection shows up as an empty series branch.
+        lens = sorted(len(branch.blocks) for branch in block.branches)
+        assert lens[0] == 0 and lens[-1] >= 1
+
+    def test_non_sp_graph_rejected(self):
+        spec = InputSpec(3, 8, 8)
+        # Bridge: c feeds both joins, j1 sits inside j2's branch.
+        nodes = [
+            _node(_conv("a", 3, 8), "data"),
+            _node(_conv("b", 8, 8), "a"),
+            _node(_conv("c", 8, 8), "a"),
+            _node(EltwiseLayer("j1"), "b", "c"),
+            _node(ConcatLayer("j2"), "j1", "c"),
+        ]
+        graph = Graph("bridge", spec, nodes)
+        with pytest.raises(ShapeError, match="series-parallel"):
+            graph.decompose()
+
+
+class TestSubgraph:
+    def test_subgraph_preserves_shapes(self):
+        graph = _branch_graph()
+        sub = graph.subgraph(
+            ("b1", "b3", "join"),
+            "tiny_branch[b1..join]",
+            input_name="conv1",
+            input_spec=InputSpec(*graph.producer_shape("conv1")),
+        )
+        assert len(sub) == 3
+        assert sub.producer_shape("join") == graph.producer_shape("join")
+
+    def test_accelerated_subgraph_googlenet(self):
+        graph = models.googlenet_graph()
+        acc = graph.accelerated_subgraph()
+        assert len(acc) <= len(graph)
+        assert acc.total_ops() <= graph.total_ops()
+
+
+class TestFunctional:
+    def test_forward_graph_matches_chain_forward(self, tiny_net, rng):
+        graph = Graph.from_network(tiny_net)
+        weights = init_graph_weights(graph, np.random.default_rng(7))
+        data = rng.normal(0, 0.5, tiny_net.input_spec.shape)
+        expected = forward(tiny_net, data, weights)
+        out = forward_graph(graph, data, weights)
+        np.testing.assert_allclose(out, expected)
+
+    def test_branch_forward_shapes(self, rng):
+        graph = _branch_graph()
+        weights = init_graph_weights(graph, np.random.default_rng(7))
+        data = rng.normal(0, 0.5, graph.input_spec.shape)
+        out = forward_graph(graph, data, weights)
+        assert out.shape == graph.output_shape
+
+
+class TestCaffeGraph:
+    def test_googlenet_roundtrip(self):
+        graph = models.googlenet_graph()
+        text = graph_to_prototxt(graph)
+        back = graph_from_prototxt(text)
+        assert len(back) == len(graph)
+        assert [i.name for i in back.infos] == [i.name for i in graph.infos]
+        assert back.total_ops() == graph.total_ops()
+
+    def test_model_from_prototxt_keeps_chains_as_networks(self, tiny_net):
+        from repro.nn.caffe import network_to_prototxt
+
+        text = network_to_prototxt(tiny_net)
+        model = model_from_prototxt(text)
+        assert isinstance(model, Network)
+
+    def test_model_from_prototxt_returns_graph_for_branches(self):
+        text = graph_to_prototxt(models.tiny_resnet())
+        model = model_from_prototxt(text)
+        assert isinstance(model, Graph)
+        assert not model.is_chain
+
+    def test_unknown_bottom_is_one_line_parse_error(self):
+        text = "\n".join(
+            [
+                'name: "bad"',
+                'input: "data"',
+                "input_dim: 1",
+                "input_dim: 3",
+                "input_dim: 8",
+                "input_dim: 8",
+                "layer {",
+                '  name: "conv1"',
+                '  type: "Convolution"',
+                '  bottom: "ghost"',
+                '  top: "conv1"',
+                "  convolution_param { num_output: 8 kernel_size: 3 pad: 1 }",
+                "}",
+            ]
+        )
+        with pytest.raises(ParseError) as err:
+            graph_from_prototxt(text)
+        message = str(err.value)
+        assert "\n" not in message
+        assert "line" in message and "bottom" in message
+
+    def test_non_sp_prototxt_is_one_line_parse_error(self):
+        # Bridge topology: c feeds both joins, so the graph parses but
+        # fails series-parallel validation with a one-line error.
+        text = "\n".join(
+            [
+                'name: "bridge"',
+                'input: "data"',
+                "input_dim: 1",
+                "input_dim: 3",
+                "input_dim: 8",
+                "input_dim: 8",
+                _conv_proto("a", "data", 8),
+                _conv_proto("b", "a", 8),
+                _conv_proto("c", "a", 8),
+                'layer { name: "j1" type: "Eltwise" bottom: "b" bottom: "c"'
+                ' top: "j1" }',
+                'layer { name: "j2" type: "Concat" bottom: "j1" bottom: "c"'
+                ' top: "j2" concat_param { axis: 1 } }',
+            ]
+        )
+        with pytest.raises(ParseError) as err:
+            graph_from_prototxt(text)
+        message = str(err.value)
+        assert "\n" not in message
+        assert "line" in message
+
+    def test_unsupported_concat_axis_names_line_and_field(self):
+        text = "\n".join(
+            [
+                'name: "bad_axis"',
+                'input: "data"',
+                "input_dim: 1",
+                "input_dim: 3",
+                "input_dim: 8",
+                "input_dim: 8",
+                _conv_proto("a", "data", 8),
+                _conv_proto("b", "data", 8),
+                'layer { name: "cat" type: "Concat" bottom: "a" bottom: "b"'
+                ' top: "cat" concat_param { axis: 2 } }',
+            ]
+        )
+        with pytest.raises(ParseError) as err:
+            graph_from_prototxt(text)
+        message = str(err.value)
+        assert "\n" not in message
+        assert "axis" in message
+
+
+def _conv_proto(name: str, bottom: str, num_output: int) -> str:
+    return (
+        f'layer {{ name: "{name}" type: "Convolution" bottom: "{bottom}" '
+        f'top: "{name}" convolution_param {{ num_output: {num_output} '
+        f"kernel_size: 3 pad: 1 }} }}"
+    )
