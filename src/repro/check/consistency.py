@@ -189,10 +189,13 @@ def doctor(deep: bool = False, workdir=None) -> DoctorReport:
     compile on the test device, strategy invariants, envelope round-trip
     plus corruption detection, simulator functional + latency
     consistency, a cost-store corruption/self-heal probe, a two-board
-    partition with plan invariants and its own round-trip, and a DAG
+    partition with plan invariants and its own round-trip, a DAG
     probe (graph-DP chain degeneracy, branch invariants, graph-simulator
-    functional agreement).  Deep level adds the DP-vs-exhaustive-oracle
-    equivalence and a short serving smoke run.
+    functional agreement), and a traffic-determinism probe (same spec +
+    seed => bit-identical trace digest, stable through the artifact
+    round-trip).  Deep level adds the DP-vs-exhaustive-oracle
+    equivalence, a short serving smoke run, and the multi-tenant
+    degeneracy check (one default tenant == FleetScheduler exactly).
     """
     import tempfile
     from pathlib import Path
@@ -376,6 +379,60 @@ def doctor(deep: bool = False, workdir=None) -> DoctorReport:
             f"functional error {error:.1e}"
         )
 
+    def traffic_probe() -> str:
+        from repro.traffic import TrafficTrace, load_trace
+
+        specs = {
+            "a": "poisson:mean=5000",
+            "b": "mmpp:mean=8000,burst=4",
+        }
+        first = TrafficTrace.record(specs, num_requests=64, seed=7)
+        again = TrafficTrace.record(specs, num_requests=64, seed=7)
+        if first.digest() != again.digest():
+            raise ReproError(
+                "traffic generation is not deterministic: the same spec "
+                "and seed produced different digests"
+            )
+        path = Path(state["dir"]) / "doctor_trace.json"
+        first.save(path)
+        if load_trace(path).digest() != first.digest():
+            raise ReproError("trace round-trip changed the digest")
+        other = TrafficTrace.record(specs, num_requests=64, seed=8)
+        if other.digest() == first.digest():
+            raise ReproError("different seeds produced an identical trace")
+        return (
+            f"digest {first.digest()[:12]} stable across regeneration "
+            f"and round-trip"
+        )
+
+    def capacity_degeneracy() -> str:
+        from repro.capacity import MultiTenantScheduler
+        from repro.serve.scheduler import FleetScheduler, synthetic_arrivals
+        import numpy as np
+
+        strategy = state["compiled"].strategy
+        single = FleetScheduler.for_strategy(strategy, replicas=2, verify=False)
+        arrivals = synthetic_arrivals(
+            48,
+            single.saturating_interarrival(1.5),
+            np.random.default_rng(0),
+        )
+        expected = single.run(arrivals)
+        shared = MultiTenantScheduler.for_strategies(
+            {strategy.network.name: strategy}, verify=False, replicas=2
+        )
+        outcome = shared.run({strategy.network.name: arrivals})
+        got = outcome.per_tenant[strategy.network.name]
+        if got.records != expected.records or got.failures != expected.failures:
+            raise ReproError(
+                "a single-tenant MultiTenantScheduler diverged from "
+                "FleetScheduler on the same trace"
+            )
+        return (
+            f"single tenant reproduces FleetScheduler bit-exactly "
+            f"({len(got.records)} records)"
+        )
+
     def dp_oracle() -> str:
         from repro.hardware.device import get_device
         from repro.nn import models
@@ -412,8 +469,10 @@ def doctor(deep: bool = False, workdir=None) -> DoctorReport:
         _run("cost-store", cost_store_probe, results)
         _run("partition-plan", partition_checks, results)
         _run("dag-probe", dag_probe, results)
+        _run("traffic-determinism", traffic_probe, results)
         if deep:
             _run("dp-vs-oracle", dp_oracle, results)
             if "compiled" in state:
                 _run("serving-smoke", serving_smoke, results)
+                _run("capacity-degeneracy", capacity_degeneracy, results)
     return DoctorReport(results, deep=deep)

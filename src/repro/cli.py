@@ -9,6 +9,7 @@ Usage (also via ``python -m repro``)::
     repro sweep-grid --out DIR [...]  # parallel, resumable design-space sweep
     repro partition MODEL [options]   # split a model across a device fleet
     repro serve-sim MODEL [options]   # batched multi-replica serving sim
+    repro plan-capacity --tenant ...  # SLO-aware multi-tenant fleet sizing
     repro winograd M R                # print F(M, R) transform matrices
     repro check ARTIFACT [...]        # validate saved strategy/plan files
     repro cache {stats,gc,clear}      # maintain the persistent cost store
@@ -36,7 +37,7 @@ from repro.nn import models
 from repro.nn.caffe import model_from_prototxt
 from repro.nn.graph import Graph
 from repro.optimizer.dp import optimize_many
-from repro.reporting import format_ratio, format_table
+from repro.reporting import format_energy, format_ratio, format_table
 from repro.serve.scheduler import Policy
 from repro.toolflow import GraphCompileResult, compile_model
 
@@ -84,6 +85,25 @@ def _load_model(name_or_path: str):
     raise ReproError(
         f"{name_or_path!r} is neither a model-zoo name ({', '.join(names)}) "
         "nor an existing prototxt file"
+    )
+
+
+def _strategy_energy(result) -> Optional[tuple]:
+    """(J/inference, board W) for a chain compile; None for graph results.
+
+    Backed by the same :mod:`repro.hardware.power` helper the capacity
+    planner charges per request, so ``repro compile --stats`` and
+    ``repro plan-capacity`` always quote the same number.
+    """
+    if isinstance(result, GraphCompileResult):
+        return None
+    from repro.hardware.power import device_power_model
+
+    strategy = result.strategy
+    power_model = device_power_model(strategy.device)
+    return (
+        power_model.strategy_energy_per_inference_j(strategy),
+        power_model.strategy_power_w(strategy),
     )
 
 
@@ -183,17 +203,31 @@ def _cmd_compile(args: argparse.Namespace) -> int:
             payload = strategy_to_dict(strategy)
         payload["latency_seconds"] = strategy.latency_seconds()
         payload["effective_gops"] = strategy.effective_gops()
-        if args.stats and result.telemetry is not None:
-            payload["telemetry"] = result.telemetry.to_dict()
+        if args.stats:
+            if result.telemetry is not None:
+                payload["telemetry"] = result.telemetry.to_dict()
+            energy = _strategy_energy(result)
+            if energy is not None:
+                payload["energy_per_inference_j"] = energy[0]
+                payload["board_power_w"] = energy[1]
         if args.simulate:
             sim = result.simulate()
             payload["simulated_cycles"] = sim.latency_cycles
         print(json.dumps(payload, indent=2))
         return 0
     print(result.strategy.report())
-    if args.stats and result.telemetry is not None:
-        print()
-        print(result.telemetry.summary())
+    if args.stats:
+        energy = _strategy_energy(result)
+        if energy is not None:
+            joules, watts = energy
+            print(
+                f"\nenergy per inference: {format_energy(joules)} "
+                f"({watts:.2f} W board power; the capacity planner's "
+                f"per-request energy charge)"
+            )
+        if result.telemetry is not None:
+            print()
+            print(result.telemetry.summary())
     if args.out:
         print(f"\nHLS project written to {args.out}")
     if args.simulate:
@@ -468,15 +502,126 @@ def _serve_partition(plan, args: argparse.Namespace):
     )
 
 
-def _cmd_serve_sim(args: argparse.Namespace) -> int:
-    import numpy as np
+def _unique_tenant_names(names: List[str]) -> List[str]:
+    """Disambiguate duplicate model names: vgg_e, vgg_e-2, vgg_e-3, ..."""
+    seen: dict = {}
+    unique = []
+    for name in names:
+        seen[name] = seen.get(name, 0) + 1
+        unique.append(name if seen[name] == 1 else f"{name}-{seen[name]}")
+    return unique
 
+
+def _serve_sim_multi(
+    args: argparse.Namespace, model_specs: List[str], fault_seed: int
+) -> int:
+    """Multi-tenant serve-sim: several models sharing one replica fleet."""
+    from repro.capacity import MultiTenantScheduler
+    from repro.traffic import REFERENCE_FREQUENCY_HZ, TrafficTrace, load_trace
+
+    device = get_device(args.device)
+    networks = [_load_model(spec) for spec in model_specs]
+    if any(isinstance(network, Graph) for network in networks):
+        raise ReproError(
+            "serve-sim serves linear models; flatten branching graphs first"
+        )
+    names = _unique_tenant_names([network.name for network in networks])
+    if args.trace:
+        trace = load_trace(args.trace)
+        if len(trace.tenants) != len(networks):
+            raise ReproError(
+                f"trace {args.trace} holds {len(trace.tenants)} tenant "
+                f"stream(s) for {len(networks)} model(s); counts must match "
+                "(streams map to models by position)"
+            )
+        names = [tenant.name for tenant in trace.tenants]
+    else:
+        if not args.arrival:
+            raise ReproError(
+                "multi-tenant serve-sim needs an arrival model: pass "
+                "--arrival with '|'-separated specs, or --trace"
+            )
+        specs = [spec.strip() for spec in args.arrival.split("|")]
+        if len(specs) == 1:
+            specs = specs * len(networks)
+        if len(specs) != len(networks):
+            raise ReproError(
+                f"{len(specs)} arrival spec(s) for {len(networks)} "
+                "model(s); pass one spec per model ('|'-separated) or a "
+                "single spec shared by all"
+            )
+        trace = TrafficTrace.record(
+            dict(zip(names, specs)),
+            num_requests=args.requests,
+            seed=args.seed,
+        )
+    weights = None
+    if args.weights:
+        values = [float(w) for w in args.weights.split(",")]
+        if len(values) != len(names):
+            raise ReproError(
+                f"{len(values)} weight(s) for {len(names)} tenant(s)"
+            )
+        weights = dict(zip(names, values))
+    strategies = {}
+    for name, network in zip(names, networks):
+        compiled = compile_model(
+            network,
+            device=args.device,
+            transfer_constraint_bytes=args.transfer,
+            verify=not args.no_verify,
+        )
+        strategies[name] = compiled.strategy
+    scheduler = MultiTenantScheduler.for_strategies(
+        strategies,
+        weights=weights,
+        slo_cycles={name: args.slo for name in names} if args.slo else None,
+        verify=not args.no_verify,
+        replicas=args.replicas,
+        policy=args.policy,
+        sharing=args.sharing,
+        max_batch=args.max_batch,
+        max_wait_cycles=args.max_wait,
+        faults=args.faults,
+        fault_seed=fault_seed,
+        max_queue=args.max_queue,
+    )
+    scale = device.frequency_hz / REFERENCE_FREQUENCY_HZ
+    result = scheduler.run_trace(trace, scale=scale)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    source = (
+        f"replayed trace {args.trace}"
+        if args.trace
+        else f"generated trace (seed {args.seed})"
+    )
+    print(
+        f"serving {len(names)} tenant(s) on {args.replicas} x {args.device} "
+        f"(policy {args.policy}, max batch {args.max_batch}, {source})"
+    )
+    if args.faults:
+        print(f"fault schedule: {args.faults!r} (fault seed {fault_seed})")
+    print()
+    print(result.summary())
+    return 0
+
+
+def _cmd_serve_sim(args: argparse.Namespace) -> int:
     if args.faults:
         # Parse eagerly: a bad spec fails in milliseconds, before the
         # compile step runs.
         from repro.faults import FaultSpec
 
         FaultSpec.parse(args.faults)
+    fault_seed = args.fault_seed if args.fault_seed is not None else args.seed
+    model_specs = [args.model] + (
+        [m.strip() for m in args.models.split(",") if m.strip()]
+        if args.models
+        else []
+    )
+    if args.trace or len(model_specs) > 1:
+        return _serve_sim_multi(args, model_specs, fault_seed)
     network = _load_model(args.model)
     result = compile_model(
         network,
@@ -490,16 +635,36 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_wait_cycles=args.max_wait,
         faults=args.faults,
-        fault_seed=args.fault_seed if args.fault_seed is not None else args.seed,
+        fault_seed=fault_seed,
         max_queue=args.max_queue,
         slo_cycles=args.slo,
         verify=not args.no_verify,
     )
-    serving = fleet.run_open_loop(
-        num_requests=args.requests,
-        load=args.load,
-        rng=np.random.default_rng(args.seed),
-    )
+    if args.arrival:
+        from repro.traffic import REFERENCE_FREQUENCY_HZ, TrafficTrace
+
+        trace = TrafficTrace.record(
+            {network.name: args.arrival},
+            num_requests=args.requests,
+            seed=args.seed,
+        )
+        scale = get_device(args.device).frequency_hz / REFERENCE_FREQUENCY_HZ
+        tenant = trace.scaled(scale).tenants[0]
+        serving = fleet.run(tenant.cycles, arrival=tenant.arrival_meta())
+        load_line = (
+            f"arrival trace: {args.requests} requests from "
+            f"{tenant.spec!r} (seed {args.seed})"
+        )
+    else:
+        serving = fleet.run_open_loop(
+            num_requests=args.requests,
+            load=args.load,
+            seed=args.seed,
+        )
+        load_line = (
+            f"open-loop trace: {args.requests} requests at {args.load:.2f}x "
+            f"one replica's peak rate (seed {args.seed})"
+        )
     if args.json:
         print(json.dumps(serving.metrics.to_dict(), indent=2))
         return 0
@@ -508,15 +673,119 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         f"(policy {args.policy}, max batch {args.max_batch}, "
         f"strategy latency {result.strategy.latency_cycles:,} cycles)"
     )
-    print(
-        f"open-loop trace: {args.requests} requests at {args.load:.2f}x one "
-        f"replica's peak rate (seed {args.seed})"
-    )
+    print(load_line)
     if args.faults:
-        print(f"fault schedule: {args.faults!r} (fault seed "
-              f"{args.fault_seed if args.fault_seed is not None else args.seed})")
+        print(f"fault schedule: {args.faults!r} (fault seed {fault_seed})")
     print()
     print(serving.summary())
+    return 0
+
+
+_TENANT_SPEC_KEYS = {
+    "name", "model", "arrival", "requests", "slo-ms", "goodput",
+    "weight", "priority", "min-share",
+}
+
+
+def _parse_tenant_demand(text: str):
+    """Parse one ``--tenant`` spec into a TenantDemand.
+
+    Fields are ';'-separated ``key=value`` pairs (';' because arrival
+    specs themselves contain ':' and ','), e.g.::
+
+        name=vision;model=vgg_e;arrival=diurnal:mean=9000,period=2e6;slo-ms=5
+    """
+    from repro.capacity import TenantDemand
+
+    fields = {}
+    for part in text.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        key = key.strip()
+        if not sep or key not in _TENANT_SPEC_KEYS:
+            raise ReproError(
+                f"bad --tenant field {part!r} (expected key=value with key "
+                f"in {sorted(_TENANT_SPEC_KEYS)})"
+            )
+        fields[key] = value.strip()
+    missing = {"name", "model", "arrival"} - fields.keys()
+    if missing:
+        raise ReproError(
+            f"--tenant spec {text!r} is missing {sorted(missing)}"
+        )
+    return TenantDemand(
+        name=fields["name"],
+        model=_load_model(fields["model"]),
+        arrival=fields["arrival"],
+        num_requests=int(fields.get("requests", 200)),
+        slo_latency_s=(
+            float(fields["slo-ms"]) / 1e3 if "slo-ms" in fields else None
+        ),
+        min_goodput_rps=(
+            float(fields["goodput"]) if "goodput" in fields else None
+        ),
+        weight=float(fields["weight"]) if "weight" in fields else None,
+        priority=int(fields.get("priority", 0)),
+        min_share=float(fields.get("min-share", 0.0)),
+    )
+
+
+def _cmd_plan_capacity(args: argparse.Namespace) -> int:
+    from repro.capacity import plan_capacity, plan_per_model_fleets
+
+    demands = [_parse_tenant_demand(spec) for spec in args.tenant]
+    devices = [d.strip() for d in args.devices.split(",") if d.strip()]
+    batch_sizes = [int(b) for b in args.batch_sizes.split(",")]
+    store = _store_from_args(args)
+    common = dict(
+        devices=devices,
+        max_replicas=args.max_replicas,
+        batch_sizes=batch_sizes,
+        policy=args.policy,
+        seed=args.seed,
+        faults=args.faults,
+        fault_seed=args.fault_seed,
+        transfer_constraint_bytes=args.transfer,
+        store=store,
+        verify=not args.no_verify,
+    )
+    plan = plan_capacity(
+        demands,
+        sharing=args.sharing,
+        log=None if args.json else print,
+        **common,
+    )
+    baseline = (
+        plan_per_model_fleets(demands, **common) if args.baseline else None
+    )
+    if args.json:
+        payload = plan.to_payload()
+        if baseline is not None:
+            payload["baseline"] = {
+                "board_cost": baseline.board_cost,
+                "energy_j": baseline.energy_j,
+                "fleets": baseline.fleets,
+            }
+        print(json.dumps(payload, indent=2))
+    else:
+        print()
+        print(plan.summary())
+        if baseline is not None:
+            print()
+            print(baseline.summary())
+            saved = baseline.board_cost - plan.board_cost
+            print(
+                f"consolidation saves {saved:.2f} board-cost unit(s) "
+                f"({saved / baseline.board_cost * 100:.0f}%) and "
+                f"{format_energy(baseline.energy_j - plan.energy_j)} "
+                "vs dedicated per-model fleets"
+            )
+    if args.save:
+        path = plan.save(args.save)
+        if not args.json:
+            print(f"\ncapacity plan written to {path}")
     return 0
 
 
@@ -531,6 +800,19 @@ def _check_one(path: Path, model: Optional[str]) -> List[str]:
         # The embedded codegen blob is a report, not a loadable strategy;
         # envelope integrity (checksum, digests, schema) is the check.
         print(f"{path}: envelope integrity ok")
+        return []
+    if envelope.kind == "traffic_trace":
+        # Schema-validate by loading; the digest is the determinism witness.
+        from repro.traffic import load_trace
+
+        trace = load_trace(path)
+        print(f"{path}: {trace.summary().splitlines()[0]}")
+        return []
+    if envelope.kind == "capacity_plan":
+        from repro.capacity import load_capacity_plan
+
+        plan = load_capacity_plan(path)
+        print(f"{path}: {plan.summary().splitlines()[0]}")
         return []
 
     name = model or envelope.payload.get("network")
@@ -880,6 +1162,33 @@ def build_parser() -> argparse.ArgumentParser:
         "rate (default 1.5: saturates a single replica)",
     )
     serve_p.add_argument(
+        "--arrival", default=None, metavar="SPEC",
+        help="generate the trace from an arrival-process spec at the "
+        "100 MHz reference clock instead of --load, e.g. "
+        "'diurnal:mean=9000,period=2e6,depth=0.8' "
+        "('|'-separated list in multi-tenant mode)",
+    )
+    serve_p.add_argument(
+        "--models", default=None, metavar="LIST",
+        help="comma-separated co-tenant models sharing the fleet "
+        "(multi-tenant mode; see --weights and --sharing)",
+    )
+    serve_p.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="replay a recorded traffic_trace artifact; tenant streams "
+        "map to models by position",
+    )
+    serve_p.add_argument(
+        "--weights", default=None, metavar="LIST",
+        help="comma-separated weighted-fair scheduler weights, one per "
+        "model (default: 1 each)",
+    )
+    serve_p.add_argument(
+        "--sharing", default="weighted_fair",
+        choices=["weighted_fair", "strict_priority"],
+        help="multi-tenant sharing discipline (default weighted_fair)",
+    )
+    serve_p.add_argument(
         "--max-batch", type=int, default=8, help="dynamic batch size cap"
     )
     serve_p.add_argument(
@@ -924,6 +1233,81 @@ def build_parser() -> argparse.ArgumentParser:
         "(output is bit-identical when verification passes)",
     )
     serve_p.set_defaults(func=_cmd_serve_sim)
+
+    plan_p = sub.add_parser(
+        "plan-capacity",
+        help="size a shared multi-tenant fleet to meet per-model SLOs",
+    )
+    plan_p.add_argument(
+        "--tenant", action="append", required=True, metavar="SPEC",
+        help="one tenant demand as ';'-separated key=value fields: "
+        "'name=vision;model=vgg_e;arrival=diurnal:mean=9000,period=2e6;"
+        "slo-ms=5;requests=200;goodput=100;weight=2;priority=1;"
+        "min-share=0.2' (name, model, arrival required; repeatable)",
+    )
+    plan_p.add_argument(
+        "--devices", default="zc706",
+        help="comma-separated candidate devices; each fleet is "
+        "homogeneous (default zc706)",
+    )
+    plan_p.add_argument(
+        "--max-replicas", type=int, default=4,
+        help="largest replica count to try per device (default 4)",
+    )
+    plan_p.add_argument(
+        "--batch-sizes", default="1,4,8",
+        help="comma-separated dynamic-batch caps to try (default 1,4,8)",
+    )
+    plan_p.add_argument(
+        "--policy", default="least_loaded",
+        choices=[p.value for p in Policy],
+        help="batch placement policy",
+    )
+    plan_p.add_argument(
+        "--sharing", default="weighted_fair",
+        choices=["weighted_fair", "strict_priority"],
+        help="sharing discipline of the planned fleet",
+    )
+    plan_p.add_argument(
+        "--seed", type=int, default=0,
+        help="traffic seed; the same seed replays the identical trace "
+        "in any later re-plan",
+    )
+    plan_p.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="stress-test candidates under this deterministic fault "
+        "schedule; the plan then meets its SLOs under that disturbance",
+    )
+    plan_p.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the transient-failure draws (default 0)",
+    )
+    plan_p.add_argument(
+        "--transfer", type=_parse_size, default=None,
+        help="feature-map transfer constraint for the compile steps",
+    )
+    plan_p.add_argument(
+        "--baseline", action="store_true",
+        help="also price dedicated per-model fleets for comparison",
+    )
+    plan_p.add_argument(
+        "--save", default=None, metavar="PATH",
+        help="write the chosen plan here as a capacity_plan artifact",
+    )
+    plan_p.add_argument(
+        "--json", action="store_true",
+        help="emit the plan as JSON instead of the summary",
+    )
+    plan_p.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the admission-time invariant validators",
+    )
+    plan_p.add_argument(
+        "--cache", nargs="?", const="", default=None, metavar="DIR",
+        help="warm the per-device compiles from (and persist them to) an "
+        "on-disk cost store",
+    )
+    plan_p.set_defaults(func=_cmd_plan_capacity)
 
     wino_p = sub.add_parser("winograd", help="print F(m, r) transform matrices")
     wino_p.add_argument("m", type=int)

@@ -87,3 +87,14 @@ class ArtifactVersionError(ArtifactError):
 class ArtifactMismatchError(ArtifactError):
     """The artifact is intact but does not belong to the given
     network/device/fleet, or drifted from the current cost model."""
+
+
+class TrafficError(ReproError):
+    """A traffic/arrival-process specification is malformed
+    (see repro.traffic)."""
+
+
+class CapacityError(ReproError):
+    """Multi-tenant serving or capacity planning was misconfigured, or
+    no fleet configuration can meet the requested SLOs
+    (see repro.capacity)."""

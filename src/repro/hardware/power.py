@@ -86,6 +86,49 @@ class PowerModel:
             raise ResourceError("latency must be positive to average power")
         return self.design_energy_j(usage, latency_s, transfer_bytes, frequency_hz) / latency_s
 
+    def strategy_power_w(self, strategy) -> float:
+        """Board power while a compiled strategy is executing.
+
+        Fabric static + dynamic at the strategy's peak resource usage and
+        its device clock (DRAM transfer energy is accounted separately,
+        per inference).
+        """
+        return self.fabric_power_w(
+            strategy.peak_resources, strategy.device.frequency_hz
+        )
+
+    def strategy_transfer_bytes(self, strategy) -> float:
+        """DRAM bytes one inference moves (feature maps + weights)."""
+        return float(
+            strategy.feature_transfer_bytes + strategy.weight_transfer_bytes
+        )
+
+    def strategy_energy_per_inference_j(self, strategy) -> float:
+        """Joules one inference costs on a fully-utilized board.
+
+        Board power (static + dynamic fabric) over the strategy's
+        latency, plus the DRAM energy of its feature-map and weight
+        traffic.  This is the number ``repro compile --stats`` prints and
+        the capacity planner's energy objective builds on — one shared
+        definition so the CLI and the planner always agree.
+        """
+        return self.strategy_power_w(strategy) * strategy.latency_seconds() + (
+            self.transfer_energy_j(self.strategy_transfer_bytes(strategy))
+        )
+
+    def strategy_dynamic_energy_per_inference_j(self, strategy) -> float:
+        """The marginal (static-free) energy of one more inference.
+
+        Dynamic fabric power over the strategy latency plus DRAM
+        transfer energy.  The planner charges this per completed request
+        and accounts static power separately per board over the serving
+        makespan, so idle boards cost energy too.
+        """
+        dynamic_w = self.strategy_power_w(strategy) - self.static_w
+        return dynamic_w * strategy.latency_seconds() + self.transfer_energy_j(
+            self.strategy_transfer_bytes(strategy)
+        )
+
     def energy_efficiency_gops_per_w(
         self,
         ops: float,

@@ -53,3 +53,17 @@ def _is_numeric(cell: str) -> bool:
 def format_ratio(value: float) -> str:
     """Speedup-style formatting: '1.99x'."""
     return f"{value:.2f}x"
+
+
+def format_energy(joules: float) -> str:
+    """Engineering-notation joules: '3.10 mJ', '420.00 uJ', '1.20 J'.
+
+    One formatter shared by ``repro compile --stats``, the capacity
+    planner's reports and the benchmarks, so energy numbers are always
+    comparable at a glance.
+    """
+    magnitude = abs(joules)
+    for factor, unit in ((1.0, "J"), (1e-3, "mJ"), (1e-6, "uJ")):
+        if magnitude >= factor:
+            return f"{joules / factor:.2f} {unit}"
+    return f"{joules / 1e-9:.2f} nJ"

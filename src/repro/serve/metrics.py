@@ -110,6 +110,11 @@ class ServingMetrics:
     retries: int = 0  # re-dispatch attempts beyond each first try
     slo_cycles: Optional[float] = None  # latency SLO this run was judged by
     slo_attainment: Optional[float] = None  # completed fraction within SLO
+    #: Self-describing load model: the arrival process name, its
+    #: parameters and the RNG seed that generated the trace — so a
+    #: metrics payload alone is enough to replay the run bit-identically
+    #: (None for hand-built traces with no recorded provenance).
+    arrival: Optional[dict] = None
 
     @property
     def offered(self) -> int:
@@ -176,6 +181,7 @@ class ServingMetrics:
             "reference_gops": self.reference_gops,
             "slo_cycles": self.slo_cycles,
             "slo_attainment": self.slo_attainment,
+            "arrival": self.arrival,
             "replicas": [
                 {
                     "replica_id": s.replica_id,
@@ -266,6 +272,7 @@ def aggregate_metrics(
     failures: Sequence[RequestRecord] = (),
     retries: int = 0,
     slo_cycles: Optional[float] = None,
+    arrival: Optional[dict] = None,
 ) -> ServingMetrics:
     """Fold request records + replica counters into a ServingMetrics.
 
@@ -313,4 +320,5 @@ def aggregate_metrics(
         retries=retries,
         slo_cycles=slo_cycles,
         slo_attainment=slo_attainment,
+        arrival=arrival,
     )

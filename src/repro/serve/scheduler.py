@@ -341,8 +341,18 @@ class FleetScheduler:
         """Health of every replica at ``clock`` (up/draining/down)."""
         return [replica.health(clock, injector) for replica in fleet]
 
-    def run(self, arrival_cycles: Sequence[float]) -> ServingResult:
-        """Serve an arrival trace to completion and aggregate metrics."""
+    def run(
+        self,
+        arrival_cycles: Sequence[float],
+        arrival: Optional[dict] = None,
+    ) -> ServingResult:
+        """Serve an arrival trace to completion and aggregate metrics.
+
+        ``arrival`` is optional self-describing provenance of the trace
+        (process name, parameters, seed) stamped verbatim into the
+        metrics so a ``--json`` payload alone suffices to replay the
+        run; it does not affect scheduling.
+        """
         if len(arrival_cycles) == 0:
             raise ServingError("cannot serve an empty arrival trace")
         arrivals = sorted(float(t) for t in arrival_cycles)
@@ -527,6 +537,7 @@ class FleetScheduler:
             failures=failures,
             retries=retries,
             slo_cycles=self.slo_cycles,
+            arrival=arrival,
         )
         return ServingResult(
             records=tuple(records),
@@ -540,14 +551,30 @@ class FleetScheduler:
         load: float = 1.0,
         rng: Optional[np.random.Generator] = None,
         pattern: str = "poisson",
+        seed: Optional[int] = None,
     ) -> ServingResult:
         """Serve a synthetic open-loop trace.
 
         ``load`` is the offered rate relative to one replica's peak
         full-batch throughput: ``load=1.0`` saturates a single replica,
         ``load=4.0`` offers enough traffic to keep four busy.
+
+        Pass ``seed`` instead of ``rng`` to both seed the trace and
+        stamp full replay provenance (process, parameters, seed) into
+        the resulting metrics; an explicit ``rng`` wins but leaves the
+        seed field of the provenance unset.
         """
-        arrivals = synthetic_arrivals(
-            num_requests, self.saturating_interarrival(load), rng, pattern
-        )
-        return self.run(arrivals)
+        known_seed: Optional[int] = None
+        if rng is None:
+            known_seed = 0 if seed is None else seed
+            rng = np.random.default_rng(known_seed)
+        mean_gap = self.saturating_interarrival(load)
+        arrivals = synthetic_arrivals(num_requests, mean_gap, rng, pattern)
+        meta = {
+            "process": pattern,
+            "seed": known_seed,
+            "load": load,
+            "num_requests": num_requests,
+            "mean_interarrival_cycles": mean_gap,
+        }
+        return self.run(arrivals, arrival=meta)

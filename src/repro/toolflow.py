@@ -552,3 +552,21 @@ def sweep_grid(
     return _sweep(
         spec, out_dir, store=store, workers=workers, resume=resume, log=log
     )
+
+
+def plan_capacity(demands, **kwargs):
+    """Size a shared multi-tenant fleet against per-model SLOs.
+
+    The serving-capacity sibling of :func:`sweep_grid`: each
+    :class:`repro.capacity.TenantDemand` pairs a model with its traffic
+    (a :mod:`repro.traffic` arrival spec) and SLOs, and the planner
+    searches device x replicas x batching x scheduler weights for the
+    cheapest feasible fleet (board cost, then energy), compiling every
+    model through one shared evaluation context.  Keyword arguments are
+    forwarded to :func:`repro.capacity.plan_capacity`; returns the
+    chosen :class:`repro.capacity.CapacityPlan` (CLI
+    ``repro plan-capacity``).
+    """
+    from repro.capacity import plan_capacity as _plan
+
+    return _plan(demands, **kwargs)

@@ -1,0 +1,71 @@
+"""Trace-driven workload generation for the serving layer.
+
+The millions-of-users scenario needs more than a synthetic Poisson
+knob: this package generates deterministic, seeded arrival traces from
+a declarative grammar — Poisson, clockwork, MMPP bursts, diurnal
+sinusoids, Pareto heavy tails, or replayed recordings — and records
+them as checksummed ``traffic_trace`` artifacts that ``repro check``
+validates and ``repro serve-sim --trace`` replays bit-identically.
+
+Typical use::
+
+    from repro.traffic import TrafficTrace
+
+    trace = TrafficTrace.record(
+        {"vgg_e": "diurnal:mean=9000,period=2e6,depth=0.8",
+         "alexnet": "poisson:mean=4000"},
+        num_requests=500, seed=7)
+    print(trace.summary())        # rate, burstiness CV, peak/mean
+    trace.save("trace.json")      # artifact envelope, digest-stable
+
+See ``docs/capacity.md`` for the grammar and the capacity-planning
+workflow built on top (:mod:`repro.capacity`).
+"""
+
+from repro.errors import TrafficError
+from repro.traffic.arrivals import (
+    ARRIVAL_KINDS,
+    REFERENCE_FREQUENCY_HZ,
+    ArrivalProcess,
+    ConstantProcess,
+    DiurnalProcess,
+    MMPPProcess,
+    ParetoProcess,
+    PoissonProcess,
+    TraceReplay,
+    UniformProcess,
+    describe_arrival,
+    generate_arrivals,
+    parse_arrival,
+)
+from repro.traffic.trace import (
+    TRACE_KIND,
+    TenantTrace,
+    TraceSummary,
+    TrafficTrace,
+    load_trace,
+    summarize_arrivals,
+)
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "REFERENCE_FREQUENCY_HZ",
+    "TRACE_KIND",
+    "ArrivalProcess",
+    "ConstantProcess",
+    "DiurnalProcess",
+    "MMPPProcess",
+    "ParetoProcess",
+    "PoissonProcess",
+    "TenantTrace",
+    "TraceReplay",
+    "TraceSummary",
+    "TrafficError",
+    "TrafficTrace",
+    "UniformProcess",
+    "describe_arrival",
+    "generate_arrivals",
+    "load_trace",
+    "parse_arrival",
+    "summarize_arrivals",
+]

@@ -1,0 +1,484 @@
+"""Seeded arrival-process generators for realistic serving traffic.
+
+The serving layer (:mod:`repro.serve`) drives everything off an
+explicit arrival trace on the virtual clock; this module generates
+those traces from a small declarative grammar, so the
+millions-of-users scenarios — diurnal cycles, bursts, heavy tails —
+are reproducible artifacts exactly like the paper's tables: the same
+spec plus the same seed yields a bit-identical trace.
+
+Six process kinds::
+
+    poisson:mean=5000                    # exponential gaps (M/*/k)
+    constant:mean=5000                   # clockwork arrivals
+    uniform:mean=5000                    # gaps uniform in [0, 2*mean)
+    mmpp:mean=5000,burst=8,dwell=2e5     # 2-state Markov-modulated
+                                         # Poisson (calm <-> burst)
+    diurnal:mean=5000,period=2e6,depth=0.8,phase=0.25
+                                         # sinusoidal rate modulation
+    pareto:mean=5000,alpha=1.5           # heavy-tailed (Lomax) gaps
+    trace:path=FILE                      # replay a recorded trace
+
+``mean`` is the mean interarrival gap in **cycles at the 100 MHz
+reference clock** (``rate=`` — requests per cycle — is accepted as the
+reciprocal).  Devices with other clocks rescale traces via
+:meth:`ArrivalProcess` cycle scaling in the capacity planner, so one
+spec describes the same real-time workload on every candidate board.
+
+The grammar mirrors :mod:`repro.faults`: ``kind:key=value,...``,
+malformed specs raise a one-line :class:`TrafficError`.  All draws go
+through one seeded :class:`numpy.random.Generator`; the MMPP uses the
+exact memoryless construction (re-draw the residual gap whenever a
+state boundary is crossed) and the diurnal process uses thinning
+against the peak rate, so both are exact, not approximations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import TrafficError
+
+#: Arrival-spec means are denominated in cycles of this reference clock.
+REFERENCE_FREQUENCY_HZ = 100e6
+
+ARRIVAL_KINDS = ("poisson", "constant", "uniform", "mmpp", "diurnal",
+                 "pareto", "trace")
+
+
+def _positive(value: float, what: str) -> None:
+    if not value > 0 or value != value:
+        raise TrafficError(f"{what} must be positive, got {value}")
+
+
+@dataclass(frozen=True)
+class PoissonProcess:
+    """Memoryless arrivals: gaps ~ Exp(mean)."""
+
+    mean_cycles: float
+
+    kind = "poisson"
+
+    def __post_init__(self):
+        _positive(self.mean_cycles, "poisson mean")
+
+    def mean_interarrival_cycles(self) -> float:
+        return self.mean_cycles
+
+    def gaps(self, num_requests: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.exponential(self.mean_cycles, num_requests)
+
+    def params(self) -> dict:
+        return {"mean": self.mean_cycles}
+
+
+@dataclass(frozen=True)
+class ConstantProcess:
+    """Clockwork arrivals: every gap exactly ``mean`` cycles."""
+
+    mean_cycles: float
+
+    kind = "constant"
+
+    def __post_init__(self):
+        _positive(self.mean_cycles, "constant mean")
+
+    def mean_interarrival_cycles(self) -> float:
+        return self.mean_cycles
+
+    def gaps(self, num_requests: int, rng: np.random.Generator) -> np.ndarray:
+        return np.full(num_requests, float(self.mean_cycles))
+
+    def params(self) -> dict:
+        return {"mean": self.mean_cycles}
+
+
+@dataclass(frozen=True)
+class UniformProcess:
+    """Gaps uniform in [0, 2*mean) — lighter-tailed than Poisson."""
+
+    mean_cycles: float
+
+    kind = "uniform"
+
+    def __post_init__(self):
+        _positive(self.mean_cycles, "uniform mean")
+
+    def mean_interarrival_cycles(self) -> float:
+        return self.mean_cycles
+
+    def gaps(self, num_requests: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(0, 2 * self.mean_cycles, num_requests)
+
+    def params(self) -> dict:
+        return {"mean": self.mean_cycles}
+
+
+@dataclass(frozen=True)
+class MMPPProcess:
+    """Two-state Markov-modulated Poisson process (calm <-> burst).
+
+    In the calm state arrivals are Poisson at rate ``1/mean``; in the
+    burst state the rate is multiplied by ``burst``.  Dwell times are
+    exponential with means ``dwell_cycles`` (calm) and
+    ``burst_dwell_cycles`` (burst, default ``dwell/4``).  Generation is
+    the exact competing-exponential construction: a gap that would cross
+    a state boundary is discarded at the boundary and re-drawn at the
+    new state's rate — valid because the exponential is memoryless.
+    """
+
+    mean_cycles: float
+    burst: float = 10.0
+    dwell_cycles: float = 0.0  # 0 sentinel -> 50x mean in __post_init__
+    burst_dwell_cycles: Optional[float] = None
+
+    kind = "mmpp"
+
+    def __post_init__(self):
+        _positive(self.mean_cycles, "mmpp mean")
+        if self.burst <= 1:
+            raise TrafficError(
+                f"mmpp burst must be > 1 (a rate multiplier), got {self.burst}"
+            )
+        if self.dwell_cycles == 0.0:
+            object.__setattr__(self, "dwell_cycles", 50.0 * self.mean_cycles)
+        _positive(self.dwell_cycles, "mmpp dwell")
+        if self.burst_dwell_cycles is None:
+            object.__setattr__(
+                self, "burst_dwell_cycles", self.dwell_cycles / 4.0
+            )
+        _positive(self.burst_dwell_cycles, "mmpp burst_dwell")
+
+    def mean_interarrival_cycles(self) -> float:
+        """Long-run mean gap (time-weighted over both states)."""
+        calm, burst = self.dwell_cycles, self.burst_dwell_cycles
+        rate = 1.0 / self.mean_cycles
+        mean_rate = (calm * rate + burst * rate * self.burst) / (calm + burst)
+        return 1.0 / mean_rate
+
+    def gaps(self, num_requests: int, rng: np.random.Generator) -> np.ndarray:
+        gaps = np.empty(num_requests)
+        clock = 0.0
+        burst_state = False
+        state_until = rng.exponential(self.dwell_cycles)
+        last_arrival = 0.0
+        for i in range(num_requests):
+            while True:
+                mean = self.mean_cycles / (self.burst if burst_state else 1.0)
+                candidate = clock + rng.exponential(mean)
+                if candidate <= state_until:
+                    clock = candidate
+                    break
+                # No arrival before the state flips: jump to the
+                # boundary and re-draw (memoryless residual).
+                clock = state_until
+                burst_state = not burst_state
+                dwell = (
+                    self.burst_dwell_cycles if burst_state else self.dwell_cycles
+                )
+                state_until = clock + rng.exponential(dwell)
+            gaps[i] = clock - last_arrival
+            last_arrival = clock
+        return gaps
+
+    def params(self) -> dict:
+        return {
+            "mean": self.mean_cycles,
+            "burst": self.burst,
+            "dwell": self.dwell_cycles,
+            "burst_dwell": self.burst_dwell_cycles,
+        }
+
+
+@dataclass(frozen=True)
+class DiurnalProcess:
+    """Sinusoidally rate-modulated Poisson arrivals (day/night cycle).
+
+    The instantaneous rate is ``(1/mean) * (1 + depth*sin(2*pi*(t/period
+    + phase)))``; generation thins a Poisson stream at the peak rate, so
+    the modulation is exact.  ``depth`` in [0, 1): 0 degenerates to a
+    plain Poisson process, 0.9 is a 19x peak-to-trough swing.
+    """
+
+    mean_cycles: float
+    period_cycles: float
+    depth: float = 0.5
+    phase: float = 0.0
+
+    kind = "diurnal"
+
+    def __post_init__(self):
+        _positive(self.mean_cycles, "diurnal mean")
+        _positive(self.period_cycles, "diurnal period")
+        if not 0 <= self.depth < 1:
+            raise TrafficError(
+                f"diurnal depth must be in [0, 1), got {self.depth}"
+            )
+
+    def mean_interarrival_cycles(self) -> float:
+        return self.mean_cycles
+
+    def rate_at(self, cycle: float) -> float:
+        """Instantaneous arrival rate (requests per cycle) at ``cycle``."""
+        base = 1.0 / self.mean_cycles
+        angle = 2.0 * np.pi * (cycle / self.period_cycles + self.phase)
+        return base * (1.0 + self.depth * np.sin(angle))
+
+    def gaps(self, num_requests: int, rng: np.random.Generator) -> np.ndarray:
+        peak = (1.0 + self.depth) / self.mean_cycles
+        gaps = np.empty(num_requests)
+        clock = 0.0
+        last_arrival = 0.0
+        for i in range(num_requests):
+            while True:
+                clock += rng.exponential(1.0 / peak)
+                if rng.random() * peak <= self.rate_at(clock):
+                    break
+            gaps[i] = clock - last_arrival
+            last_arrival = clock
+        return gaps
+
+    def params(self) -> dict:
+        return {
+            "mean": self.mean_cycles,
+            "period": self.period_cycles,
+            "depth": self.depth,
+            "phase": self.phase,
+        }
+
+
+@dataclass(frozen=True)
+class ParetoProcess:
+    """Heavy-tailed (Lomax/Pareto-II) gaps with the requested mean.
+
+    ``alpha`` is the tail index (must exceed 1 for a finite mean;
+    values near 1 give extreme bursts separated by long silences —
+    the self-similar flavour measured on real request streams).
+    """
+
+    mean_cycles: float
+    alpha: float = 1.5
+
+    kind = "pareto"
+
+    def __post_init__(self):
+        _positive(self.mean_cycles, "pareto mean")
+        if self.alpha <= 1:
+            raise TrafficError(
+                f"pareto alpha must be > 1 for a finite mean, got {self.alpha}"
+            )
+
+    def mean_interarrival_cycles(self) -> float:
+        return self.mean_cycles
+
+    def gaps(self, num_requests: int, rng: np.random.Generator) -> np.ndarray:
+        # Generator.pareto(a) samples Lomax(a, scale=1), mean 1/(a-1);
+        # rescale so the gap mean is exactly mean_cycles.
+        scale = self.mean_cycles * (self.alpha - 1.0)
+        return scale * rng.pareto(self.alpha, num_requests)
+
+    def params(self) -> dict:
+        return {"mean": self.mean_cycles, "alpha": self.alpha}
+
+
+@dataclass(frozen=True)
+class TraceReplay:
+    """Replay of a recorded trace file (see :mod:`repro.traffic.trace`).
+
+    The process is a thin pointer; :func:`generate_arrivals` loads the
+    file and returns the recorded cycles verbatim (seed-independent —
+    the determinism lives in the recording).
+    """
+
+    path: str
+
+    kind = "trace"
+
+    def mean_interarrival_cycles(self) -> float:
+        cycles = self._cycles()
+        if len(cycles) < 2:
+            return 0.0
+        return float(cycles[-1] - cycles[0]) / (len(cycles) - 1)
+
+    def _cycles(self) -> List[float]:
+        from repro.traffic.trace import load_trace
+
+        trace = load_trace(self.path)
+        merged: List[float] = []
+        for tenant in trace.tenants:
+            merged.extend(tenant.cycles)
+        if not merged:
+            raise TrafficError(f"trace {self.path!r} holds no arrivals")
+        return sorted(merged)
+
+    def gaps(self, num_requests: int, rng: np.random.Generator) -> np.ndarray:
+        cycles = self._cycles()
+        if num_requests > len(cycles):
+            raise TrafficError(
+                f"trace {self.path!r} holds {len(cycles)} arrivals, "
+                f"{num_requests} requested"
+            )
+        head = np.asarray(cycles[:num_requests], dtype=float)
+        return np.diff(head, prepend=0.0)
+
+    def params(self) -> dict:
+        return {"path": self.path}
+
+
+ArrivalProcess = Union[
+    PoissonProcess,
+    ConstantProcess,
+    UniformProcess,
+    MMPPProcess,
+    DiurnalProcess,
+    ParetoProcess,
+    TraceReplay,
+]
+
+#: Accepted keys per kind, mapped to the dataclass field they fill.
+_KEYS: Dict[str, Dict[str, Tuple[str, type]]] = {
+    "poisson": {"mean": ("mean_cycles", float)},
+    "constant": {"mean": ("mean_cycles", float)},
+    "uniform": {"mean": ("mean_cycles", float)},
+    "mmpp": {
+        "mean": ("mean_cycles", float),
+        "burst": ("burst", float),
+        "dwell": ("dwell_cycles", float),
+        "burst_dwell": ("burst_dwell_cycles", float),
+    },
+    "diurnal": {
+        "mean": ("mean_cycles", float),
+        "period": ("period_cycles", float),
+        "depth": ("depth", float),
+        "phase": ("phase", float),
+    },
+    "pareto": {
+        "mean": ("mean_cycles", float),
+        "alpha": ("alpha", float),
+    },
+    "trace": {"path": ("path", str)},
+}
+
+_REQUIRED = {
+    "poisson": ("mean",),
+    "constant": ("mean",),
+    "uniform": ("mean",),
+    "mmpp": ("mean",),
+    "diurnal": ("mean", "period"),
+    "pareto": ("mean",),
+    "trace": ("path",),
+}
+
+_CTORS = {
+    "poisson": PoissonProcess,
+    "constant": ConstantProcess,
+    "uniform": UniformProcess,
+    "mmpp": MMPPProcess,
+    "diurnal": DiurnalProcess,
+    "pareto": ParetoProcess,
+    "trace": TraceReplay,
+}
+
+
+def parse_arrival(text: str) -> ArrivalProcess:
+    """Parse ``kind:key=value,...`` into an arrival process.
+
+    ``mean`` may be written as ``rate=`` (requests per cycle); a spec
+    with both is rejected.  Malformed specs raise a one-line
+    :class:`TrafficError`, matching the CLI error contract.
+    """
+    if not isinstance(text, str) or not text.strip():
+        raise TrafficError("empty arrival spec")
+    kind, _, body = text.strip().partition(":")
+    kind = kind.strip().lower()
+    if kind not in _CTORS:
+        raise TrafficError(
+            f"unknown arrival kind {kind!r} "
+            f"(known kinds: {', '.join(ARRIVAL_KINDS)})"
+        )
+    keys = _KEYS[kind]
+    fields: Dict[str, object] = {}
+    for item in filter(None, (s.strip() for s in body.split(","))):
+        key, eq, raw = item.partition("=")
+        key = key.strip().lower()
+        if key == "rate" and "mean" in keys:
+            if "mean_cycles" in fields:
+                raise TrafficError(
+                    f"{kind} spec sets both mean= and rate= ({text!r})"
+                )
+            try:
+                rate = float(raw)
+            except ValueError:
+                raise TrafficError(
+                    f"cannot parse {kind} rate value {raw.strip()!r}"
+                ) from None
+            _positive(rate, f"{kind} rate")
+            fields["mean_cycles"] = 1.0 / rate
+            continue
+        if not eq or key not in keys:
+            raise TrafficError(
+                f"bad {kind} arrival parameter {item!r} "
+                f"(expected key=value with key in: "
+                f"{', '.join(list(keys) + (['rate'] if 'mean' in keys else []))})"
+            )
+        field, cast = keys[key]
+        if field in fields:
+            raise TrafficError(f"{kind} spec repeats {key}= ({text!r})")
+        try:
+            fields[field] = cast(raw.strip()) if cast is str else cast(raw)
+        except ValueError:
+            raise TrafficError(
+                f"cannot parse {kind} arrival value {raw.strip()!r} "
+                f"for {key!r}"
+            ) from None
+    for key in _REQUIRED[kind]:
+        if keys[key][0] not in fields:
+            raise TrafficError(
+                f"{kind} arrival needs {key}= (in {text.strip()!r})"
+            )
+    return _CTORS[kind](**fields)
+
+
+def describe_arrival(process: ArrivalProcess) -> str:
+    """Canonical spec string for ``process`` (parse/describe round-trip)."""
+    parts = []
+    for key, value in process.params().items():
+        if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+            value = int(value)
+        parts.append(f"{key}={value}")
+    return f"{process.kind}:{','.join(parts)}"
+
+
+def generate_arrivals(
+    process: Union[ArrivalProcess, str],
+    num_requests: int,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> List[float]:
+    """One deterministic arrival trace from a process (or its spec string).
+
+    Args:
+        process: An arrival process or a ``kind:key=value,...`` spec.
+        num_requests: Trace length (>= 1).
+        seed: Seed of the generator — same process + seed is bit-identical.
+        scale: Cycle-domain rescale, e.g. ``device_hz / 100e6`` to express
+            a reference-clock workload in a faster device's cycles.
+
+    Returns:
+        Sorted arrival cycles; the first arrival lands one gap after
+        cycle 0 (not shifted to 0), so phase-sensitive processes keep
+        their phase.
+    """
+    if isinstance(process, str):
+        process = parse_arrival(process)
+    if num_requests < 1:
+        raise TrafficError(f"need >= 1 request, got {num_requests}")
+    if not scale > 0:
+        raise TrafficError(f"arrival scale must be positive, got {scale}")
+    rng = np.random.default_rng(seed)
+    gaps = process.gaps(num_requests, rng)
+    times = np.cumsum(gaps) * scale
+    return [float(t) for t in times]

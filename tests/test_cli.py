@@ -764,3 +764,198 @@ class TestParser:
     def test_device_choices_validated(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["compile", "x", "--device", "nope"])
+
+
+class TestServeSimTraffic:
+    """Arrival-process and multi-tenant extensions of serve-sim."""
+
+    BASE = ["serve-sim", "tiny_cnn", "--device", "testchip",
+            "--requests", "30"]
+
+    def test_json_metrics_carry_arrival_provenance(self, capsys):
+        assert main(self.BASE + ["--seed", "3", "--json"]) == 0
+        metrics = json.loads(capsys.readouterr().out)
+        assert metrics["arrival"]["seed"] == 3
+        assert metrics["arrival"]["process"] == "poisson"
+        assert metrics["arrival"]["num_requests"] == 30
+
+    def test_arrival_spec_single_tenant(self, capsys):
+        assert main(
+            self.BASE + ["--arrival", "constant:mean=30000", "--json"]
+        ) == 0
+        metrics = json.loads(capsys.readouterr().out)
+        assert metrics["arrival"]["process"].startswith("constant:")
+        assert metrics["requests"] == 30
+
+    def test_multi_tenant_run(self, capsys):
+        assert main(
+            self.BASE
+            + [
+                "--models", "tiny_cnn",
+                "--arrival", "poisson:mean=30000|constant:mean=50000",
+                "--weights", "2,1",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 tenant(s)" in out
+        assert "tiny_cnn-2" in out  # duplicate names auto-disambiguated
+        assert "warm swaps" in out
+
+    def test_multi_tenant_json_replays_bit_identically(self, capsys):
+        args = self.BASE + [
+            "--models", "tiny_cnn",
+            "--arrival", "poisson:mean=30000",
+            "--seed", "11", "--json",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+        payload = json.loads(first)
+        assert set(payload["tenants"]) == {"tiny_cnn", "tiny_cnn-2"}
+
+    def test_trace_replay(self, capsys, tmp_path):
+        from repro.traffic import TrafficTrace
+
+        trace = TrafficTrace.record(
+            {"a": "poisson:mean=30000", "b": "constant:mean=50000"},
+            num_requests=20,
+            seed=5,
+        )
+        path = trace.save(tmp_path / "trace.json")
+        assert main(
+            [
+                "serve-sim", "tiny_cnn", "--device", "testchip",
+                "--models", "tiny_cnn", "--trace", str(path), "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # Tenant names come from the trace, not the models.
+        assert set(payload["tenants"]) == {"a", "b"}
+        assert payload["tenants"]["a"]["arrival"]["process"].startswith(
+            "poisson:"
+        )
+
+    def test_trace_tenant_count_mismatch_is_clean_error(
+        self, capsys, tmp_path
+    ):
+        from repro.traffic import TrafficTrace
+
+        trace = TrafficTrace.record(
+            {"a": "poisson:mean=30000"}, num_requests=10, seed=0
+        )
+        path = trace.save(tmp_path / "trace.json")
+        assert main(
+            [
+                "serve-sim", "tiny_cnn", "--device", "testchip",
+                "--models", "tiny_cnn", "--trace", str(path),
+            ]
+        ) == 1
+        assert "counts must match" in capsys.readouterr().err
+
+    def test_multi_tenant_without_arrival_is_clean_error(self, capsys):
+        assert main(self.BASE + ["--models", "tiny_cnn"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--arrival" in err
+
+    def test_bad_arrival_spec_is_clean_error(self, capsys):
+        assert main(self.BASE + ["--arrival", "warp:speed=9"]) == 1
+        assert "unknown arrival kind" in capsys.readouterr().err
+
+
+class TestPlanCapacityCommand:
+    TENANTS = [
+        "--tenant",
+        "name=vision;model=tiny_cnn;arrival=poisson:mean=40000;"
+        "slo-ms=2;requests=30",
+        "--tenant",
+        "name=detect;model=tiny_cnn;arrival=mmpp:mean=60000,burst=5;"
+        "slo-ms=4;requests=20",
+    ]
+    BASE = ["plan-capacity"] + TENANTS + [
+        "--devices", "testchip", "--max-replicas", "2",
+        "--batch-sizes", "1,4", "--seed", "7",
+    ]
+
+    def test_plan_summary(self, capsys):
+        assert main(self.BASE) == 0
+        out = capsys.readouterr().out
+        assert "capacity plan: 1x testchip" in out
+        assert "vision" in out and "detect" in out
+        assert "SLO" in out
+
+    def test_json_and_save_roundtrip(self, capsys, tmp_path):
+        from repro.capacity import load_capacity_plan
+
+        path = tmp_path / "plan.json"
+        assert main(self.BASE + ["--json", "--save", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        plan = load_capacity_plan(path)
+        assert payload["device"] == plan.device == "testchip"
+        assert payload["trace_digest"] == plan.trace_digest
+        # The saved artifact passes repro check.
+        assert main(["check", str(path)]) == 0
+
+    def test_baseline_comparison(self, capsys):
+        assert main(self.BASE + ["--baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "per-model baseline" in out
+        assert "consolidation saves" in out
+
+    def test_bad_tenant_spec_is_clean_error(self, capsys):
+        assert main(
+            ["plan-capacity", "--tenant", "model=tiny_cnn",
+             "--devices", "testchip"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "missing" in err
+
+    def test_unknown_tenant_key_is_clean_error(self, capsys):
+        assert main(
+            ["plan-capacity", "--tenant",
+             "name=a;model=tiny_cnn;arrival=poisson:mean=1000;turbo=1"]
+        ) == 1
+        assert "bad --tenant field" in capsys.readouterr().err
+
+    def test_infeasible_is_clean_error(self, capsys):
+        assert main(
+            ["plan-capacity", "--tenant",
+             "name=a;model=tiny_cnn;arrival=poisson:mean=40000;"
+             "slo-ms=0.000001",
+             "--devices", "testchip", "--max-replicas", "1",
+             "--batch-sizes", "1"]
+        ) == 1
+        assert "no feasible fleet" in capsys.readouterr().err
+
+
+class TestCompileEnergyStats:
+    def test_stats_prints_energy_line(self, capsys):
+        assert main(
+            ["compile", "tiny_cnn", "--device", "testchip", "--stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "energy per inference" in out
+        assert "W board power" in out
+
+    def test_stats_json_matches_power_model(self, capsys):
+        assert main(
+            ["compile", "tiny_cnn", "--device", "testchip", "--stats",
+             "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        from repro.hardware.device import get_device
+        from repro.hardware.power import device_power_model
+        from repro.toolflow import compile_model
+
+        strategy = compile_model(
+            models.tiny_cnn(), device="testchip"
+        ).strategy
+        power_model = device_power_model(get_device("testchip"))
+        assert payload["energy_per_inference_j"] == pytest.approx(
+            power_model.strategy_energy_per_inference_j(strategy)
+        )
+        assert payload["board_power_w"] == pytest.approx(
+            power_model.strategy_power_w(strategy)
+        )
