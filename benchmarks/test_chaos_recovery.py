@@ -1,0 +1,211 @@
+"""Chaos recovery: the resilience control plane vs static failover.
+
+Two seeded experiments, all on the virtual clock so every number —
+including the fault schedule and every control-plane decision —
+reproduces bit-identically across machines:
+
+* **Flat-fleet chaos sweep**: crash and brownout scenarios on 4 zc706
+  replicas of the compiled VGG-E prefix strategy, served twice per
+  scenario — once with the PR 4 static machinery only (retry/failover/
+  admission control), once with the resilience control plane walking
+  the degradation ladder.  The table reports goodput, SLO attainment
+  and the ladder steps each scenario provoked.
+* **Pipeline stage death** (the acceptance scenario): the VGG-E prefix
+  partitioned across 2 zc706 boards, two pipeline copies, one stage's
+  device dying permanently mid-run.  Static failover strands the dead
+  pipeline and serves on the spare; the control plane confirms the
+  death, re-runs the cut-point DP over the survivor, and readmits the
+  rebuilt pipeline — MTTR and goodput retention come straight from
+  ``ServingMetrics.recovery``.  The recovered steady-state goodput must
+  hold >= 80% of the pre-fault rate, and the run must be bit-identical
+  on a rerun.
+
+The heavy lane repeats the pipeline experiment with the full VGG-E
+network and a deeper fleet.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import models
+from repro.optimizer.dp import optimize
+from repro.reporting import format_table
+from repro.resilience import ResiliencePolicy
+from repro.serve.scheduler import FleetScheduler
+from repro.sim.simulator import build_service_model
+from repro.toolflow import partition_model
+
+from conftest import write_result
+
+REPLICAS = 4
+NUM_REQUESTS = 240
+LOAD = 4.0
+MAX_BATCH = 8
+
+
+@pytest.fixture(scope="module")
+def vgg_strategy(vgg_prefix, zc706):
+    return optimize(
+        vgg_prefix, zc706, vgg_prefix.feature_map_bytes(zc706.element_bytes)
+    )
+
+
+@pytest.fixture(scope="module")
+def vgg_plan(vgg_prefix):
+    return partition_model(vgg_prefix, devices="zc706,zc706")
+
+
+def run_flat(strategy, faults, resilience=None, seed=0, **kwargs):
+    fleet = FleetScheduler.for_strategy(
+        strategy,
+        replicas=REPLICAS,
+        max_batch=MAX_BATCH,
+        policy="least_loaded",
+        faults=faults,
+        fault_seed=seed,
+        resilience=resilience,
+        **kwargs,
+    )
+    return fleet.run_open_loop(
+        NUM_REQUESTS, load=LOAD, rng=np.random.default_rng(seed)
+    )
+
+
+def run_pipeline(plan, faults, resilience=None, pipelines=2, seed=0,
+                 num_requests=NUM_REQUESTS):
+    fleet = plan.serve(
+        pipelines=pipelines,
+        max_batch=MAX_BATCH,
+        faults=faults,
+        fault_seed=seed,
+        resilience=resilience,
+    )
+    return fleet.run_open_loop(
+        num_requests, load=2.0, rng=np.random.default_rng(seed)
+    )
+
+
+def test_chaos_recovery(vgg_strategy, vgg_plan, zc706):
+    floor = build_service_model(vgg_strategy).single_image_cycles
+    slo = 20 * floor
+    policy = ResiliencePolicy()
+
+    # -- flat-fleet sweep: static machinery vs the control plane ------------
+    clean = run_flat(vgg_strategy, None)
+    mid = clean.metrics.makespan_cycles / 2
+    down = clean.metrics.makespan_cycles / 4
+    scenarios = [
+        ("crash+recover", f"crash:replica=1,at={mid:.0f},down={down:.0f}"),
+        ("brownout x2", f"brownout:replica=1,at=0,for={mid:.0f},scale=2"),
+        ("brownout x4 all",
+         ";".join(
+             f"brownout:replica={r},at=0,for={mid:.0f},scale=4"
+             for r in range(REPLICAS)
+         )),
+        ("transient 10%", "transient:p=0.1"),
+    ]
+    rows = []
+    for name, spec in scenarios:
+        static = run_flat(
+            vgg_strategy, spec, max_queue=4 * MAX_BATCH, slo_cycles=slo
+        )
+        control = run_flat(
+            vgg_strategy, spec, resilience=policy,
+            max_queue=4 * MAX_BATCH, slo_cycles=slo,
+        )
+        for result in (static, control):
+            assert result.metrics.offered == NUM_REQUESTS
+            assert result.metrics.goodput_per_second > 0
+        recovery = control.metrics.recovery
+        rows.append(
+            [
+                name,
+                f"{static.metrics.goodput_per_second:.1f}",
+                f"{control.metrics.goodput_per_second:.1f}",
+                f"{static.metrics.slo_attainment:.1%}",
+                f"{control.metrics.slo_attainment:.1%}",
+                0 if recovery is None else recovery["ladder_steps"],
+                len(recovery["events"]) if recovery else 0,
+            ]
+        )
+    sweep = format_table(
+        ["scenario", "static req/s", "control req/s", "static SLO",
+         "control SLO", "rungs", "events"],
+        rows,
+        title=(
+            f"{vgg_strategy.network.name} on {REPLICAS} x {zc706.name}: "
+            f"static failover vs resilience control plane, "
+            f"{NUM_REQUESTS} requests at {LOAD:.0f}x load "
+            f"(SLO {slo / 1e6:.1f} Mcyc)"
+        ),
+    )
+
+    # -- pipeline stage death: online re-partitioning -----------------------
+    clean_pipe = run_pipeline(vgg_plan, None)
+    mid = clean_pipe.metrics.makespan_cycles / 2
+    spec = f"crash:replica=0,stage=1,at={mid:.0f}"
+    recovery_policy = ResiliencePolicy(confirm_down_cycles=1e6)
+
+    static = run_pipeline(vgg_plan, spec)
+    control = run_pipeline(vgg_plan, spec, resilience=recovery_policy)
+    recovery = control.metrics.recovery
+    assert recovery is not None
+    assert recovery["rebuilds"] == 1
+    assert recovery["mttr_cycles"] > 0
+    # The acceptance bar: recovered steady-state goodput >= 80% of the
+    # pre-fault rate.
+    assert recovery["goodput_retention"] is not None
+    assert recovery["goodput_retention"] >= 0.8
+    # The rebuilt pipeline adds capacity the static fleet lost for good.
+    assert control.metrics.requests >= static.metrics.requests
+
+    # Bit-identical rerun: decisions included.
+    rerun = run_pipeline(vgg_plan, spec, resilience=recovery_policy)
+    assert rerun.records == control.records
+    assert rerun.metrics.recovery == recovery
+
+    hz = vgg_plan.fleet.reference_frequency_hz
+    pipe_text = "\n".join(
+        [
+            f"pipeline stage death on {vgg_plan.fleet.name}: {spec!r}",
+            f"pre-fault goodput   "
+            f"{recovery['prefault_goodput_rps']:,.1f} req/s",
+            f"recovered goodput   "
+            f"{recovery['recovered_goodput_rps']:,.1f} req/s "
+            f"({recovery['goodput_retention']:.1%} retention)",
+            f"MTTR                {recovery['mttr_cycles']:,.0f} cycles "
+            f"({recovery['mttr_ms']:.2f} ms at {hz / 1e6:.0f} MHz)",
+            f"completed           {control.metrics.requests}/"
+            f"{NUM_REQUESTS} with the control plane vs "
+            f"{static.metrics.requests}/{NUM_REQUESTS} static",
+            "",
+            "rerun with the same seed: bit-identical "
+            f"({len(recovery['events'])} recovery events)",
+        ]
+    )
+    write_result("chaos_recovery.txt", sweep + "\n\n" + pipe_text)
+
+
+@pytest.mark.heavy
+def test_chaos_recovery_full_vgg():
+    """Full VGG-E across 2 zc706 boards, 3 pipelines, one stage death."""
+    plan = partition_model(models.catalog()["vgg_e"](), devices="zc706,zc706")
+    clean = run_pipeline(plan, None, pipelines=3, num_requests=480)
+    mid = clean.metrics.makespan_cycles / 2
+    spec = f"crash:replica=1,stage=0,at={mid:.0f}"
+    policy = ResiliencePolicy(confirm_down_cycles=1e6)
+
+    control = run_pipeline(
+        plan, spec, resilience=policy, pipelines=3, num_requests=480
+    )
+    recovery = control.metrics.recovery
+    assert recovery is not None
+    assert recovery["rebuilds"] == 1
+    assert recovery["goodput_retention"] is None or (
+        recovery["goodput_retention"] >= 0.8
+    )
+    rerun = run_pipeline(
+        plan, spec, resilience=policy, pipelines=3, num_requests=480
+    )
+    assert rerun.records == control.records
+    assert rerun.metrics.recovery == recovery

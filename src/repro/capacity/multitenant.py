@@ -272,6 +272,9 @@ class MultiTenantResult:
     swaps: int  # warm weight reloads across the fleet
     swap_cycles: float  # total cycles spent swapping
     makespan_cycles: float  # first arrival -> last completion, all tenants
+    #: Fleet-level control-plane outcome (:mod:`repro.resilience`);
+    #: None when no control plane ran or it never acted.
+    recovery: Optional[dict] = None
 
     def metrics_for(self, name: str):
         return self.per_tenant[name].metrics
@@ -290,6 +293,7 @@ class MultiTenantResult:
             "swaps": self.swaps,
             "swap_cycles": self.swap_cycles,
             "makespan_cycles": self.makespan_cycles,
+            "recovery": self.recovery,
             "tenants": {
                 name: result.metrics.to_dict()
                 for name, result in self.per_tenant.items()
@@ -306,6 +310,16 @@ class MultiTenantResult:
         ]
         for name, result in self.per_tenant.items():
             metrics = result.metrics
+            if metrics.requests == 0:
+                # A dead tenant has no latency distribution — report the
+                # outcome explicitly instead of NaN-laced percentiles.
+                lines.append(
+                    f"  [{name}] weight {self.weights[name]:g}: "
+                    f"no completed requests "
+                    f"({metrics.failed} failed, {metrics.shed} shed, "
+                    f"{metrics.retries} retries)"
+                )
+                continue
             lines.append(
                 f"  [{name}] weight {self.weights[name]:g}: "
                 f"{metrics.requests} served, "
@@ -316,6 +330,12 @@ class MultiTenantResult:
                     if metrics.slo_attainment is not None
                     else ""
                 )
+            )
+        if self.recovery is not None:
+            rec = self.recovery
+            lines.append(
+                f"  recovery: {len(rec.get('events', []))} events, "
+                f"{rec.get('ladder_steps', 0)} ladder steps"
             )
         return "\n".join(lines)
 
@@ -342,6 +362,7 @@ class MultiTenantScheduler:
         fault_seed: int = 0,
         retry: Optional[RetryPolicy] = None,
         max_queue: Optional[int] = None,
+        resilience=None,
     ):
         """
         Args:
@@ -358,6 +379,10 @@ class MultiTenantScheduler:
                 shared by all tenants (see :mod:`repro.faults`).
             max_queue: Per-tenant admission bound (arrivals finding this
                 many of *their* tenant's requests pending are shed).
+            resilience: Control-plane policy (:mod:`repro.resilience`).
+                The shed rung tightens admission for tenants *without* a
+                WFQ floor (``min_share == 0``) — "shed low-priority
+                tenants"; floor-protected tenants keep their base bound.
         """
         if not tenants:
             raise CapacityError("a multi-tenant fleet needs >= 1 tenant")
@@ -399,6 +424,7 @@ class MultiTenantScheduler:
         self.fault_seed = fault_seed
         self.retry = retry if retry is not None else RetryPolicy()
         self.max_queue = max_queue
+        self.resilience = resilience
         # Validate the batching knobs and the fault spec eagerly, the
         # way the parent scheduler does.
         for tenant in self.tenants:
@@ -515,6 +541,21 @@ class MultiTenantScheduler:
 
         fleet = self._build_replicas()
         injector = self._build_injector()
+        control = None
+        if self.resilience is not None:
+            from repro.resilience.controller import RecoveryController
+
+            # Shared-replica attempt spans include warm-swap cycles, so
+            # the latency-inflation trigger stays off (like pipelines).
+            control = RecoveryController(
+                self.resilience,
+                num_replicas=self.num_replicas,
+                base_max_batch=self.max_batch,
+                base_max_queue=self.max_queue,
+                fallback_available=False,
+                latency_trigger=False,
+            )
+        protected = [t.min_share > 0 for t in self.tenants]
         batchers = [
             DynamicBatcher(self.max_batch, self._tenant_max_wait(t))
             for t in self.tenants
@@ -584,7 +625,11 @@ class MultiTenantScheduler:
 
             Exactly the parent's admission, per tenant: fresh arrivals
             are shed when the tenant's queue is at ``max_queue``;
-            retries are always admitted.
+            retries are always admitted — unless their deadline already
+            passed by admission time, in which case the retry is dropped
+            rather than re-queued for a doomed attempt.  Under the
+            control plane's shed rung, tenants without a WFQ floor get
+            the tightened admission bound.
             """
             trace_cycle = (
                 requests[t][next_arrival[t]].arrival_cycle
@@ -593,12 +638,26 @@ class MultiTenantScheduler:
             )
             if retry_heaps[t] and retry_heaps[t][0][0] <= trace_cycle:
                 cycle, _, request = heappop(retry_heaps[t])
+                at = max(clock, cycle)
+                deadline_at = (
+                    request.origin_cycle + self.retry.deadline_cycles
+                    if self.retry.deadline_cycles is not None
+                    else math.inf
+                )
+                if at >= deadline_at:
+                    drop_failed(t, request, at, at, -1, 0)
+                    return
                 _activate(t, cycle)
                 batchers[t].add(request)
                 return
             request = requests[t][next_arrival[t]]
             next_arrival[t] += 1
-            if self.max_queue is not None and len(batchers[t]) >= self.max_queue:
+            max_queue = (
+                control.tenant_queue_limit(self.max_queue, protected[t])
+                if control is not None
+                else self.max_queue
+            )
+            if max_queue is not None and len(batchers[t]) >= max_queue:
                 failures[t].append(
                     RequestRecord(
                         request_id=request.request_id,
@@ -692,6 +751,17 @@ class MultiTenantScheduler:
                 fleet, rotation, clock, injector
             )
             if target is None:
+                # Log any deaths the attempt path never saw; a shared
+                # fleet has no survivor plan to rebuild from, so this
+                # only feeds the recovery log before the mass-fail.
+                if control is not None:
+                    control.check_dead_fleet(fleet, clock, injector)
+                    for action in control.pop_actions():
+                        if action.kind == "rebuild":
+                            control.note_rebuild_failed(
+                                action.replica, action.cycle,
+                                "shared fleet: no survivor plan",
+                            )
                 # Dead fleet: everything queued, retrying or still to
                 # arrive fails — exactly the parent's behaviour, per
                 # tenant.
@@ -733,6 +803,21 @@ class MultiTenantScheduler:
             batch = batchers[chosen].pop_batch(clock)
             attempt = target.execute_attempt(batch, clock, chosen, injector)
             rotation += 1
+            if control is not None:
+                control.observe(
+                    target.replica_id, attempt, len(batch), injector
+                )
+                for action in control.pop_actions():
+                    if action.kind == "shrink_batch":
+                        for b in batchers:
+                            b.max_batch = control.max_batch
+                    elif action.kind == "rebuild":
+                        control.note_rebuild_failed(
+                            action.replica, action.cycle,
+                            "shared fleet: no survivor plan "
+                            "(failover handles the loss)",
+                        )
+                    # "shed": admission reads tenant_queue_limit directly
             occupancy = attempt.end_cycle - attempt.start_cycle
             served_occupancy[chosen] += occupancy
             last_finish[chosen] = attempt.end_cycle
@@ -806,6 +891,13 @@ class MultiTenantScheduler:
             everything = records[t] + failures[t]
             events.append(min(r.arrival_cycle for r in everything))
             events.append(max(r.completion_cycle for r in everything))
+        recovery = None
+        if control is not None:
+            all_records = sorted(
+                (r for tenant_records in records for r in tenant_records),
+                key=lambda r: (r.arrival_cycle, r.completion_cycle),
+            )
+            recovery = control.finalize(all_records, self.frequency_hz)
         return MultiTenantResult(
             per_tenant=per_tenant,
             sharing=self.sharing,
@@ -813,6 +905,7 @@ class MultiTenantScheduler:
             swaps=sum(r.swaps for r in fleet),
             swap_cycles=sum(r.swap_cycles for r in fleet),
             makespan_cycles=max(events) - min(events),
+            recovery=recovery,
         )
 
     def run_trace(self, trace, scale: float = 1.0) -> MultiTenantResult:

@@ -444,6 +444,47 @@ def doctor(deep: bool = False, workdir=None) -> DoctorReport:
         )
         return f"DP matches the exhaustive oracle at {latency:,} cycles"
 
+    def recovery_probe() -> str:
+        import numpy as np
+
+        from repro.nn import models
+        from repro.resilience import ResiliencePolicy
+        from repro.toolflow import partition_model
+
+        plan = partition_model(
+            models.tiny_cnn(), devices="testchip,testchip", verify=False
+        )
+        policy = ResiliencePolicy(confirm_down_cycles=1e4)
+        faults = "crash:replica=0,stage=1,at=20000"
+
+        def run():
+            fleet = plan.serve(
+                pipelines=1, faults=faults, resilience=policy, verify=False
+            )
+            return fleet.run_open_loop(
+                num_requests=48, load=1.5, rng=np.random.default_rng(0)
+            )
+
+        first = run()
+        recovery = first.metrics.recovery
+        if recovery is None or recovery["rebuilds"] != 1:
+            raise ReproError(
+                "a confirmed stage death did not trigger exactly one "
+                "online re-plan"
+            )
+        again = run()
+        if first.records != again.records or (
+            first.metrics.recovery != again.metrics.recovery
+        ):
+            raise ReproError(
+                "recovery is not deterministic: the same fault spec and "
+                "seed produced different runs"
+            )
+        return (
+            f"stage crash re-planned once, MTTR "
+            f"{recovery['mttr_cycles']:,.0f} cycles, bit-identical rerun"
+        )
+
     def serving_smoke() -> str:
         import numpy as np
 
@@ -470,6 +511,7 @@ def doctor(deep: bool = False, workdir=None) -> DoctorReport:
         _run("partition-plan", partition_checks, results)
         _run("dag-probe", dag_probe, results)
         _run("traffic-determinism", traffic_probe, results)
+        _run("recovery-probe", recovery_probe, results)
         if deep:
             _run("dp-vs-oracle", dp_oracle, results)
             if "compiled" in state:

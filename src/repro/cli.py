@@ -502,6 +502,89 @@ def _serve_partition(plan, args: argparse.Namespace):
     )
 
 
+def _cmd_replan(args: argparse.Namespace) -> int:
+    """Dry-run the online re-partitioning the resilience plane performs."""
+    import time
+
+    from repro.partition import DeviceFleet, Link
+    from repro.resilience import (
+        ResiliencePolicy,
+        handover_cycles,
+        replan_cycles,
+        replan_survivors,
+    )
+    from repro.toolflow import partition_model
+
+    network = _load_model(args.model)
+    link = Link(
+        bandwidth_bytes_per_s=args.link_gbs * 1e9,
+        latency_s=args.link_latency_us * 1e-6,
+    )
+    fleet = DeviceFleet.from_spec(args.devices, link=link)
+    store = _store_from_args(args)
+    plan = partition_model(
+        network,
+        devices=fleet,
+        transfer_constraint_bytes=args.transfer,
+        workers=args.workers,
+        verify=not args.no_verify,
+    )
+    from repro.partition.graph_cut import GraphPartitionPlan
+
+    if isinstance(plan, GraphPartitionPlan):
+        raise ReproError(
+            "repro replan is chain-only: online re-partitioning re-runs "
+            "the cut-point DP, which graph plans do not use"
+        )
+    started = time.perf_counter()
+    survivor = replan_survivors(
+        plan,
+        args.dead_stage,
+        transfer_constraint_bytes=args.transfer,
+        store=store,
+        workers=args.workers,
+    )
+    wall_s = time.perf_counter() - started
+    policy = ResiliencePolicy()
+    hz = plan.fleet.reference_frequency_hz
+    budget = replan_cycles(policy, hz)
+    handover = handover_cycles(survivor, reference_hz=hz)
+    if args.json:
+        payload = {
+            "original": plan.to_dict(),
+            "dead_stage": args.dead_stage,
+            "survivor": survivor.to_dict(),
+            "replan_wall_seconds": wall_s,
+            "replan_budget_cycles": budget,
+            "handover_cycles": handover,
+            "readmission_cycles": budget + handover,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(plan.report())
+        print()
+        dead_device = plan.placements[args.dead_stage].device.name
+        print(
+            f"stage {args.dead_stage} ({dead_device}) declared dead; "
+            f"re-planned over {len(survivor.fleet.devices)} survivor(s) "
+            f"in {wall_s * 1e3:.1f} ms wall clock"
+        )
+        print()
+        print(survivor.report())
+        print()
+        print(
+            f"virtual-clock price at {hz / 1e6:.0f} MHz: "
+            f"{budget:,.0f} cycle replan budget + {handover:,.0f} cycle "
+            f"weight handover = {budget + handover:,.0f} cycles to "
+            f"readmission"
+        )
+    if args.save:
+        path = survivor.save(args.save)
+        if not args.json:
+            print(f"\nsurvivor plan written to {path}")
+    return 0
+
+
 def _unique_tenant_names(names: List[str]) -> List[str]:
     """Disambiguate duplicate model names: vgg_e, vgg_e-2, vgg_e-3, ..."""
     seen: dict = {}
@@ -572,6 +655,11 @@ def _serve_sim_multi(
             verify=not args.no_verify,
         )
         strategies[name] = compiled.strategy
+    resilience = None
+    if args.resilience:
+        from repro.resilience import ResiliencePolicy
+
+        resilience = ResiliencePolicy()
     scheduler = MultiTenantScheduler.for_strategies(
         strategies,
         weights=weights,
@@ -585,9 +673,21 @@ def _serve_sim_multi(
         faults=args.faults,
         fault_seed=fault_seed,
         max_queue=args.max_queue,
+        resilience=resilience,
     )
     scale = device.frequency_hz / REFERENCE_FREQUENCY_HZ
     result = scheduler.run_trace(trace, scale=scale)
+    log_path = None
+    if args.recovery_log:
+        from repro.resilience import save_recovery_log
+
+        log_path = save_recovery_log(
+            args.recovery_log,
+            resilience,
+            result.recovery,
+            faults=scheduler.faults,
+            seed=fault_seed,
+        )
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
         return 0
@@ -604,6 +704,8 @@ def _serve_sim_multi(
         print(f"fault schedule: {args.faults!r} (fault seed {fault_seed})")
     print()
     print(result.summary())
+    if log_path is not None:
+        print(f"\nrecovery log written to {log_path}")
     return 0
 
 
@@ -614,6 +716,8 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         from repro.faults import FaultSpec
 
         FaultSpec.parse(args.faults)
+    if (args.fallback or args.recovery_log) and not args.resilience:
+        raise ReproError("--fallback and --recovery-log require --resilience")
     fault_seed = args.fault_seed if args.fault_seed is not None else args.seed
     model_specs = [args.model] + (
         [m.strip() for m in args.models.split(",") if m.strip()]
@@ -621,7 +725,17 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         else []
     )
     if args.trace or len(model_specs) > 1:
+        if args.fallback:
+            raise ReproError(
+                "--fallback is single-tenant only (shared fleets have no "
+                "warm-swap rung)"
+            )
         return _serve_sim_multi(args, model_specs, fault_seed)
+    resilience = None
+    if args.resilience:
+        from repro.resilience import ResiliencePolicy
+
+        resilience = ResiliencePolicy()
     network = _load_model(args.model)
     result = compile_model(
         network,
@@ -638,6 +752,8 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         fault_seed=fault_seed,
         max_queue=args.max_queue,
         slo_cycles=args.slo,
+        resilience=resilience,
+        fallback=result.fallback_strategy() if args.fallback else None,
         verify=not args.no_verify,
     )
     if args.arrival:
@@ -665,6 +781,17 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
             f"open-loop trace: {args.requests} requests at {args.load:.2f}x "
             f"one replica's peak rate (seed {args.seed})"
         )
+    log_path = None
+    if args.recovery_log:
+        from repro.resilience import save_recovery_log
+
+        log_path = save_recovery_log(
+            args.recovery_log,
+            resilience,
+            serving.metrics.recovery,
+            faults=fleet.faults,
+            seed=fault_seed,
+        )
     if args.json:
         print(json.dumps(serving.metrics.to_dict(), indent=2))
         return 0
@@ -678,6 +805,8 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         print(f"fault schedule: {args.faults!r} (fault seed {fault_seed})")
     print()
     print(serving.summary())
+    if log_path is not None:
+        print(f"\nrecovery log written to {log_path}")
     return 0
 
 
@@ -813,6 +942,27 @@ def _check_one(path: Path, model: Optional[str]) -> List[str]:
 
         plan = load_capacity_plan(path)
         print(f"{path}: {plan.summary().splitlines()[0]}")
+        return []
+    if envelope.kind == "recovery_log":
+        # The checksum is the determinism witness; schema-check the
+        # decision log's required fields.
+        payload = envelope.payload
+        missing = [
+            key
+            for key in ("schema_version", "policy", "events", "summary")
+            if key not in payload
+        ]
+        if missing:
+            return [
+                f"{path}: recovery_log payload missing "
+                f"{', '.join(missing)}"
+            ]
+        summary = payload["summary"]
+        print(
+            f"{path}: {len(payload['events'])} recovery event(s), "
+            f"{summary.get('ladder_steps', 0)} ladder step(s), "
+            f"{summary.get('rebuilds', 0)} rebuild(s)"
+        )
         return []
 
     name = model or envelope.payload.get("network")
@@ -1140,6 +1290,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     part_p.set_defaults(func=_cmd_partition)
 
+    replan_p = sub.add_parser(
+        "replan",
+        help="dry-run the resilience plane's online re-partitioning: "
+        "declare one pipeline stage dead and re-cut over the survivors",
+    )
+    replan_p.add_argument("model", help="prototxt path or model-zoo name")
+    replan_p.add_argument(
+        "--devices", default="zc706,zc706",
+        help="comma-separated fleet in pipeline order (default zc706,zc706)",
+    )
+    replan_p.add_argument(
+        "--dead-stage", type=int, default=0, metavar="N",
+        help="stage whose device dies (default 0)",
+    )
+    replan_p.add_argument(
+        "--link-gbs", type=float, default=2.0,
+        help="board-to-board link bandwidth in GB/s (default 2.0)",
+    )
+    replan_p.add_argument(
+        "--link-latency-us", type=float, default=0.0,
+        help="per-transfer link setup latency in microseconds",
+    )
+    replan_p.add_argument(
+        "--transfer", type=_parse_size, default=None,
+        help="per-stage feature-map transfer constraint, e.g. 2MB",
+    )
+    replan_p.add_argument(
+        "--cache", nargs="?", const="", default=None, metavar="DIR",
+        help="route both searches through an on-disk cost store so the "
+        "re-plan is a warm-cache operation; DIR defaults to "
+        "$REPRO_COST_CACHE or ~/.cache/repro/cost_store",
+    )
+    replan_p.add_argument(
+        "--workers", type=int, default=None,
+        help="precompute fusion searches with N threads "
+        "(wall time only; the plan is deterministic)",
+    )
+    replan_p.add_argument(
+        "--save", default=None, metavar="PATH",
+        help="write the survivor plan JSON here",
+    )
+    replan_p.add_argument(
+        "--json", action="store_true",
+        help="emit both plans and the re-plan price as JSON",
+    )
+    replan_p.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the admission-time plan validators",
+    )
+    replan_p.set_defaults(func=_cmd_replan)
+
     serve_p = sub.add_parser(
         "serve-sim", help="simulate a batched multi-replica serving fleet"
     )
@@ -1222,6 +1423,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument(
         "--slo", type=float, default=None, metavar="CYCLES",
         help="latency SLO in cycles; reports SLO attainment",
+    )
+    serve_p.add_argument(
+        "--resilience", action="store_true",
+        help="attach the online control plane (repro.resilience): health "
+        "monitoring, the degradation ladder, and recovery accounting; "
+        "a zero-fault run is bit-identical with or without it",
+    )
+    serve_p.add_argument(
+        "--fallback", action="store_true",
+        help="pre-compile a conventional-algorithm fallback strategy for "
+        "the ladder's warm-swap rung (requires --resilience; "
+        "single-tenant mode only)",
+    )
+    serve_p.add_argument(
+        "--recovery-log", default=None, metavar="PATH",
+        help="write the run's checksummed recovery_log artifact "
+        "(requires --resilience)",
     )
     serve_p.add_argument(
         "--json", action="store_true",

@@ -349,6 +349,13 @@ class RetryPolicy:
     ``max_attempts``, or its re-arrival would land past its per-request
     deadline (``first_arrival + deadline_cycles``) — then it is dropped
     and counted as failed.
+
+    The deadline is also enforced at *admission*: a queued retry whose
+    deadline has passed by the time the scheduler would admit it — the
+    clock can overtake a waiting retry when full batches dispatch
+    without draining the admission stream — is dropped then, at the
+    boundary inclusive (admission cycle ``>=`` deadline sheds), instead
+    of burning a doomed service attempt.
     """
 
     max_attempts: int = 3

@@ -217,6 +217,10 @@ class PartitionPlan:
         retry=None,
         max_queue: Optional[int] = None,
         slo_cycles: Optional[float] = None,
+        resilience=None,
+        replan_context=None,
+        replan_store=None,
+        replan_workers: Optional[int] = None,
         verify: bool = True,
     ):
         """Stand up a simulated pipelined serving fleet for this plan.
@@ -227,10 +231,14 @@ class PartitionPlan:
         ``faults`` / ``fault_seed`` / ``retry`` / ``max_queue`` /
         ``slo_cycles`` for deterministic chaos runs (see
         :mod:`repro.faults`); ``pipelines > 1`` gives crashed batches a
-        spare pipeline to fail over to.  ``verify`` (default on) runs
-        the plan invariant validators at admission, rejecting a stale or
-        inconsistent plan with a
-        :class:`~repro.errors.VerificationError` before it serves
+        spare pipeline to fail over to.  ``resilience`` attaches the
+        :mod:`repro.resilience` control plane — on confirmed death of a
+        stage's device the fleet re-partitions the network over the
+        survivors (pass ``replan_context`` / ``replan_store`` so the
+        re-plan hits a warm cost cache; ``replan_workers`` only affects
+        wall time).  ``verify`` (default on) runs the plan invariant
+        validators at admission, rejecting a stale or inconsistent plan
+        with a :class:`~repro.errors.VerificationError` before it serves
         traffic; serving behaviour is identical either way.
         """
         from repro.serve.pipeline import PipelineFleetScheduler
@@ -250,6 +258,10 @@ class PartitionPlan:
             retry=retry,
             max_queue=max_queue,
             slo_cycles=slo_cycles,
+            resilience=resilience,
+            replan_context=replan_context,
+            replan_store=replan_store,
+            replan_workers=replan_workers,
         )
 
     # -- serialization -------------------------------------------------------

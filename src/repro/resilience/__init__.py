@@ -1,0 +1,64 @@
+"""repro.resilience: the self-healing control plane of the serving loop.
+
+The serving schedulers (:mod:`repro.serve`, :mod:`repro.capacity`) run a
+deterministic event loop on a virtual clock; this package adds the
+*online* half of fault tolerance on the same clock:
+
+* :class:`HealthMonitor` — per-replica EWMA latency / failure tracking
+  driving a hysteretic up/degraded/down state machine (no flapping on
+  transient blips);
+* :class:`RecoveryController` — walks a configurable degradation
+  ladder under sustained degradation (shrink batches → warm-swap to a
+  pre-compiled fallback strategy → shed load / low-priority tenants)
+  and, on confirmed device death in a pipelined fleet, triggers online
+  re-partitioning over the surviving devices;
+* :func:`replan_survivors` — the re-partitioning itself: the same
+  cut-point DP that produced the plan, run over the survivor fleet
+  through a warm cost store so a re-plan costs milliseconds of wall
+  time (its virtual-clock price is the policy's re-plan latency plus
+  the new plan's weight handover).
+
+Everything is deterministic: the same seed + fault spec + policy yields
+a bit-identical decision log, exportable as a checksummed
+``recovery_log`` artifact (:func:`save_recovery_log`), and a zero-fault
+run with the control plane enabled is bit-identical to the plain
+scheduler — the monitor observes but never acts.  See
+``docs/resilience.md``.
+"""
+
+from repro.resilience.controller import (
+    RECOVERY_LOG_KIND,
+    LadderRung,
+    RecoveryController,
+    RecoveryEvent,
+    ResilienceError,
+    ResiliencePolicy,
+    build_ladder,
+    recovery_log_payload,
+    save_recovery_log,
+)
+from repro.resilience.health import HealthMonitor, ReplicaState
+from repro.resilience.replan import (
+    handover_cycles,
+    replan_cycles,
+    replan_survivors,
+    surviving_fleet,
+)
+
+__all__ = [
+    "RECOVERY_LOG_KIND",
+    "HealthMonitor",
+    "LadderRung",
+    "RecoveryController",
+    "RecoveryEvent",
+    "ReplicaState",
+    "ResilienceError",
+    "ResiliencePolicy",
+    "build_ladder",
+    "handover_cycles",
+    "recovery_log_payload",
+    "replan_cycles",
+    "replan_survivors",
+    "save_recovery_log",
+    "surviving_fleet",
+]

@@ -115,6 +115,11 @@ class ServingMetrics:
     #: metrics payload alone is enough to replay the run bit-identically
     #: (None for hand-built traces with no recorded provenance).
     arrival: Optional[dict] = None
+    #: Control-plane outcome (:mod:`repro.resilience`): the recovery
+    #: event log, ladder depth, MTTR and goodput retention.  None when
+    #: no control plane ran *or* it ran and never acted — which keeps a
+    #: zero-fault run's metrics bit-identical either way.
+    recovery: Optional[dict] = None
 
     @property
     def offered(self) -> int:
@@ -182,6 +187,7 @@ class ServingMetrics:
             "slo_cycles": self.slo_cycles,
             "slo_attainment": self.slo_attainment,
             "arrival": self.arrival,
+            "recovery": self.recovery,
             "replicas": [
                 {
                     "replica_id": s.replica_id,
@@ -200,6 +206,22 @@ class ServingMetrics:
             for key, value in payload.items()
         }
 
+    def _recovery_line(self) -> str:
+        """One line summarizing the control plane's run."""
+        rec = self.recovery or {}
+        parts = [
+            f"recovery: {len(rec.get('events', []))} events, "
+            f"{rec.get('ladder_steps', 0)} ladder steps, "
+            f"{rec.get('rebuilds', 0)} rebuilds"
+        ]
+        mttr_ms = rec.get("mttr_ms")
+        if mttr_ms is not None:
+            parts.append(f"MTTR {mttr_ms:.2f} ms")
+        retention = rec.get("goodput_retention")
+        if retention is not None:
+            parts.append(f"goodput retention {retention * 100:.1f}%")
+        return " — ".join(parts)
+
     def summary(self) -> str:
         """Human-readable metrics block (what ``repro serve-sim`` prints)."""
         replicas = len(self.replica_stats)
@@ -215,6 +237,8 @@ class ServingMetrics:
                     f"SLO attainment: 0.0% within "
                     f"{self.slo_cycles:,.0f} cycles"
                 )
+            if self.recovery is not None:
+                lines.append(self._recovery_line())
             return "\n".join(lines)
         lines = [
             f"served {self.requests} requests on {replicas} replica(s) "
@@ -247,6 +271,8 @@ class ServingMetrics:
                 f"SLO attainment: {self.slo_attainment * 100:.1f}% within "
                 f"{self.slo_cycles:,.0f} cycles"
             )
+        if self.recovery is not None:
+            lines.append(self._recovery_line())
         for stats in self.replica_stats:
             line = (
                 f"  replica {stats.replica_id}: {stats.requests} requests in "
@@ -273,6 +299,7 @@ def aggregate_metrics(
     retries: int = 0,
     slo_cycles: Optional[float] = None,
     arrival: Optional[dict] = None,
+    recovery: Optional[dict] = None,
 ) -> ServingMetrics:
     """Fold request records + replica counters into a ServingMetrics.
 
@@ -321,4 +348,5 @@ def aggregate_metrics(
         slo_cycles=slo_cycles,
         slo_attainment=slo_attainment,
         arrival=arrival,
+        recovery=recovery,
     )

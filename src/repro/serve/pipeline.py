@@ -105,14 +105,27 @@ class PipelineReplica:
     downstream stages drain concurrently with newly admitted batches.
     """
 
-    def __init__(self, replica_id: int, model: PipelineServiceModel):
+    def __init__(
+        self,
+        replica_id: int,
+        model: PipelineServiceModel,
+        ready_cycle: float = 0.0,
+        stats_base: Optional[int] = None,
+    ):
+        """``ready_cycle`` delays the whole pipeline's first admission —
+        a replica rebuilt mid-run (online re-partitioning) starts busy
+        until its re-plan and weight handover complete.  ``stats_base``
+        overrides the default per-stage stats-row ids, so a rebuilt
+        replica with a different stage count cannot collide with the
+        original fleet's rows."""
         self.replica_id = replica_id
         self.model = model
+        self.stats_base = stats_base
         stages = len(model.stages)
-        self._stage_busy_until = [0.0] * stages
+        self._stage_busy_until = [ready_cycle] * stages
         self._stage_busy_cycles = [0.0] * stages
         self._stage_wasted_cycles = [0.0] * stages
-        self._link_busy_until = [0.0] * (stages - 1)
+        self._link_busy_until = [ready_cycle] * (stages - 1)
         self.batches = 0
         self.requests = 0
         self.failed_batches = 0
@@ -253,9 +266,14 @@ class PipelineReplica:
         as a unit, not per stage — while each stage keeps its own wasted
         cycles.
         """
+        base = (
+            self.stats_base
+            if self.stats_base is not None
+            else self.replica_id * len(self.model.stages)
+        )
         return [
             ReplicaStats(
-                replica_id=self.replica_id * len(self.model.stages) + index,
+                replica_id=base + index,
                 batches=self.batches,
                 requests=self.requests,
                 busy_cycles=self._stage_busy_cycles[index],
@@ -283,9 +301,18 @@ class PipelineReplica:
         )
 
 
-def build_pipeline_model(plan) -> PipelineServiceModel:
-    """Derive the reference-cycle pipeline timing of a PartitionPlan."""
-    reference_hz = plan.fleet.reference_frequency_hz
+def build_pipeline_model(
+    plan, reference_hz: Optional[float] = None
+) -> PipelineServiceModel:
+    """Derive the reference-cycle pipeline timing of a PartitionPlan.
+
+    ``reference_hz`` overrides the plan's own reference clock — used
+    when a re-planned survivor pipeline must keep ticking in the
+    *original* fleet's reference cycles (the dead device may have been
+    the reference device).
+    """
+    if reference_hz is None:
+        reference_hz = plan.fleet.reference_frequency_hz
     stages = []
     for placement in plan.placements:
         device = placement.device
@@ -337,10 +364,23 @@ class PipelineFleetScheduler(FleetScheduler):
         retry: Optional[RetryPolicy] = None,
         max_queue: Optional[int] = None,
         slo_cycles: Optional[float] = None,
+        resilience=None,
+        replan_context=None,
+        replan_store=None,
+        replan_workers: Optional[int] = None,
     ):
+        """``resilience`` attaches the :mod:`repro.resilience` control
+        plane; on confirmed death of one stage's device the controller
+        re-partitions the network over the survivors.  Pass the original
+        search's ``replan_context`` or ``replan_store`` so the re-plan
+        runs through a warm cost cache (``replan_workers`` only changes
+        wall time, never the plan)."""
         if pipelines < 1:
             raise ServingError(f"need >= 1 pipeline, got {pipelines}")
         self.plan = plan
+        self.replan_context = replan_context
+        self.replan_store = replan_store
+        self.replan_workers = replan_workers
         model = build_pipeline_model(plan)
         super().__init__(
             model,
@@ -356,6 +396,7 @@ class PipelineFleetScheduler(FleetScheduler):
             retry=retry,
             max_queue=max_queue,
             slo_cycles=slo_cycles,
+            resilience=resilience,
         )
 
     def per_request_capacity_cycles(self) -> float:
@@ -387,4 +428,102 @@ class PipelineFleetScheduler(FleetScheduler):
         stats: List[ReplicaStats] = []
         for replica in fleet:
             stats.extend(replica.stage_stats())
+        if self._active_control is not None:
+            # A rebuilt replica replaced its PipelineReplica mid-run;
+            # the dead pipeline's rows were archived at swap time.
+            stats.extend(self._active_control.archived_stats)
+        stats.sort(key=lambda s: s.replica_id)
         return stats
+
+    def _build_control(self):
+        """Pipeline attempts span downstream-stage queueing, so the
+        latency-inflation trigger (calibrated against pure service
+        time) is disabled — a cleanly overloaded pipeline must not trip
+        the ladder; failures and confirmed deaths still do."""
+        if self.resilience is None:
+            return None
+        from repro.resilience.controller import RecoveryController
+
+        return RecoveryController(
+            self.resilience,
+            num_replicas=self.num_replicas,
+            base_max_batch=self.max_batch,
+            base_max_queue=self.max_queue,
+            fallback_available=False,
+            latency_trigger=False,
+        )
+
+    def _dead_stage(self, replica_id: int, cycle: float) -> List[int]:
+        """Stages of ``replica_id`` whose crash window covers ``cycle``."""
+        if self.faults is None:
+            return []
+        dead = set()
+        for fault in self.faults.of_kind("crash"):
+            if fault.replica != replica_id or fault.stage is None:
+                continue
+            start, end = fault.window
+            if start <= cycle < end:
+                dead.add(fault.stage)
+        return sorted(dead)
+
+    def _rebuild_replica(
+        self, control, fleet, replica_id: int, cycle: float
+    ) -> None:
+        """Online re-partitioning: replace a dead pipeline with a plan
+        over the surviving devices.
+
+        The survivor plan comes from the same cut-point DP that built
+        the original (through the warm cost store when one is wired),
+        rescaled into the original reference clock.  The rebuilt
+        replica becomes ready after the policy's re-plan latency plus
+        the new plan's weight handover, and — since its plan no longer
+        contains the dead device — it serves outside the original fault
+        schedule.
+        """
+        from repro.errors import ReproError
+        from repro.resilience.replan import (
+            handover_cycles,
+            replan_cycles,
+            replan_survivors,
+        )
+
+        dead = self._dead_stage(replica_id, cycle)
+        if len(dead) != 1:
+            control.note_rebuild_failed(
+                replica_id, cycle,
+                f"cannot identify a single dead stage (candidates {dead})",
+            )
+            return
+        try:
+            new_plan = replan_survivors(
+                self.plan,
+                dead[0],
+                context=self.replan_context,
+                store=self.replan_store,
+                workers=self.replan_workers,
+            )
+        except ReproError as exc:
+            control.note_rebuild_failed(replica_id, cycle, f"re-plan: {exc}")
+            return
+        model = build_pipeline_model(new_plan, reference_hz=self.frequency_hz)
+        ready = (
+            cycle
+            + replan_cycles(self.resilience, self.frequency_hz)
+            + handover_cycles(new_plan, self.frequency_hz)
+        )
+        index = next(
+            i for i, r in enumerate(fleet) if r.replica_id == replica_id
+        )
+        control.archive_stats(fleet[index].stage_stats())
+        stats_base = control.alloc_stats_base(
+            self.num_replicas * len(self.service_model.stages),
+            len(model.stages),
+        )
+        fleet[index] = PipelineReplica(
+            replica_id, model, ready_cycle=ready, stats_base=stats_base
+        )
+        control.note_rebuilt(
+            replica_id, cycle, ready,
+            f"re-planned over {len(new_plan.placements)} surviving "
+            f"stage(s); ready at cycle {ready:,.0f}",
+        )

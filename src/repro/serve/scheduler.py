@@ -48,6 +48,7 @@ import numpy as np
 
 from repro.faults import FaultInjector, FaultSpec, RetryPolicy
 from repro.optimizer.strategy import Strategy
+from repro.resilience.controller import RecoveryController, ResiliencePolicy
 from repro.serve.batcher import DynamicBatcher, InferenceRequest, ServingError
 from repro.serve.metrics import RequestRecord, ServingMetrics, aggregate_metrics
 from repro.serve.runtime import AcceleratorReplica, build_fleet
@@ -132,6 +133,9 @@ class FleetScheduler:
         retry: Optional[RetryPolicy] = None,
         max_queue: Optional[int] = None,
         slo_cycles: Optional[float] = None,
+        resilience: Optional[ResiliencePolicy] = None,
+        fallback_model: Optional[ServiceModel] = None,
+        fallback_swap_cycles: float = 0.0,
     ):
         """
         Args:
@@ -156,6 +160,14 @@ class FleetScheduler:
                 many requests already pending are shed (retries are
                 always admitted).  None: unbounded queue.
             slo_cycles: Latency SLO for the attainment metric.
+            resilience: Control-plane policy (:mod:`repro.resilience`).
+                None leaves the classic loop untouched; with a policy
+                attached and zero faults, the monitor observes but never
+                acts, so the run stays bit-identical.
+            fallback_model: Lower-resource service model pre-compiled at
+                plan time; the ladder's warm-swap rung serves it.
+            fallback_swap_cycles: Virtual-clock price of one warm swap
+                (the fallback strategy's weight-transfer cost).
         """
         self.policy = Policy(policy)
         if max_wait_cycles is None:
@@ -178,6 +190,12 @@ class FleetScheduler:
         if slo_cycles is not None and slo_cycles <= 0:
             raise ServingError(f"slo_cycles must be positive, got {slo_cycles}")
         self.slo_cycles = slo_cycles
+        self.resilience = resilience
+        self.fallback_model = fallback_model
+        self.fallback_swap_cycles = fallback_swap_cycles
+        if fallback_swap_cycles < 0:
+            raise ServingError("fallback_swap_cycles must be >= 0")
+        self._active_control: Optional[RecoveryController] = None
         # build_fleet validates replicas >= 1; the batcher validates
         # max_batch / max_wait_cycles; building the injector validates
         # the fault spec against the fleet shape.
@@ -198,6 +216,8 @@ class FleetScheduler:
         retry: Optional[RetryPolicy] = None,
         max_queue: Optional[int] = None,
         slo_cycles: Optional[float] = None,
+        resilience: Optional[ResiliencePolicy] = None,
+        fallback: Optional[Strategy] = None,
         verify: bool = True,
     ) -> "FleetScheduler":
         """Build a fleet serving ``strategy``, metrics wired to its device.
@@ -206,11 +226,34 @@ class FleetScheduler:
         admission, so a stale or hand-edited artifact is rejected with a
         :class:`~repro.errors.VerificationError` before it serves traffic;
         the serving behaviour itself is unchanged either way.
+
+        ``fallback`` is a lower-resource strategy for the same network
+        and device, pre-compiled at plan time; the control plane's
+        warm-swap rung serves it, charging the swap at the fallback's
+        weight-transfer cost.  Requires ``resilience``.
         """
         if verify:
             from repro.check.invariants import verify_strategy
 
             verify_strategy(strategy).raise_if_failed()
+        fallback_model = None
+        fallback_swap = 0.0
+        if fallback is not None:
+            if resilience is None:
+                raise ServingError(
+                    "a fallback strategy needs a resilience policy"
+                )
+            if verify:
+                from repro.check.invariants import verify_strategy
+
+                verify_strategy(fallback).raise_if_failed()
+            fallback_model = build_service_model(fallback)
+            device = strategy.device
+            fallback_swap = (
+                fallback.weight_transfer_bytes
+                / device.bandwidth_bytes_per_s
+                * device.frequency_hz
+            )
         return cls(
             build_service_model(strategy),
             replicas=replicas,
@@ -225,6 +268,9 @@ class FleetScheduler:
             retry=retry,
             max_queue=max_queue,
             slo_cycles=slo_cycles,
+            resilience=resilience,
+            fallback_model=fallback_model,
+            fallback_swap_cycles=fallback_swap,
         )
 
     @classmethod
@@ -240,6 +286,7 @@ class FleetScheduler:
         retry: Optional[RetryPolicy] = None,
         max_queue: Optional[int] = None,
         slo_cycles: Optional[float] = None,
+        resilience: Optional[ResiliencePolicy] = None,
         verify: bool = True,
     ) -> "FleetScheduler":
         """Build a fleet serving a branch-aware graph strategy.
@@ -269,6 +316,7 @@ class FleetScheduler:
             retry=retry,
             max_queue=max_queue,
             slo_cycles=slo_cycles,
+            resilience=resilience,
         )
 
     # -- capacity helpers ----------------------------------------------------
@@ -301,6 +349,83 @@ class FleetScheduler:
         """Per-executor stats for the metrics (overridable: per stage)."""
         return [replica.stats() for replica in fleet]
 
+    # -- the control plane (inert unless a resilience policy is attached) ----
+
+    def _build_control(self) -> Optional[RecoveryController]:
+        """A fresh controller per run; None without a resilience policy."""
+        if self.resilience is None:
+            return None
+        return RecoveryController(
+            self.resilience,
+            num_replicas=self.num_replicas,
+            base_max_batch=self.max_batch,
+            base_max_queue=self.max_queue,
+            fallback_available=self.fallback_model is not None,
+            latency_trigger=True,
+            baseline_fn=self.service_model.batch_cycles,
+        )
+
+    def _apply_control(
+        self, control: RecoveryController, fleet, batcher: DynamicBatcher
+    ) -> None:
+        """Drain the controller's decisions into the running fleet."""
+        for action in control.pop_actions():
+            if action.kind == "shrink_batch":
+                batcher.max_batch = control.max_batch
+            elif action.kind == "fallback_swap":
+                self._apply_fallback(control, fleet, action.cycle)
+            elif action.kind == "shed":
+                pass  # admission reads control.max_queue directly
+            elif action.kind == "rebuild":
+                self._rebuild_replica(control, fleet, action.replica,
+                                      action.cycle)
+
+    def _apply_fallback(
+        self, control: RecoveryController, fleet, cycle: float
+    ) -> None:
+        """Warm-swap every replica to the pre-compiled fallback strategy.
+
+        The swap is charged on the virtual clock at the fallback's
+        weight-transfer cost: each replica finishes its in-flight batch,
+        then spends ``fallback_swap_cycles`` loading weights before it
+        accepts new work.
+        """
+        for replica in fleet:
+            replica.service_model = self.fallback_model
+            replica.busy_until = (
+                max(replica.busy_until, cycle) + self.fallback_swap_cycles
+            )
+        control.set_default_baseline(self.fallback_model.batch_cycles)
+
+    def _rebuild_replica(
+        self, control: RecoveryController, fleet, replica_id: int,
+        cycle: float,
+    ) -> None:
+        """A flat fleet has no survivor plan to rebuild from: there is
+        one device per replica and a dead device stays dead — retries
+        fail over to the surviving replicas instead (overridden by
+        pipelined fleets, which re-partition over the survivors)."""
+        control.note_rebuild_failed(
+            replica_id, cycle,
+            "flat fleet: no survivor plan (failover handles the loss)",
+        )
+
+    def _control_dead_fleet(
+        self, control: RecoveryController, fleet, clock: float, injector,
+        batcher: DynamicBatcher,
+    ) -> bool:
+        """Give the control plane one shot before the mass-fail fallback.
+
+        Confirms deaths the attempt path never observed (a crash window
+        that opened while the replica sat idle) and applies any rebuild
+        the controller ordered.  True when a rebuild succeeded — the
+        caller should re-pick a target instead of failing the queue.
+        """
+        if not control.check_dead_fleet(fleet, clock, injector):
+            return False
+        self._apply_control(control, fleet, batcher)
+        return bool(control.rebuilt)
+
     def _pick_replica(
         self, fleet, rotation: int, clock: float, injector
     ) -> Tuple[Optional[AcceleratorReplica], float]:
@@ -318,9 +443,21 @@ class FleetScheduler:
             else:
                 target = min(fleet, key=lambda r: (r.busy_until, r.replica_id))
             return target, target.busy_until
+        # A rebuilt replica runs the re-planned survivor pipeline: the
+        # dead device is no longer part of it, so the original fault
+        # schedule does not apply — it bypasses the injector.
+        rebuilt = (
+            self._active_control.rebuilt
+            if self._active_control is not None
+            else {}
+        )
         ready = {
-            r.replica_id: injector.available_from(
-                r.replica_id, max(clock, r.busy_until)
+            r.replica_id: (
+                max(clock, r.busy_until)
+                if r.replica_id in rebuilt
+                else injector.available_from(
+                    r.replica_id, max(clock, r.busy_until)
+                )
             )
             for r in fleet
         }
@@ -364,6 +501,8 @@ class FleetScheduler:
         ]
         fleet = self._build_replicas()
         injector = self._build_injector()
+        control = self._build_control()
+        self._active_control = control
         batcher = DynamicBatcher(self.max_batch, self.max_wait_cycles)
         backoff_base = self.retry.backoff_cycles
         if backoff_base is None:
@@ -392,7 +531,12 @@ class FleetScheduler:
             Fresh arrivals are subject to admission control: with
             ``max_queue`` set and the queue full, the request is shed.
             Retries are always admitted — they already hold completed
-            queueing credit and shedding them would waste the backoff.
+            queueing credit and shedding them would waste the backoff —
+            unless their deadline has already passed by admission time:
+            the clock can run past a queued retry's rearrival (a full
+            batch dispatches without draining the admission stream), and
+            a request admitted at or after its deadline would only burn
+            a doomed service attempt.
             """
             nonlocal next_arrival
             trace_cycle = (
@@ -401,12 +545,24 @@ class FleetScheduler:
                 else math.inf
             )
             if retry_heap and retry_heap[0][0] <= trace_cycle:
-                _, _, request = heappop(retry_heap)
+                rearrival, _, request = heappop(retry_heap)
+                at = max(clock, rearrival)
+                deadline_at = (
+                    request.origin_cycle + self.retry.deadline_cycles
+                    if self.retry.deadline_cycles is not None
+                    else math.inf
+                )
+                if at >= deadline_at:
+                    drop_failed(request, at, at, -1, 0)
+                    return
                 batcher.add(request)
                 return
             request = requests[next_arrival]
             next_arrival += 1
-            if self.max_queue is not None and len(batcher) >= self.max_queue:
+            max_queue = (
+                control.max_queue if control is not None else self.max_queue
+            )
+            if max_queue is not None and len(batcher) >= max_queue:
                 failures.append(
                     RequestRecord(
                         request_id=request.request_id,
@@ -448,6 +604,14 @@ class FleetScheduler:
                 fleet, rotation, clock, injector
             )
             if target is None:
+                # Before declaring the fleet dead, give the control
+                # plane one shot: a crash that opened while the fleet
+                # sat idle was never seen by the attempt path, and a
+                # pipelined fleet can re-plan over the survivors.
+                if control is not None and self._control_dead_fleet(
+                    control, fleet, clock, injector, batcher
+                ):
+                    continue
                 # Every replica is permanently down: the queue, pending
                 # retries, and all future arrivals fail — nothing will
                 # ever serve them.
@@ -480,8 +644,16 @@ class FleetScheduler:
                 continue
             clock = dispatch_at
             batch = batcher.pop_batch(clock)
-            attempt = target.execute_attempt(batch, clock, injector)
+            exec_injector = injector
+            if control is not None and target.replica_id in control.rebuilt:
+                exec_injector = None  # survivor plan: old schedule is void
+            attempt = target.execute_attempt(batch, clock, exec_injector)
             rotation += 1
+            if control is not None:
+                control.observe(
+                    target.replica_id, attempt, len(batch), injector
+                )
+                self._apply_control(control, fleet, batcher)
             if attempt.ok:
                 for request in batch:
                     records.append(
@@ -527,6 +699,11 @@ class FleetScheduler:
                     )
         records.sort(key=lambda r: r.request_id)
         failures.sort(key=lambda r: r.request_id)
+        recovery = (
+            control.finalize(records, self.frequency_hz)
+            if control is not None
+            else None
+        )
         metrics = aggregate_metrics(
             records,
             self._collect_stats(fleet),
@@ -538,7 +715,9 @@ class FleetScheduler:
             retries=retries,
             slo_cycles=self.slo_cycles,
             arrival=arrival,
+            recovery=recovery,
         )
+        self._active_control = None
         return ServingResult(
             records=tuple(records),
             metrics=metrics,

@@ -86,6 +86,8 @@ class CompileResult:
         retry=None,
         max_queue: Optional[int] = None,
         slo_cycles: Optional[float] = None,
+        resilience=None,
+        fallback: Optional[Strategy] = None,
         verify: bool = True,
     ) -> "FleetScheduler":
         """Stand up a simulated serving fleet for this compiled design.
@@ -95,8 +97,11 @@ class CompileResult:
         ``replicas`` copies of the accelerator with dynamic batching.
         Pass ``faults`` (a :class:`repro.faults.FaultSpec` or its CLI
         string form) for deterministic chaos runs — see
-        :mod:`repro.faults`.  ``verify`` re-runs the strategy invariant
-        validators at admission (see :mod:`repro.check`).
+        :mod:`repro.faults`.  ``resilience`` attaches the
+        :mod:`repro.resilience` control plane; ``fallback`` is a
+        lower-resource strategy for its warm-swap rung (see
+        :meth:`fallback_strategy`).  ``verify`` re-runs the strategy
+        invariant validators at admission (see :mod:`repro.check`).
         """
         from repro.serve.scheduler import FleetScheduler
 
@@ -111,7 +116,26 @@ class CompileResult:
             retry=retry,
             max_queue=max_queue,
             slo_cycles=slo_cycles,
+            resilience=resilience,
+            fallback=fallback,
             verify=verify,
+        )
+
+    def fallback_strategy(self) -> Strategy:
+        """A lower-resource fallback pre-compiled for the ladder's swap rung.
+
+        Re-optimizes the same network on the same device restricted to
+        the conventional algorithm everywhere — uniformly cheaper in DSP
+        demand than the heterogeneous optimum, with the same transfer
+        constraint the primary compile used — so the control plane can
+        warm-swap to it when the primary degrades.
+        """
+        from repro.baselines.homogeneous import homogeneous_optimize
+        from repro.perf.implement import Algorithm
+
+        constraint = self.network.feature_map_bytes(self.device.element_bytes)
+        return homogeneous_optimize(
+            self.network, self.device, constraint, Algorithm.CONVENTIONAL
         )
 
     def summary(self) -> str:
@@ -171,6 +195,7 @@ class GraphCompileResult:
         retry=None,
         max_queue: Optional[int] = None,
         slo_cycles: Optional[float] = None,
+        resilience=None,
         verify: bool = True,
     ) -> "FleetScheduler":
         """Stand up a simulated serving fleet for this compiled graph.
@@ -178,7 +203,8 @@ class GraphCompileResult:
         Branch stages are lowered to the standard pipelined service
         model (see :func:`repro.sim.build_graph_service_model`), so the
         scheduler, batching and fault machinery are shared with the
-        chain path unchanged.
+        chain path unchanged (``resilience`` included; graph strategies
+        have no fallback rung).
         """
         from repro.serve.scheduler import FleetScheduler
 
@@ -193,6 +219,7 @@ class GraphCompileResult:
             retry=retry,
             max_queue=max_queue,
             slo_cycles=slo_cycles,
+            resilience=resilience,
             verify=verify,
         )
 

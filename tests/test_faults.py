@@ -298,6 +298,41 @@ class TestSchedulerUnderFaults:
         assert failure.attempts == 2
         assert failure.completion_cycle == 250
 
+    def test_retry_at_deadline_boundary_is_shed_at_admission(self):
+        # Pin the admission-time boundary: a queued retry whose admission
+        # cycle lands exactly ON its deadline is shed, not re-queued.
+        # One replica, max_batch=2, six arrivals at 0, every attempt
+        # fails (100*B cycles each).  Full batches keep dispatching from
+        # the pre-filled queue, so the clock overtakes the waiting
+        # retries without admission ever running:
+        #   batch [0,1] runs 0-200, rearrival 205 < deadline 400 -> retry
+        #   batch [2,3] runs 200-400, rearrival 405 >= 400 -> dropped
+        #   batch [4,5] runs 400-600 (still a full batch), dropped too
+        #   queue empty at clock 400 (the [4,5] dispatch instant):
+        #       retries 0,1 pop with admission cycle max(400, 205) = 400,
+        #       exactly their deadline -> shed, no third dispatch at 600
+        result = scheduler(
+            replicas=1,
+            max_batch=2,
+            faults="transient:p=1",
+            retry=RetryPolicy(
+                max_attempts=10, backoff_cycles=5, deadline_cycles=400
+            ),
+        ).run([0.0] * 6)
+        assert result.metrics.requests == 0
+        assert result.metrics.failed == 6
+        assert result.metrics.retries == 2  # only 0 and 1 re-queued
+        boundary = [f for f in result.failures if f.request_id in (0, 1)]
+        for failure in boundary:
+            assert failure.outcome == "failed"
+            assert failure.attempts == 2
+            # Dropped at admission, never dispatched: the record carries
+            # the admission cycle, no replica, and an empty batch.
+            assert failure.completion_cycle == 400
+            assert failure.dispatch_cycle == 400
+            assert failure.replica_id == -1
+            assert failure.batch_size == 0
+
     def test_attempts_exhaustion_drops_the_request(self):
         result = scheduler(
             replicas=1,
