@@ -29,7 +29,13 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 
 def write_result(name: str, text: str) -> None:
-    """Persist a regenerated table/series and echo it to stdout."""
+    """Persist a regenerated table/series and echo it to stdout.
+
+    ``atomic_write_text`` routes through the process fault shim
+    (``repro.faults.process``): a benchmark run killed mid-write leaves
+    the previous result intact, never a half-written table.  The
+    guarantee matrix in ``docs/durability.md`` covers this path.
+    """
     from repro.check.artifacts import atomic_write_text
 
     RESULTS_DIR.mkdir(exist_ok=True)

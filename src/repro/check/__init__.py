@@ -14,6 +14,10 @@ Three layers of defense for every artifact the toolflow produces:
 * :mod:`repro.check.consistency` — cross-model checks (analytic cost vs
   simulator, simulator vs the functional reference, DP vs the
   exhaustive oracle) behind ``repro check`` / ``repro doctor``.
+* :mod:`repro.check.durability` — the kill-point torture harness:
+  forked children hard-killed at every registered crash point, then
+  verified, recovered and digest-compared against an uninterrupted run
+  (``repro torture``; see ``docs/durability.md``).
 """
 
 from repro.check.artifacts import (
@@ -29,6 +33,12 @@ from repro.check.artifacts import (
     save_artifact,
     wrap_payload,
 )
+from repro.check.durability import (
+    TortureReport,
+    durability_probe,
+    run_chaos_sweep,
+    run_kill_point_matrix,
+)
 from repro.check.invariants import (
     VerificationReport,
     Violation,
@@ -41,15 +51,19 @@ from repro.check.invariants import (
 __all__ = [
     "ENVELOPE_VERSION",
     "Envelope",
+    "TortureReport",
     "VerificationReport",
     "Violation",
     "atomic_write_text",
     "device_digest",
+    "durability_probe",
     "load_envelope",
     "network_digest",
     "parse_envelope",
     "payload_sha256",
     "register_migration",
+    "run_chaos_sweep",
+    "run_kill_point_matrix",
     "save_artifact",
     "verify_fleet_config",
     "verify_graph_strategy",

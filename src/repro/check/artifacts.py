@@ -46,6 +46,16 @@ from repro.errors import (
     ArtifactSchemaError,
     ArtifactVersionError,
 )
+from repro.faults.process import (
+    POINT_JOURNAL_APPENDED,
+    POINT_JOURNAL_SYNCED,
+    POINT_REPLACED,
+    POINT_SYNCED,
+    POINT_TEMP_WRITTEN,
+    crash_point,
+    fs_fsync,
+    fs_write,
+)
 
 #: Current envelope schema version.
 ENVELOPE_VERSION = 1
@@ -67,6 +77,7 @@ E_FIELD_VALUE = "E_FIELD_VALUE"  # field well-typed but invalid
 E_KIND = "E_KIND"  # artifact kind does not match expectation
 E_VERSION = "E_VERSION"  # schema version has no loader/migration
 E_CHECKSUM = "E_CHECKSUM"  # payload bytes do not match the checksum
+E_LOCK = "E_LOCK"  # a file lock could not be acquired
 E_NETWORK = "E_NETWORK"  # artifact belongs to a different network
 E_DEVICE = "E_DEVICE"  # artifact references an unknown device
 E_DRIFT = "E_DRIFT"  # recorded cost disagrees with the cost model
@@ -94,10 +105,12 @@ def atomic_write_text(path: Union[str, Path], text: str) -> Path:
     )
     try:
         with os.fdopen(fd, "w") as handle:
-            handle.write(text)
-            handle.flush()
-            os.fsync(handle.fileno())
+            fs_write(handle, text, label=path.name)
+            crash_point(POINT_TEMP_WRITTEN)
+            fs_fsync(handle, label=path.name)
+        crash_point(POINT_SYNCED)
         os.replace(tmp_name, path)
+        crash_point(POINT_REPLACED)
     except BaseException:
         try:
             os.unlink(tmp_name)
@@ -475,10 +488,23 @@ def append_envelope_line(
     path = Path(path)
     document = wrap_payload(kind, payload, digests)
     line = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    # A crash (or torn write) can leave the final line without its
+    # newline; appending straight after would weld the new record onto
+    # the damaged tail and lose both.  Terminate any such tail first so
+    # the damage stays confined to the one already-lost line.
+    try:
+        with open(path, "rb") as probe:
+            probe.seek(-1, os.SEEK_END)
+            needs_newline = probe.read(1) != b"\n"
+    except (OSError, ValueError):
+        needs_newline = False
     with open(path, "a", encoding="utf-8") as handle:
-        handle.write(line + "\n")
-        handle.flush()
-        os.fsync(handle.fileno())
+        if needs_newline:
+            handle.write("\n")
+        fs_write(handle, line + "\n", label=path.name)
+        crash_point(POINT_JOURNAL_APPENDED)
+        fs_fsync(handle, label=path.name)
+        crash_point(POINT_JOURNAL_SYNCED)
     return path
 
 

@@ -485,6 +485,13 @@ def doctor(deep: bool = False, workdir=None) -> DoctorReport:
             f"{recovery['mttr_cycles']:,.0f} cycles, bit-identical rerun"
         )
 
+    def durability() -> str:
+        from pathlib import Path
+
+        from repro.check.durability import durability_probe
+
+        return durability_probe(Path(state["dir"]) / "durability")
+
     def serving_smoke() -> str:
         import numpy as np
 
@@ -512,6 +519,7 @@ def doctor(deep: bool = False, workdir=None) -> DoctorReport:
         _run("dag-probe", dag_probe, results)
         _run("traffic-determinism", traffic_probe, results)
         _run("recovery-probe", recovery_probe, results)
+        _run("durability-probe", durability, results)
         if deep:
             _run("dp-vs-oracle", dp_oracle, results)
             if "compiled" in state:

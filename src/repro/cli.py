@@ -369,14 +369,30 @@ def _cmd_sweep_grid(args: argparse.Namespace) -> int:
     store = None
     if not args.no_cache:
         store = args.cache or (out_dir / "cost_store")
-    result = sweep_grid(
-        spec,
-        out_dir,
-        store=store,
-        workers=args.workers,
-        resume=args.resume,
-        log=None if args.json else print,
-    )
+    # A SIGTERM (scheduler preemption, timeout kill) must behave like
+    # Ctrl-C: the engine flushes its journal, tears the pool down, and
+    # surfaces one resumable-state line instead of a traceback.
+    import signal
+
+    def _terminate(_signum, _frame):
+        raise KeyboardInterrupt
+
+    previous_term = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        result = sweep_grid(
+            spec,
+            out_dir,
+            store=store,
+            workers=args.workers,
+            resume=args.resume,
+            log=None if args.json else print,
+            faults=args.faults,
+            fault_seed=args.fault_seed,
+            point_timeout_s=args.point_timeout,
+            max_retries=args.max_retries,
+        )
+    finally:
+        signal.signal(signal.SIGTERM, previous_term)
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
         return 0 if result.ok else 1
@@ -964,6 +980,23 @@ def _check_one(path: Path, model: Optional[str]) -> List[str]:
             f"{summary.get('rebuilds', 0)} rebuild(s)"
         )
         return []
+    if envelope.kind == "torture_report":
+        # The checksum is the integrity witness; schema-check the cells
+        # and re-assert the verdict the harness recorded.
+        payload = envelope.payload
+        cells = payload.get("cells")
+        if not isinstance(cells, list) or "ok" not in payload:
+            return [f"{path}: torture_report payload missing cells/ok"]
+        failed = [cell for cell in cells if not cell.get("ok")]
+        uncovered = payload.get("uncovered_points", [])
+        print(
+            f"{path}: {len(cells)} torture cell(s), "
+            f"{len(failed)} failed, "
+            f"{len(uncovered)} uncovered point(s)"
+        )
+        if not payload["ok"]:
+            return [f"{path}: torture report records failures"]
+        return []
 
     name = model or envelope.payload.get("network")
     if not isinstance(name, str):
@@ -1013,6 +1046,45 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
     from repro.check.consistency import doctor
 
     report = doctor(deep=args.deep)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_torture(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.check.durability import (
+        run_chaos_sweep,
+        run_kill_point_matrix,
+        save_torture_report,
+    )
+
+    emit = (lambda _line: None) if args.json else print
+    workloads = (
+        [name.strip() for name in args.workloads.split(",")]
+        if args.workloads
+        else None
+    )
+    with tempfile.TemporaryDirectory(dir=args.workdir) as tmp:
+        report = run_kill_point_matrix(
+            Path(tmp), workloads=workloads, log=emit
+        )
+        if args.chaos:
+            report.chaos = run_chaos_sweep(
+                Path(tmp) / "chaos",
+                workers=args.workers,
+                kill_p=args.kill_p,
+                eio_p=args.eio_p,
+                seed=args.seed,
+                max_retries=args.max_retries,
+                log=emit,
+            )
+    if args.report:
+        save_torture_report(args.report, report)
+        emit(f"report: {args.report}")
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:
@@ -1188,6 +1260,26 @@ def build_parser() -> argparse.ArgumentParser:
     grid_p.add_argument(
         "--json", action="store_true",
         help="emit the full sweep result as JSON instead of the table",
+    )
+    grid_p.add_argument(
+        "--point-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-point hang budget: a worker silent this long is "
+        "terminated and its point requeued (default: no hang detection)",
+    )
+    grid_p.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="requeues per point after worker deaths/hangs before it "
+        "is recorded as failed (default 2)",
+    )
+    grid_p.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inject deterministic process faults into the workers "
+        "(torture testing), e.g. 'kill:p=0.2,point=sweep.point_start"
+        ";eio:p=0.05'",
+    )
+    grid_p.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the --faults schedule (default 0)",
     )
     grid_p.set_defaults(func=_cmd_sweep_grid)
 
@@ -1559,6 +1651,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the check results as JSON instead of the summary",
     )
     doctor_p.set_defaults(func=_cmd_doctor)
+
+    torture_p = sub.add_parser(
+        "torture",
+        help="crash-consistency torture: kill a child at every "
+        "registered crash point, verify and recover (docs/durability.md)",
+    )
+    torture_p.add_argument(
+        "--workloads", default=None, metavar="LIST",
+        help="comma-separated workload subset (artifact, journal, "
+        "cost_store, sweep); default: all of them",
+    )
+    torture_p.add_argument(
+        "--chaos", action="store_true",
+        help="also run the chaos sweep: seeded worker kills + EIO must "
+        "produce records checksum-equal to the fault-free sweep",
+    )
+    torture_p.add_argument(
+        "--kill-p", type=float, default=0.2,
+        help="chaos worker-kill probability per point pickup (default 0.2)",
+    )
+    torture_p.add_argument(
+        "--eio-p", type=float, default=0.05,
+        help="chaos injected-EIO probability per write (default 0.05)",
+    )
+    torture_p.add_argument(
+        "--seed", type=int, default=7, help="chaos fault seed (default 7)"
+    )
+    torture_p.add_argument(
+        "--workers", type=int, default=2,
+        help="chaos sweep worker processes (default 2)",
+    )
+    torture_p.add_argument(
+        "--max-retries", type=int, default=5,
+        help="chaos per-point requeue budget (default 5)",
+    )
+    torture_p.add_argument(
+        "--workdir", default=None, metavar="DIR",
+        help="parent directory for the scratch tree (default: system tmp)",
+    )
+    torture_p.add_argument(
+        "--report", default=None, metavar="FILE",
+        help="also save the full report as a torture_report artifact",
+    )
+    torture_p.add_argument(
+        "--json", action="store_true",
+        help="emit the report as JSON instead of the summary",
+    )
+    torture_p.set_defaults(func=_cmd_torture)
     return parser
 
 
@@ -1572,6 +1712,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         # infeasible strategy, unwritable output directory, ...
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        # Ctrl-C outside a command's own handling (the sweep engine
+        # converts its interrupts into a resumable-state SweepError
+        # before this is reached).
+        print("error: interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,11 +22,13 @@ from repro.dse.store import (
     key_digest,
     resolve_store,
 )
+from repro.dse.supervisor import SupervisedPool, SupervisorStats
 from repro.dse.sweep import (
     POINT_KIND,
     RESULTS_KIND,
     SweepEngine,
     SweepResult,
+    records_digest,
     sweep_grid,
 )
 
@@ -40,10 +42,13 @@ __all__ = [
     "CostStoreStats",
     "GridPoint",
     "GridSpec",
+    "SupervisedPool",
+    "SupervisorStats",
     "SweepEngine",
     "SweepResult",
     "default_store_root",
     "key_digest",
+    "records_digest",
     "resolve_store",
     "sweep_grid",
 ]

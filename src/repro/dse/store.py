@@ -42,6 +42,7 @@ Layout and discipline:
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import os
 import threading
@@ -53,11 +54,17 @@ from typing import Dict, Hashable, List, Mapping, Optional, Tuple, Union
 
 from repro.check.artifacts import (
     E_FIELD_VALUE,
+    E_LOCK,
     load_envelope,
     require,
     save_artifact,
 )
-from repro.errors import ArtifactError, ArtifactSchemaError
+from repro.errors import ArtifactError, ArtifactIntegrityError, ArtifactSchemaError
+from repro.faults.process import (
+    POINT_STORE_LOCKED,
+    POINT_STORE_SHARD_WRITTEN,
+    crash_point,
+)
 from repro.hardware.resources import ResourceVector
 from repro.perf.implement import Algorithm, Implementation, WeightMode
 
@@ -81,6 +88,21 @@ STORE_ENV = "REPRO_COST_CACHE"
 
 #: Hex digits of the digest that select a shard file (256 shards).
 _SHARD_CHARS = 2
+
+#: Shard-lock acquisition attempts before giving up with ``E_LOCK``.
+LOCK_ATTEMPTS = 5
+
+#: Base backoff between lock attempts (doubles each retry).
+LOCK_BACKOFF_S = 0.05
+
+#: ``flock`` errnos meaning "this filesystem cannot lock" (NFS without
+#: lockd, some overlay/network mounts) — permanent, so retrying is
+#: pointless; the store degrades to lockless writes instead.
+_FLOCK_UNSUPPORTED = {
+    getattr(errno, name)
+    for name in ("ENOTSUP", "EOPNOTSUPP", "ENOSYS", "EINVAL")
+    if hasattr(errno, name)
+}
 
 
 def default_store_root() -> Path:
@@ -239,6 +261,14 @@ class CostStore:
         #: Damaged shards/entries observed (and healed around) so far.
         self.corrupt_shards = 0
         self.corrupt_entries = 0
+        #: Flushes that proceeded locklessly because the filesystem
+        #: cannot ``flock`` (NFS and friends); merge-on-write still
+        #: bounds the damage to losing a concurrent writer's entries.
+        self.lock_fallbacks = 0
+        #: Transient lock failures that succeeded on retry.
+        self.lock_retries = 0
+        # Once flock proves unsupported here, stop re-probing it.
+        self._locks_unsupported = False
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CostStore({str(self.root)!r})"
@@ -257,20 +287,61 @@ class CostStore:
             return []
         return sorted(self.shards_dir.glob("*.json"))
 
+    def _acquire_shard_lock(self, shard_id: str):
+        """Open + ``flock`` one shard's lock file, with bounded retry.
+
+        Returns the locked file handle, or ``None`` when this
+        filesystem cannot lock at all (counted in
+        :attr:`lock_fallbacks`; the flush proceeds locklessly).
+
+        Raises:
+            ArtifactIntegrityError: ``E_LOCK`` when acquisition keeps
+                failing transiently after :data:`LOCK_ATTEMPTS` tries —
+                never a bare ``OSError`` from deep inside a flush.
+        """
+        if fcntl is None or self._locks_unsupported:
+            self.lock_fallbacks += 1
+            return None
+        lock_path = self.locks_dir / f"{shard_id}.lock"
+        last_error: Optional[OSError] = None
+        for attempt in range(LOCK_ATTEMPTS):
+            if attempt:
+                self.lock_retries += 1
+                time.sleep(LOCK_BACKOFF_S * (2 ** (attempt - 1)))
+            handle = None
+            try:
+                self.locks_dir.mkdir(parents=True, exist_ok=True)
+                handle = open(lock_path, "a+")
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                return handle
+            except OSError as exc:
+                if handle is not None:
+                    handle.close()
+                if exc.errno in _FLOCK_UNSUPPORTED:
+                    self._locks_unsupported = True
+                    self.lock_fallbacks += 1
+                    return None
+                last_error = exc
+        raise ArtifactIntegrityError(
+            E_LOCK,
+            "$",
+            f"cannot lock cost-store shard {shard_id} after "
+            f"{LOCK_ATTEMPTS} attempts: {last_error}",
+        )
+
     @contextmanager
     def _shard_lock(self, shard_id: str):
         """Cross-process mutual exclusion for one shard's read-merge-write."""
-        self.locks_dir.mkdir(parents=True, exist_ok=True)
-        lock_path = self.locks_dir / f"{shard_id}.lock"
-        handle = open(lock_path, "a+")
+        handle = self._acquire_shard_lock(shard_id)
         try:
-            if fcntl is not None:
-                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
             yield
         finally:
-            if fcntl is not None:
-                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
-            handle.close()
+            if handle is not None:
+                try:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+                except OSError:
+                    pass  # the close below releases the lock anyway
+                handle.close()
 
     # -- loading -------------------------------------------------------------
 
@@ -364,8 +435,10 @@ class CostStore:
         for shard_id, fresh in sorted(by_shard.items()):
             with self._shard_lock(shard_id):
                 merged = self._read_for_merge(shard_id)
+                crash_point(POINT_STORE_LOCKED)
                 merged.update(fresh)
                 self._write_shard(shard_id, merged)
+                crash_point(POINT_STORE_SHARD_WRITTEN)
         return sum(len(fresh) for fresh in by_shard.values())
 
     def _read_for_merge(self, shard_id: str) -> Dict[str, dict]:

@@ -25,19 +25,33 @@ independent, and every cached value is a pure function of its key
 
 from __future__ import annotations
 
+import dataclasses
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.check.artifacts import (
     append_envelope_line,
+    payload_sha256,
     read_envelope_lines,
     save_artifact,
 )
 from repro.dse.grid import GridPoint, GridSpec
 from repro.dse.store import CostStore, resolve_store
-from repro.errors import ReproError, SweepError
+from repro.dse.supervisor import SupervisedPool
+from repro.errors import ArtifactError, ReproError, SweepError, SweepInterrupted
+from repro.faults.process import (
+    POINT_SWEEP_DONE,
+    POINT_SWEEP_JOURNALED,
+    POINT_SWEEP_START,
+    ProcessFaultSpec,
+    clear_process_faults,
+    crash_point,
+    derive_seed,
+    install_process_faults,
+)
 
 #: Artifact kinds of the journal lines and the final results file.
 POINT_KIND = "sweep_point"
@@ -112,8 +126,18 @@ def _execute_point(point: GridPoint, store: Optional[CostStore]) -> dict:
             "effective_gops": plan.effective_gops(),
             "plan": plan.to_dict(),
         }
-    context.flush_store()
-    result["telemetry"] = context.stats.to_dict()
+    # The point's result is already computed and correct; a failed
+    # write-back only costs future warm starts.  EvalContext degrades
+    # itself (counted in its telemetry); the belt-and-braces except
+    # covers stores that are not EvalContext-managed.
+    try:
+        context.flush_store()
+        telemetry = context.stats.to_dict()
+    except (OSError, ArtifactError) as exc:
+        telemetry = context.stats.to_dict()
+        telemetry["store_flush_errors"] = 1
+        telemetry["store_flush_error"] = str(exc)
+    result["telemetry"] = telemetry
     return result
 
 
@@ -121,18 +145,34 @@ def run_point_job(job: dict) -> dict:
     """Pool worker entry: one grid point -> one journal record payload.
 
     Takes a plain dict (pickled across the process boundary) of the
-    point and the store root; every :class:`~repro.errors.ReproError`
-    is folded into the record so one infeasible point never kills the
-    sweep.
+    point, the store root and an optional
+    :class:`~repro.faults.process.ProcessFaultSpec`; every
+    :class:`~repro.errors.ReproError` is folded into the record so one
+    infeasible point never kills the sweep.  The fault seed is derived
+    per ``(point, attempt)``: a retried point redraws its fate, so an
+    injected kill costs one requeue, never the whole sweep.
     """
     point = GridPoint.from_dict(job["point"])
     store = CostStore(job["store_root"]) if job.get("store_root") else None
+    faults: Optional[ProcessFaultSpec] = job.get("faults")
+    if faults is not None:
+        install_process_faults(
+            faults,
+            seed=derive_seed(
+                job.get("fault_seed", 0), point.point_id, job.get("attempt", 0)
+            ),
+        )
     started = time.perf_counter()
     try:
+        crash_point(POINT_SWEEP_START)
         result = _execute_point(point, store)
+        crash_point(POINT_SWEEP_DONE)
         ok, error = True, None
     except ReproError as exc:
         result, ok, error = {}, False, str(exc)
+    finally:
+        if faults is not None:
+            clear_process_faults()
     return {
         "point_id": point.point_id,
         "point": point.to_dict(),
@@ -141,6 +181,49 @@ def run_point_job(job: dict) -> dict:
         "result": result,
         "elapsed_s": time.perf_counter() - started,
     }
+
+
+def _worker_failure_record(job: dict, reason: str) -> dict:
+    """The journal record for a point whose workers kept dying."""
+    point = GridPoint.from_dict(job["point"])
+    return {
+        "point_id": point.point_id,
+        "point": point.to_dict(),
+        "ok": False,
+        "error": f"retries exhausted: {reason}",
+        "result": {},
+        "elapsed_s": 0.0,
+    }
+
+
+def records_digest(records: List[dict]) -> str:
+    """Checksum of a sweep's *outcomes*, ignoring how they were reached.
+
+    Strips the volatile fields — wall time, computed-vs-resumed
+    provenance, and cache/supervision telemetry — and hashes the rest
+    (point identity, ok/error, the full result body).  Two sweeps of
+    the same grid agree on this digest iff they produced bit-identical
+    results, which is exactly the crash-consistency claim the torture
+    harness asserts: a killed-and-resumed or fault-injected sweep must
+    digest equal to an undisturbed one.
+    """
+    stripped = []
+    for record in records:
+        result = {
+            key: value
+            for key, value in (record.get("result") or {}).items()
+            if key != "telemetry"
+        }
+        stripped.append(
+            {
+                "point_id": record.get("point_id"),
+                "point": record.get("point"),
+                "ok": record.get("ok"),
+                "error": record.get("error"),
+                "result": result,
+            }
+        )
+    return payload_sha256({"records": stripped})
 
 
 @dataclass
@@ -156,10 +239,20 @@ class SweepResult:
     elapsed_s: float
     store_root: Optional[str]
     telemetry: Dict[str, int] = field(default_factory=dict)
+    #: Duplicate journal lines for already-recorded points (requeued
+    #: workers whose first record landed late); ignored on replay.
+    journal_duplicates: int = 0
+    #: Supervisor interventions (worker deaths, hangs, requeues, ...)
+    #: plus engine degradations (pool/journal/store fallbacks).
+    supervision: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return self.failed == 0
+
+    def records_digest(self) -> str:
+        """Outcome checksum (see :func:`records_digest`)."""
+        return records_digest(self.records)
 
     @property
     def store_hit_rate(self) -> float:
@@ -177,6 +270,9 @@ class SweepResult:
             "resumed": self.resumed,
             "failed": self.failed,
             "journal_skipped": self.journal_skipped,
+            "journal_duplicates": self.journal_duplicates,
+            "records_digest": self.records_digest(),
+            "supervision": dict(self.supervision),
             "elapsed_s": self.elapsed_s,
             "store": None
             if self.store_root is None
@@ -207,6 +303,23 @@ class SweepResult:
                 f"journal: {self.journal_skipped} damaged line(s) skipped "
                 "and recomputed"
             )
+        if self.journal_duplicates:
+            lines.append(
+                f"journal: {self.journal_duplicates} duplicate line(s) "
+                "ignored on replay"
+            )
+        interventions = {
+            name: count for name, count in self.supervision.items() if count
+        }
+        if interventions:
+            lines.append(
+                "supervision: "
+                + ", ".join(
+                    f"{count} {name}" for name, count in sorted(
+                        interventions.items()
+                    )
+                )
+            )
         return "\n".join(lines)
 
 
@@ -221,6 +334,18 @@ class SweepEngine:
             :class:`CostStore`, a path, or ``None`` to run memory-only.
         workers: Process-pool width; ``None``/``0``/``1`` runs inline
             (deterministic debugging path, same results).
+        faults: Optional :class:`~repro.faults.process.ProcessFaultSpec`
+            (or its string grammar) installed *in each worker* — the
+            torture harness's handle for killing workers and failing
+            their writes mid-sweep.  Inline runs strip the lethal kinds
+            (``kill``/``crash``) so the engine process survives.
+        fault_seed: Seed the per-(point, attempt) fault draws derive
+            from.
+        point_timeout_s: Per-point hang budget; a worker silent this
+            long after picking a point up is terminated and the point
+            requeued.  ``None`` disables hang detection.
+        max_retries: Requeues per point after worker deaths/hangs before
+            it is recorded as failed.
     """
 
     def __init__(
@@ -229,31 +354,85 @@ class SweepEngine:
         out_dir: Union[str, Path],
         store: Union[CostStore, str, Path, None] = None,
         workers: Optional[int] = None,
+        faults: Union[ProcessFaultSpec, str, None] = None,
+        fault_seed: int = 0,
+        point_timeout_s: Optional[float] = None,
+        max_retries: int = 2,
     ):
         self.spec = spec
         self.out_dir = Path(out_dir)
         self.store = resolve_store(store)
         self.workers = workers
+        if isinstance(faults, str):
+            faults = ProcessFaultSpec.parse(faults)
+        self.faults = faults if faults and not faults.empty else None
+        self.fault_seed = fault_seed
+        self.point_timeout_s = point_timeout_s
+        self.max_retries = max_retries
         self.journal_path = self.out_dir / JOURNAL_NAME
         self.results_path = self.out_dir / RESULTS_NAME
+        #: Engine-side degradations of the current/last run.
+        self.degradations: Dict[str, int] = {}
+        self._supervision: Dict[str, int] = {}
 
     # -- journal -------------------------------------------------------------
 
     def completed_records(self) -> tuple:
-        """Journaled results keyed by point id, plus damaged-line count."""
+        """Journaled results keyed by point id: ``(records, skipped,
+        duplicates)``.
+
+        Replay is idempotent: when several journal lines claim the same
+        ``point_id`` (a requeued point whose first worker's record
+        landed late, or a re-run appending over an old journal), the
+        first *successful* record is pinned — later duplicates are
+        counted, never double-counted or allowed to flip a completed
+        point back to failed.  A failed record is superseded by a later
+        success (the retry that worked).
+        """
         envelopes, skipped = read_envelope_lines(
             self.journal_path, expected_kind=POINT_KIND
         )
         records: Dict[str, dict] = {}
+        duplicates = 0
         for envelope in envelopes:
             payload = envelope.payload
             point_id = payload.get("point_id")
-            if isinstance(point_id, str) and payload.get("ok") is not None:
-                records[point_id] = payload
-        return records, skipped
+            if not isinstance(point_id, str) or payload.get("ok") is None:
+                continue
+            existing = records.get(point_id)
+            if existing is not None:
+                duplicates += 1
+                if existing.get("ok"):
+                    continue
+            records[point_id] = payload
+        return records, skipped, duplicates
 
     def _journal(self, record: dict) -> None:
-        append_envelope_line(self.journal_path, POINT_KIND, record)
+        """Append one record, riding out transient write errors.
+
+        The journal is an optimization (resume granularity), not the
+        result of record; a full disk must degrade the sweep to
+        coarser resumability, not kill it.  Three attempts, then count
+        the loss and warn once.
+        """
+        for attempt in range(3):
+            try:
+                append_envelope_line(self.journal_path, POINT_KIND, record)
+                return
+            except OSError as exc:
+                last_error = exc
+                time.sleep(0.05 * (attempt + 1))
+        if not self.degradations.get("journal_write_errors"):
+            warnings.warn(
+                f"sweep journal write failed ({last_error}); the sweep "
+                "continues but --resume will recompute the affected "
+                "point(s)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        self.degradations["journal_write_errors"] = (
+            self.degradations.get("journal_write_errors", 0) + 1
+        )
 
     # -- running -------------------------------------------------------------
 
@@ -274,11 +453,14 @@ class SweepEngine:
         started = time.perf_counter()
         points = self.spec.expand()
         self.out_dir.mkdir(parents=True, exist_ok=True)
+        self.degradations = {}
+        self._supervision = {}
 
         done: Dict[str, dict] = {}
         journal_skipped = 0
+        journal_duplicates = 0
         if resume:
-            done, journal_skipped = self.completed_records()
+            done, journal_skipped, journal_duplicates = self.completed_records()
             # Keep only successful records for points still in the grid;
             # failed points get another chance.
             grid_ids = {point.point_id for point in points}
@@ -300,16 +482,33 @@ class SweepEngine:
             )
 
         computed: Dict[str, dict] = {}
-        for record in self._run_pending(pending):
-            self._journal(record)
-            computed[record["point_id"]] = record
-            point = GridPoint.from_dict(record["point"])
-            status = "ok" if record["ok"] else f"FAILED: {record['error']}"
-            emit(f"  {point.describe()}: {status} ({record['elapsed_s']:.2f}s)")
+        try:
+            for record in self._run_pending(pending):
+                self._journal(record)
+                crash_point(POINT_SWEEP_JOURNALED)
+                computed[record["point_id"]] = record
+                point = GridPoint.from_dict(record["point"])
+                status = "ok" if record["ok"] else f"FAILED: {record['error']}"
+                emit(
+                    f"  {point.describe()}: {status} "
+                    f"({record['elapsed_s']:.2f}s)"
+                )
+        except KeyboardInterrupt:
+            # The journal already holds every finished point (flushed
+            # line by line); surface the resumable state as a typed,
+            # one-line error instead of a traceback.  _run_pending's
+            # finally block has torn the pool down by the time the
+            # exception propagates here.
+            raise SweepInterrupted(
+                f"sweep interrupted: {len(done) + len(computed)} of "
+                f"{len(points)} point(s) journaled in {self.out_dir}; "
+                "re-run with --resume to finish"
+            ) from None
 
         records = []
         telemetry: Dict[str, int] = {"evaluations": 0, "store_hits": 0,
-                                     "cache_hits": 0}
+                                     "cache_hits": 0, "store_degraded": 0,
+                                     "store_flush_errors": 0}
         failed = 0
         for point in points:
             record = computed.get(point.point_id)
@@ -326,6 +525,9 @@ class SweepEngine:
                 failed += 1
             records.append(record)
 
+        supervision = dict(self._supervision)
+        for name, count in self.degradations.items():
+            supervision[name] = supervision.get(name, 0) + count
         result = SweepResult(
             spec=self.spec,
             records=records,
@@ -336,6 +538,8 @@ class SweepEngine:
             elapsed_s=time.perf_counter() - started,
             store_root=str(self.store.root) if self.store else None,
             telemetry=telemetry,
+            journal_duplicates=journal_duplicates,
+            supervision=supervision,
         )
         save_artifact(
             self.results_path,
@@ -351,33 +555,71 @@ class SweepEngine:
             return 0
         return self.workers
 
+    def _worker_faults(self, pooled: bool) -> Optional[ProcessFaultSpec]:
+        """The fault spec one executed point sees.
+
+        Inline execution shares the engine's process, so the lethal
+        fault kinds (hard kills, crash points) are stripped — they are
+        meaningful only where a supervisor can requeue the loss.
+        """
+        if self.faults is None:
+            return None
+        if pooled:
+            return self.faults
+        softened = dataclasses.replace(self.faults, kill_p=0.0, crash_at=None)
+        return softened if not softened.empty else None
+
     def _run_pending(self, pending: List[GridPoint]):
         """Yield one journal record per pending point (pool or inline)."""
+        size = self._pool_size()
+        pooled = size > 0
+        if pooled:
+            try:
+                import multiprocessing
+
+                ctx = multiprocessing.get_context("fork")
+            except (ImportError, ValueError, OSError) as exc:
+                # No usable pool on this platform: degrade to the
+                # inline path (same results, longer wall clock).
+                warnings.warn(
+                    f"worker pool unavailable ({exc}); sweeping inline",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self.degradations["pool_fallbacks"] = 1
+                pooled = False
         jobs = [
             {
                 "point": point.to_dict(),
                 "store_root": str(self.store.root) if self.store else None,
+                "faults": self._worker_faults(pooled),
+                "fault_seed": self.fault_seed,
+                "attempt": 0,
             }
             for point in pending
         ]
-        size = self._pool_size()
         if not jobs:
             return
-        if size == 0:
+        if not pooled:
             for job in jobs:
                 yield run_point_job(job)
             return
-        import multiprocessing
-
+        pool = SupervisedPool(
+            run_point_job,
+            workers=min(size, len(jobs)),
+            mp_context=ctx,
+            timeout_s=self.point_timeout_s,
+            max_retries=self.max_retries,
+            on_exhausted=_worker_failure_record,
+        )
         try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX fallback
-            ctx = multiprocessing.get_context()
-        with ctx.Pool(processes=min(size, len(jobs))) as pool:
-            # imap (ordered) keeps the journal in grid order on the
-            # happy path; resume correctness never depends on order.
-            for record in pool.imap(run_point_job, jobs):
+            # Records land in completion order; the journal tolerates
+            # any order and the results list is re-assembled in grid
+            # order, so supervision never affects the artifact.
+            for record in pool.run(jobs):
                 yield record
+        finally:
+            self._supervision = pool.stats.to_dict()
 
 
 def sweep_grid(
@@ -387,8 +629,21 @@ def sweep_grid(
     workers: Optional[int] = None,
     resume: bool = False,
     log: Optional[Callable[[str], None]] = None,
+    faults: Union[ProcessFaultSpec, str, None] = None,
+    fault_seed: int = 0,
+    point_timeout_s: Optional[float] = None,
+    max_retries: int = 2,
 ) -> SweepResult:
     """One-call front end (what ``repro sweep-grid`` and
     :func:`repro.toolflow.sweep_grid` invoke)."""
-    engine = SweepEngine(spec, out_dir, store=store, workers=workers)
+    engine = SweepEngine(
+        spec,
+        out_dir,
+        store=store,
+        workers=workers,
+        faults=faults,
+        fault_seed=fault_seed,
+        point_timeout_s=point_timeout_s,
+        max_retries=max_retries,
+    )
     return engine.run(resume=resume, log=log)

@@ -55,6 +55,14 @@ class SweepError(ReproError):
     (see repro.dse)."""
 
 
+class SweepInterrupted(SweepError):
+    """A sweep was stopped by SIGINT/SIGTERM after flushing its journal.
+
+    The message names the resumable state (points journaled so far and
+    the ``--resume`` invocation that finishes the run), so the CLI's
+    one-line error is itself the recovery instruction."""
+
+
 class ArtifactError(ReproError):
     """A persisted artifact (strategy/plan/codegen blob) failed to load.
 

@@ -27,6 +27,18 @@ Or from the command line::
 """
 
 from repro.faults.injector import FaultInjector, counter_uniform
+from repro.faults.process import (
+    KILL_EXIT_CODE,
+    FsInjector,
+    ProcessFaultSpec,
+    SimulatedCrash,
+    clear_process_faults,
+    crash_point,
+    install_process_faults,
+    process_faults,
+    register_crash_point,
+    registered_crash_points,
+)
 from repro.faults.spec import (
     FAULT_KINDS,
     BrownoutFault,
@@ -40,13 +52,23 @@ from repro.faults.spec import (
 
 __all__ = [
     "FAULT_KINDS",
+    "KILL_EXIT_CODE",
     "BrownoutFault",
     "CrashFault",
     "FaultError",
     "FaultInjector",
     "FaultSpec",
+    "FsInjector",
     "LinkFault",
+    "ProcessFaultSpec",
     "RetryPolicy",
+    "SimulatedCrash",
     "TransientFault",
+    "clear_process_faults",
     "counter_uniform",
+    "crash_point",
+    "install_process_faults",
+    "process_faults",
+    "register_crash_point",
+    "registered_crash_points",
 ]

@@ -35,9 +35,11 @@ This module replaces those ad-hoc caches with one first-class layer:
 from __future__ import annotations
 
 import threading
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, Hashable, Optional, Tuple
 
+from repro.errors import ArtifactError
 from repro.hardware.device import FPGADevice
 from repro.nn.network import LayerInfo
 from repro.perf.implement import (
@@ -117,6 +119,9 @@ class SearchTelemetry:
     evaluations: int = 0
     cache_hits: int = 0
     store_hits: int = 0
+    #: 1 when the persistent store tier was dropped mid-run after an
+    #: I/O or lock failure (the context continues memory-only).
+    store_degraded: int = 0
     nodes_visited: int = 0
     nodes_pruned: int = 0
     groups_searched: int = 0
@@ -147,6 +152,7 @@ class SearchTelemetry:
             "evaluations": self.evaluations,
             "cache_hits": self.cache_hits,
             "store_hits": self.store_hits,
+            "store_degraded": self.store_degraded,
             "hit_rate": self.hit_rate,
             "store_hit_rate": self.store_hit_rate,
             "cache_tiers": {
@@ -312,7 +318,11 @@ class EvalContext:
                     cached = replace(cached, layer_name=info.name)
                 return cached
         if self.store is not None:
-            stored = self.store.get(key)
+            try:
+                stored = self.store.get(key)
+            except (OSError, ArtifactError) as exc:
+                self._degrade_store(exc)
+                stored = None
             if stored is not None:
                 with self._lock:
                     self.stats.store_hits += 1
@@ -349,7 +359,32 @@ class EvalContext:
             dirty, self._dirty = self._dirty, {}
         if not dirty:
             return 0
-        return self.store.put_many(dirty)
+        try:
+            return self.store.put_many(dirty)
+        except (OSError, ArtifactError) as exc:
+            self._degrade_store(exc)
+            return 0
+
+    def _degrade_store(self, exc: Exception) -> None:
+        """Drop the persistent tier after an I/O failure; warn once.
+
+        Results are unaffected — the store only accelerates — so a
+        broken disk must cost warm starts, never a search.  The event
+        is counted in :attr:`SearchTelemetry.store_degraded` so sweeps
+        surface it in their telemetry.
+        """
+        with self._lock:
+            if self.store is None:
+                return
+            self.store = None
+            self._dirty = {}
+            self.stats.store_degraded = 1
+        warnings.warn(
+            f"cost store unavailable ({exc}); continuing without the "
+            "persistent cache",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     # -- telemetry hooks used by the searches -------------------------------
 

@@ -557,6 +557,10 @@ def sweep_grid(
     workers: Optional[int] = None,
     resume: bool = False,
     log=None,
+    faults=None,
+    fault_seed: int = 0,
+    point_timeout_s: Optional[float] = None,
+    max_retries: int = 2,
 ):
     """Run a declarative design-space sweep (see :mod:`repro.dse`).
 
@@ -567,7 +571,12 @@ def sweep_grid(
     the shared persistent cost ``store``.  Per-point results are
     journaled into ``out_dir`` as they land, so an interrupted sweep
     finishes with ``resume=True`` without recomputing (CLI
-    ``repro sweep-grid``).  Returns a :class:`repro.dse.SweepResult`.
+    ``repro sweep-grid``).  Workers are supervised: a killed or hung
+    worker's point is requeued (``max_retries`` times, hang budget
+    ``point_timeout_s``), and ``faults`` injects deterministic
+    process/filesystem failures for torture runs
+    (:class:`repro.faults.ProcessFaultSpec` grammar, seeded by
+    ``fault_seed``).  Returns a :class:`repro.dse.SweepResult`.
     """
     from repro.dse.grid import GridSpec
     from repro.dse.sweep import sweep_grid as _sweep
@@ -577,7 +586,16 @@ def sweep_grid(
     elif isinstance(spec, (str, Path)):
         spec = GridSpec.from_file(spec)
     return _sweep(
-        spec, out_dir, store=store, workers=workers, resume=resume, log=log
+        spec,
+        out_dir,
+        store=store,
+        workers=workers,
+        resume=resume,
+        log=log,
+        faults=faults,
+        fault_seed=fault_seed,
+        point_timeout_s=point_timeout_s,
+        max_retries=max_retries,
     )
 
 

@@ -412,3 +412,167 @@ class TestAdmission:
                 assert exc.code
             except KeyError as exc:  # pragma: no cover
                 pytest.fail(f"KeyError escaped for missing {key!r}: {exc}")
+
+
+class TestDurabilityFuzz:
+    """The PR 5 fuzz contract extended to the durability artifacts:
+    cost-store shards, sweep journals, traffic traces and recovery
+    logs.  Seeded truncation, byte flips and torn tails must surface
+    as typed errors or counted self-heals — never an unhandled crash,
+    never silent acceptance of damaged data."""
+
+    TRIALS = 12
+
+    @pytest.fixture(scope="class")
+    def corpus(self, tmp_path_factory):
+        from repro.check.artifacts import append_envelope_line
+        from repro.check.durability import _store_entries
+        from repro.dse.store import CostStore
+        from repro.resilience import ResiliencePolicy, save_recovery_log
+        from repro.traffic import TrafficTrace
+
+        root = tmp_path_factory.mktemp("durafuzz")
+        CostStore(root / "store").put_many(_store_entries())
+        journal = root / "journal.jsonl"
+        for point_id in ("alpha", "bravo", "charlie"):
+            append_envelope_line(
+                journal, "sweep_point", {"point_id": point_id, "ok": True}
+            )
+        trace = TrafficTrace.record(
+            {"vision": "poisson:mean=4000"}, num_requests=16, seed=3
+        ).save(root / "trace.json")
+        recovery = save_recovery_log(
+            root / "recovery.json",
+            ResiliencePolicy(),
+            {"events": [{"kind": "detect", "cycle": 10}], "rebuilds": 1},
+        )
+        return {
+            "store_root": root / "store",
+            "journal": journal,
+            "traffic_trace": trace,
+            "recovery_log": recovery,
+        }
+
+    # -- per-kind probes: typed error, counted heal, or clean load ----------
+
+    def _probe_shards(self, store_root, mutate, scratch):
+        import shutil
+
+        from repro.check.durability import _store_entries
+        from repro.dse.store import CostStore
+
+        shutil.copytree(store_root, scratch)
+        store = CostStore(scratch)
+        for shard in store.shard_paths():
+            shard.write_bytes(mutate(shard.read_bytes()))
+        strict_failures = 0
+        fresh = CostStore(scratch)
+        for shard in fresh.shard_paths():
+            try:
+                fresh.load_shard(shard)
+            except ArtifactError as exc:
+                assert exc.code and exc.json_path
+                strict_failures += 1
+        healer = CostStore(scratch)
+        for key in _store_entries():
+            healer.get(key)  # hit, miss or healed miss — never a crash
+        if strict_failures:
+            # The lookup path counted the damage it healed around.
+            assert healer.corrupt_shards + healer.corrupt_entries >= 1
+
+    def _probe_journal(self, journal, mutate, scratch):
+        from repro.check.artifacts import read_envelope_lines
+
+        scratch.write_bytes(mutate(journal.read_bytes()))
+        envelopes, skipped = read_envelope_lines(
+            scratch, expected_kind="sweep_point"
+        )
+        assert skipped >= 0
+        for envelope in envelopes:
+            assert envelope.payload["point_id"] in ("alpha", "bravo", "charlie")
+
+    def _probe_artifact(self, source, mutate, scratch, loader):
+        scratch.write_bytes(mutate(source.read_bytes()))
+        try:
+            loader(scratch)
+        except ArtifactError as exc:
+            assert exc.code
+        except ReproError:
+            pass  # still a precise, typed failure
+
+    def _run_fuzz(self, corpus, tmp_path, mutators, tag):
+        from functools import partial
+
+        from repro.check.artifacts import load_envelope
+        from repro.traffic import load_trace
+
+        for trial, mutate in enumerate(mutators):
+            self._probe_shards(
+                corpus["store_root"], mutate, tmp_path / f"{tag}_store_{trial}"
+            )
+            self._probe_journal(
+                corpus["journal"], mutate, tmp_path / f"{tag}_journal_{trial}"
+            )
+            self._probe_artifact(
+                corpus["traffic_trace"], mutate,
+                tmp_path / f"{tag}_trace_{trial}.json", load_trace,
+            )
+            self._probe_artifact(
+                corpus["recovery_log"], mutate,
+                tmp_path / f"{tag}_recovery_{trial}.json",
+                partial(load_envelope, expected_kind="recovery_log"),
+            )
+
+    def test_seeded_truncation(self, corpus, tmp_path):
+        import random
+
+        rng = random.Random(4242)
+
+        def truncator(data: bytes) -> bytes:
+            return data[: rng.randrange(0, len(data))]
+
+        self._run_fuzz(
+            corpus, tmp_path, [truncator] * self.TRIALS, "trunc"
+        )
+
+    def test_seeded_byte_flips(self, corpus, tmp_path):
+        import random
+
+        rng = random.Random(777)
+
+        def flipper(data: bytes) -> bytes:
+            corrupted = bytearray(data)
+            for _ in range(rng.randint(1, 4)):
+                position = rng.randrange(0, len(corrupted))
+                corrupted[position] ^= 1 << rng.randrange(0, 8)
+            return bytes(corrupted)
+
+        self._run_fuzz(corpus, tmp_path, [flipper] * self.TRIALS, "flip")
+
+    def test_torn_tail(self, corpus, tmp_path):
+        import random
+
+        rng = random.Random(5)
+
+        def tearer(data: bytes) -> bytes:
+            # A crash mid-append: the file ends with a partial replay
+            # of its own tail, cut at a seeded offset, no newline.
+            tail = data[-min(len(data), 200):]
+            return data + tail[: rng.randrange(1, len(tail))]
+
+        self._run_fuzz(corpus, tmp_path, [tearer] * self.TRIALS, "torn")
+
+    def test_torn_journal_tail_costs_exactly_the_torn_line(
+        self, corpus, tmp_path
+    ):
+        from repro.check.artifacts import read_envelope_lines
+
+        data = corpus["journal"].read_bytes()
+        lines = data.splitlines(keepends=True)
+        torn = tmp_path / "torn.jsonl"
+        torn.write_bytes(b"".join(lines[:2]) + lines[2][: len(lines[2]) // 2])
+        envelopes, skipped = read_envelope_lines(
+            torn, expected_kind="sweep_point"
+        )
+        assert [e.payload["point_id"] for e in envelopes] == ["alpha", "bravo"]
+        assert skipped == 1

@@ -959,3 +959,140 @@ class TestCompileEnergyStats:
         assert payload["board_power_w"] == pytest.approx(
             power_model.strategy_power_w(strategy)
         )
+
+
+class TestSweepGridDurability:
+    """The durability flags of ``sweep-grid``: fault injection, retry
+    budgets, and interrupt behavior (one resumable line, never a
+    traceback)."""
+
+    ARGS = [
+        "sweep-grid", "--models", "tiny_cnn", "--devices", "testchip",
+        "--transfers", "1MB,none",
+    ]
+
+    def test_benign_faults_flag_still_succeeds(self, capsys, tmp_path):
+        assert main(
+            self.ARGS + [
+                "--out", str(tmp_path / "out"),
+                "--faults", "fsync-drop:p=1.0", "--fault-seed", "3",
+            ]
+        ) == 0
+        assert "2 computed" in capsys.readouterr().out
+
+    def test_bad_fault_spec_is_one_line_error(self, capsys, tmp_path):
+        assert main(
+            self.ARGS + [
+                "--out", str(tmp_path / "out"), "--faults", "haunt:p=0.5",
+            ]
+        ) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "haunt" in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_exhausted_retries_exit_nonzero_with_failed_points(
+        self, capsys, tmp_path
+    ):
+        assert main(
+            self.ARGS + [
+                "--out", str(tmp_path / "out"), "--workers", "2",
+                "--faults", "kill:p=1.0,point=sweep.point_start",
+                "--max-retries", "1",
+            ]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "retries exhausted" in out
+
+    def test_keyboard_interrupt_exits_130_one_line(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        import repro.dse.sweep as sweep_module
+
+        def interrupt(*_args, **_kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(sweep_module, "sweep_grid", interrupt)
+        assert main(self.ARGS + ["--out", str(tmp_path / "out")]) == 130
+        err = capsys.readouterr().err
+        assert err.strip() == "error: interrupted"
+
+    def test_sweep_interrupted_is_a_resumable_one_liner(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        import repro.dse.sweep as sweep_module
+        from repro.errors import SweepInterrupted
+
+        def interrupt(*_args, **_kwargs):
+            raise SweepInterrupted(
+                "sweep interrupted: 1 of 2 point(s) journaled in out; "
+                "re-run with --resume to finish"
+            )
+
+        monkeypatch.setattr(sweep_module, "sweep_grid", interrupt)
+        assert main(self.ARGS + ["--out", str(tmp_path / "out")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: sweep interrupted")
+        assert "--resume" in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+
+from repro.faults.process import fork_available
+
+
+@pytest.mark.skipif(not fork_available(), reason="requires fork (POSIX)")
+class TestTortureCommand:
+
+    def test_workload_subset_passes(self, capsys, tmp_path):
+        assert main(
+            [
+                "torture", "--workloads", "artifact,journal",
+                "--workdir", str(tmp_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "torture: PASS" in out
+        assert "artifact x atomic.synced: killed, ok" in out
+        assert "journal x journal.appended: killed, ok" in out
+
+    def test_json_report_and_artifact(self, capsys, tmp_path):
+        from repro.check.artifacts import load_envelope
+
+        report_path = tmp_path / "report.json"
+        assert main(
+            [
+                "torture", "--workloads", "journal",
+                "--workdir", str(tmp_path),
+                "--json", "--report", str(report_path),
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert len(payload["cells"]) == 2
+        saved = load_envelope(report_path, expected_kind="torture_report")
+        assert saved.payload == payload
+
+    def test_saved_report_passes_repro_check(self, capsys, tmp_path):
+        report_path = tmp_path / "report.json"
+        assert main(
+            [
+                "torture", "--workloads", "journal",
+                "--workdir", str(tmp_path),
+                "--report", str(report_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["check", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 torture cell(s), 0 failed" in out
+
+    def test_unknown_workload_is_one_line_error(self, capsys, tmp_path):
+        assert main(
+            ["torture", "--workloads", "ghosts", "--workdir", str(tmp_path)]
+        ) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "ghosts" in err
+        assert len(err.strip().splitlines()) == 1

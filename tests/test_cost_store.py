@@ -405,3 +405,121 @@ class TestConcurrency:
         for path in CostStore(tmp_path / "s").shard_paths():
             document = json.loads(path.read_text())
             assert document["repro_artifact"] == "cost_store_shard"
+
+
+class TestLocking:
+    """Shard-lock acquisition: bounded retry, typed failure, lockless
+    fallback on filesystems that cannot ``flock`` at all."""
+
+    def test_unsupported_flock_degrades_to_lockless(
+        self, tiny_net, testchip, tmp_path, monkeypatch
+    ):
+        import errno
+
+        from repro.dse import store as store_module
+
+        def no_flock(fd, op):
+            raise OSError(errno.ENOTSUP, "flock unsupported here")
+
+        monkeypatch.setattr(store_module.fcntl, "flock", no_flock)
+        store = CostStore(tmp_path / "s")
+        key, impl = _first_key_and_impl(tiny_net, testchip)
+        store.put_many({key: impl})
+        assert store.lock_fallbacks == 1
+        assert store._locks_unsupported  # cached: no re-probing
+        store.put_many({key: impl})
+        assert store.lock_fallbacks == 2
+        assert store.lock_retries == 0  # permanent, so never retried
+        # The lockless write still landed a valid entry.
+        fresh = CostStore(tmp_path / "s")
+        assert fresh.get(key) is not None
+
+    def test_persistent_contention_is_a_typed_error(
+        self, tiny_net, testchip, tmp_path, monkeypatch
+    ):
+        import errno
+
+        from repro.dse import store as store_module
+
+        def busy_flock(fd, op):
+            raise OSError(errno.EAGAIN, "resource temporarily unavailable")
+
+        monkeypatch.setattr(store_module.fcntl, "flock", busy_flock)
+        monkeypatch.setattr(store_module, "LOCK_BACKOFF_S", 0.001)
+        store = CostStore(tmp_path / "s")
+        key, impl = _first_key_and_impl(tiny_net, testchip)
+        with pytest.raises(ArtifactError) as excinfo:
+            store.put_many({key: impl})
+        assert excinfo.value.code == "E_LOCK"
+        assert "attempts" in str(excinfo.value)
+        assert store.lock_retries == store_module.LOCK_ATTEMPTS - 1
+        assert not store._locks_unsupported  # transient, not permanent
+
+    def test_transient_contention_recovers(
+        self, tiny_net, testchip, tmp_path, monkeypatch
+    ):
+        import errno
+        import fcntl as real_fcntl
+
+        from repro.dse import store as store_module
+
+        state = {"attempts": 0}
+        real_flock = real_fcntl.flock
+
+        def flaky_flock(fd, op):
+            if op == real_fcntl.LOCK_EX:
+                state["attempts"] += 1
+                if state["attempts"] < 3:
+                    raise OSError(errno.EAGAIN, "locked")
+            return real_flock(fd, op)
+
+        monkeypatch.setattr(store_module.fcntl, "flock", flaky_flock)
+        monkeypatch.setattr(store_module, "LOCK_BACKOFF_S", 0.001)
+        store = CostStore(tmp_path / "s")
+        key, impl = _first_key_and_impl(tiny_net, testchip)
+        store.put_many({key: impl})
+        assert store.lock_retries == 2
+        assert store.lock_fallbacks == 0
+        assert CostStore(tmp_path / "s").get(key) is not None
+
+
+class TestStoreDegradation:
+    """EvalContext survives a dying store: memory-only, counted, and
+    bit-identical results."""
+
+    def test_read_failure_degrades_to_memory_only(
+        self, tiny_net, testchip, tmp_path
+    ):
+        class ExplodingStore(CostStore):
+            def get(self, key):
+                raise OSError("disk on fire")
+
+        budget = tiny_net.feature_map_bytes()
+        context = EvalContext(store=ExplodingStore(tmp_path / "s"))
+        with pytest.warns(RuntimeWarning, match="cost store unavailable"):
+            degraded = optimize(tiny_net, testchip, budget, context=context)
+        assert context.store is None
+        assert context.stats.store_degraded == 1
+        baseline = optimize(tiny_net, testchip, budget)
+        assert strategy_to_dict(degraded) == strategy_to_dict(baseline)
+
+    def test_flush_failure_degrades_not_raises(
+        self, tiny_net, testchip, tmp_path
+    ):
+        class ReadOnlyStore(CostStore):
+            def put_many(self, entries):
+                raise OSError("read-only filesystem")
+
+        context = EvalContext(store=ReadOnlyStore(tmp_path / "s"))
+        # optimize() flushes internally, so the degradation (and its
+        # one warning) happens there; the later explicit flush is a
+        # quiet no-op that reports zero writes.
+        with pytest.warns(RuntimeWarning, match="cost store unavailable"):
+            optimize(
+                tiny_net, testchip, tiny_net.feature_map_bytes(),
+                context=context,
+            )
+        flushed = context.flush_store()
+        assert flushed == 0
+        assert context.store is None
+        assert context.stats.store_degraded == 1

@@ -1,0 +1,335 @@
+"""The fault-injection shim: spec grammar, seeded draws, write hooks,
+crash points, and the hard-kill harness.
+
+The contract under test (see ``src/repro/faults/process.py``):
+
+* the spec grammar parses every documented fault kind and rejects
+  malformed input with one-line FaultErrors;
+* every draw comes from a seeded counter stream — same spec + seed
+  reproduces the same fault schedule, byte-for-byte for torn writes;
+* with no injector installed every hook is a no-op;
+* crash points kill hard (``os._exit``) or raise
+  :class:`SimulatedCrash`, and the write paths in ``repro.check``
+  survive both (atomicity for artifacts, one-line damage for journals).
+"""
+
+from __future__ import annotations
+
+import errno
+import io
+import json
+
+import pytest
+
+from repro.check.artifacts import (
+    append_envelope_line,
+    atomic_write_text,
+    load_envelope,
+    read_envelope_lines,
+    save_artifact,
+)
+from repro.errors import ArtifactError
+from repro.faults.process import (
+    KILL_EXIT_CODE,
+    FsInjector,
+    ProcessFaultSpec,
+    SimulatedCrash,
+    clear_process_faults,
+    crash_point,
+    current_injector,
+    derive_seed,
+    fork_available,
+    fs_fsync,
+    fs_write,
+    install_process_faults,
+    process_faults,
+    register_crash_point,
+    registered_crash_points,
+    run_to_kill,
+)
+from repro.faults.spec import FaultError
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    """No test may leak an armed injector into the next."""
+    clear_process_faults()
+    yield
+    clear_process_faults()
+
+
+class TestSpecGrammar:
+    def test_empty_and_none_parse_to_no_faults(self):
+        assert ProcessFaultSpec.parse(None).empty
+        assert ProcessFaultSpec.parse("").empty
+        assert ProcessFaultSpec.parse("  ").empty
+
+    def test_full_grammar_roundtrip(self):
+        spec = ProcessFaultSpec.parse(
+            "eio:p=0.05;enospc:p=0.01;torn:p=0.02;fsync-drop:p=0.1;"
+            "kill:p=0.2,point=sweep.point_start"
+        )
+        assert spec.eio_p == 0.05
+        assert spec.enospc_p == 0.01
+        assert spec.torn_p == 0.02
+        assert spec.fsync_drop_p == 0.1
+        assert spec.kill_p == 0.2
+        assert spec.kill_point == "sweep.point_start"
+        assert not spec.empty
+
+    def test_crash_event_with_hit_and_mode(self):
+        spec = ProcessFaultSpec.parse(
+            "crash:point=atomic.synced,hit=3,mode=raise"
+        )
+        assert spec.crash_at == "atomic.synced"
+        assert spec.crash_hit == 3
+        assert spec.crash_mode == "raise"
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "eio",                                # no colon
+            "eio:q=0.5",                          # missing p
+            "eio:p=lots",                         # non-numeric p
+            "eio:p=1.5",                          # out of range
+            "haunt:p=0.5",                        # unknown kind
+            "crash:hit=1",                        # crash without point
+            "crash:point=no.such.point",          # unregistered point
+            "crash:point=atomic.synced,hit=zero", # non-int hit
+            "crash:point=atomic.synced,hit=0",    # hit < 1
+            "crash:point=atomic.synced,mode=meh", # unknown mode
+            "kill:p=0.2,point=nowhere",           # unregistered kill point
+            "eio:p",                              # field without =
+        ],
+    )
+    def test_malformed_specs_raise_fault_error(self, text):
+        with pytest.raises(FaultError):
+            ProcessFaultSpec.parse(text)
+
+    def test_every_registered_point_is_a_valid_target(self):
+        points = registered_crash_points()
+        assert len(points) >= 10
+        for name in points:
+            spec = ProcessFaultSpec.parse(f"crash:point={name}")
+            assert spec.crash_at == name
+
+
+class TestSeededDraws:
+    def _drive(self, spec: ProcessFaultSpec, seed: int, writes: int = 50):
+        injector = FsInjector(spec=spec, seed=seed)
+        outcomes = []
+        for index in range(writes):
+            sink = io.StringIO()
+            try:
+                injector.on_write(sink, f"payload-{index}", label="t")
+                outcomes.append(("ok", sink.getvalue()))
+            except OSError as exc:
+                outcomes.append((exc.errno, sink.getvalue()))
+        return outcomes
+
+    def test_same_seed_same_schedule(self):
+        spec = ProcessFaultSpec(eio_p=0.3, torn_p=0.2)
+        assert self._drive(spec, seed=11) == self._drive(spec, seed=11)
+
+    def test_different_seed_different_schedule(self):
+        spec = ProcessFaultSpec(eio_p=0.3, torn_p=0.2)
+        assert self._drive(spec, seed=11) != self._drive(spec, seed=12)
+
+    def test_torn_write_lands_a_prefix_then_raises_eio(self):
+        injector = FsInjector(spec=ProcessFaultSpec(torn_p=1.0), seed=5)
+        sink = io.StringIO()
+        text = "x" * 100
+        with pytest.raises(OSError) as excinfo:
+            injector.on_write(sink, text, label="t")
+        assert excinfo.value.errno == errno.EIO
+        landed = sink.getvalue()
+        assert landed == text[: len(landed)]
+        assert len(landed) < len(text)
+        assert injector.stats["torn_writes"] == 1
+
+    def test_eio_and_enospc_carry_their_errno(self):
+        for field, code in (("eio_p", errno.EIO), ("enospc_p", errno.ENOSPC)):
+            injector = FsInjector(
+                spec=ProcessFaultSpec(**{field: 1.0}), seed=0
+            )
+            with pytest.raises(OSError) as excinfo:
+                injector.on_write(io.StringIO(), "data", label="t")
+            assert excinfo.value.errno == code
+
+    def test_fsync_drop_counted_not_raised(self):
+        injector = FsInjector(
+            spec=ProcessFaultSpec(fsync_drop_p=1.0), seed=0
+        )
+        assert injector.on_fsync(io.StringIO(), label="t") is False
+        assert injector.stats["fsync_dropped"] == 1
+        clean = FsInjector(spec=ProcessFaultSpec(), seed=0)
+        assert clean.on_fsync(io.StringIO(), label="t") is True
+
+    def test_derive_seed_is_stable_and_decorrelated(self):
+        base = derive_seed(7, "point-a", 0)
+        assert base == derive_seed(7, "point-a", 0)
+        assert base != derive_seed(7, "point-a", 1)  # retry redraws
+        assert base != derive_seed(7, "point-b", 0)
+        assert base != derive_seed(8, "point-a", 0)
+
+
+class TestInstallation:
+    def test_hooks_are_noops_without_injector(self):
+        assert current_injector() is None
+        sink = io.StringIO()
+        fs_write(sink, "hello", label="t")
+        assert sink.getvalue() == "hello"
+        crash_point("atomic.synced")  # nothing happens
+
+    def test_install_accepts_string_spec_and_clear_disarms(self):
+        injector = install_process_faults("eio:p=1.0", seed=3)
+        assert current_injector() is injector
+        with pytest.raises(OSError):
+            fs_write(io.StringIO(), "x", label="t")
+        clear_process_faults()
+        assert current_injector() is None
+
+    def test_context_manager_restores_previous_injector(self):
+        outer = install_process_faults(ProcessFaultSpec(), seed=1)
+        with process_faults("eio:p=1.0", seed=2) as inner:
+            assert current_injector() is inner
+        assert current_injector() is outer
+
+    def test_crash_point_raise_mode_honors_hit_count(self):
+        with process_faults(
+            "crash:point=atomic.synced,hit=2,mode=raise"
+        ) as injector:
+            crash_point("atomic.synced")  # first pass survives
+            with pytest.raises(SimulatedCrash):
+                crash_point("atomic.synced")
+            assert injector.point_hits["atomic.synced"] == 2
+            assert injector.stats["crashes"] == 1
+
+
+class TestWritePathsUnderFaults:
+    """The repro.check write paths against the armed hooks."""
+
+    def test_atomic_write_eio_keeps_old_content(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        atomic_write_text(path, "old")
+        with process_faults("eio:p=1.0"):
+            with pytest.raises(OSError):
+                atomic_write_text(path, "new")
+        assert path.read_text() == "old"
+
+    def test_atomic_write_crash_before_rename_keeps_old_content(
+        self, tmp_path
+    ):
+        path = tmp_path / "artifact.json"
+        atomic_write_text(path, "old")
+        with process_faults("crash:point=atomic.synced,mode=raise"):
+            with pytest.raises(SimulatedCrash):
+                atomic_write_text(path, "new")
+        assert path.read_text() == "old"
+
+    def test_save_artifact_torn_write_never_leaves_invalid_target(
+        self, tmp_path
+    ):
+        path = tmp_path / "a.json"
+        with process_faults("torn:p=1.0", seed=9):
+            with pytest.raises(OSError):
+                save_artifact(path, "sweep_point", {"point_id": "p", "ok": True})
+        # The torn bytes landed in a temp file, never the target.
+        assert not path.exists()
+        save_artifact(path, "sweep_point", {"point_id": "p", "ok": True})
+        assert load_envelope(path).payload["point_id"] == "p"
+
+    def test_journal_torn_tail_damages_exactly_one_line(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        append_envelope_line(journal, "sweep_point", {"point_id": "p1", "ok": True})
+        with process_faults("torn:p=1.0", seed=4):
+            with pytest.raises(OSError):
+                append_envelope_line(
+                    journal, "sweep_point", {"point_id": "p2", "ok": True}
+                )
+        # The first line still reads; the torn tail is skipped.
+        envelopes, skipped = read_envelope_lines(
+            journal, expected_kind="sweep_point"
+        )
+        assert [e.payload["point_id"] for e in envelopes] == ["p1"]
+        assert skipped <= 1  # an empty prefix leaves nothing to skip
+        # The next append self-heals the missing newline: all three
+        # valid lines read back, the torn fragment stays one dead line.
+        append_envelope_line(journal, "sweep_point", {"point_id": "p3", "ok": True})
+        envelopes, skipped = read_envelope_lines(
+            journal, expected_kind="sweep_point"
+        )
+        assert [e.payload["point_id"] for e in envelopes] == ["p1", "p3"]
+
+    def test_dropped_fsync_is_silent(self, tmp_path):
+        path = tmp_path / "a.json"
+        with process_faults("fsync-drop:p=1.0") as injector:
+            atomic_write_text(path, "content")
+        assert path.read_text() == "content"
+        assert injector.stats["fsync_dropped"] >= 1
+
+
+def _workload_with_point(root):
+    atomic_write_text(root / "out.txt", "payload")
+
+
+def _workload_without_point(root):
+    (root / "plain.txt").write_text("payload")  # no hooks, no points
+
+
+def _workload_that_breaks(root):
+    raise ValueError("not a ReproError: a harness bug")
+
+
+@pytest.mark.skipif(not fork_available(), reason="requires fork (POSIX)")
+class TestRunToKill:
+    def test_child_dies_at_the_point(self, tmp_path):
+        outcome = run_to_kill(
+            _workload_with_point, "atomic.temp_written", args=(tmp_path,)
+        )
+        assert outcome == "killed"
+        assert not (tmp_path / "out.txt").exists()  # died before rename
+
+    def test_workload_off_the_path_finishes(self, tmp_path):
+        outcome = run_to_kill(
+            _workload_without_point, "atomic.synced", args=(tmp_path,)
+        )
+        assert outcome == "finished"
+        assert (tmp_path / "plain.txt").read_text() == "payload"
+
+    def test_unrelated_child_failure_is_an_error(self, tmp_path):
+        outcome = run_to_kill(
+            _workload_that_breaks, "atomic.synced", args=(tmp_path,)
+        )
+        assert outcome == "error"
+
+    def test_kill_exit_code_is_reserved(self):
+        # Nothing in the library exits with it deliberately.
+        assert KILL_EXIT_CODE == 87
+
+
+class TestRegistry:
+    def test_core_points_are_registered(self):
+        points = registered_crash_points()
+        for name in (
+            "atomic.temp_written", "atomic.synced", "atomic.replaced",
+            "journal.appended", "journal.synced",
+            "store.flush.locked", "store.flush.shard_written",
+            "sweep.point_start", "sweep.point_done", "sweep.journaled",
+        ):
+            assert name in points
+            assert points[name]  # every point carries a description
+
+    def test_registration_returns_the_name(self):
+        from repro.faults import process as process_module
+
+        assert (
+            register_crash_point("test.transient", "a test-only point")
+            == "test.transient"
+        )
+        try:
+            assert "test.transient" in registered_crash_points()
+        finally:
+            # A test-only point must not leak into coverage checks
+            # (``uncovered_points`` insists every point is tortured).
+            process_module._CRASH_POINTS.pop("test.transient", None)

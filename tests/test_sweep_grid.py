@@ -295,3 +295,165 @@ class TestToolflowEntryPoint:
         path.write_text(json.dumps(spec_dict))
         by_file = tf_sweep(path, tmp_path / "b")
         assert _strategies(by_dict) == _strategies(by_file)
+
+
+class TestJournalReplay:
+    """Satellite pin: duplicate journal lines must never double-count a
+    point, re-run a finished one, or flip a success back to failed."""
+
+    def test_duplicate_lines_are_counted_and_ignored_on_resume(
+        self, tmp_path
+    ):
+        out = tmp_path / "out"
+        first = sweep_grid(TINY, out, store=tmp_path / "store")
+        journal = out / "journal.jsonl"
+        lines = journal.read_text().splitlines()
+        journal.write_text("\n".join(lines + [lines[0], lines[1]]) + "\n")
+        resumed = sweep_grid(TINY, out, store=tmp_path / "store", resume=True)
+        assert resumed.computed == 0  # nothing re-ran
+        assert resumed.resumed == 2  # nothing double-counted
+        assert resumed.journal_duplicates == 2
+        assert _strategies(resumed) == _strategies(first)
+        assert "duplicate" in resumed.summary()
+
+    def test_first_successful_record_is_pinned(self, tmp_path):
+        from repro.check.artifacts import append_envelope_line
+
+        engine = SweepEngine(TINY, tmp_path / "out")
+        engine.out_dir.mkdir(parents=True)
+        point = TINY.expand()[0]
+        base = {"point_id": point.point_id, "point": point.to_dict(),
+                "result": {}, "elapsed_s": 0.0, "error": None}
+        for record in (
+            dict(base, ok=True, result={"marker": "first"}),
+            dict(base, ok=True, result={"marker": "late-duplicate"}),
+        ):
+            append_envelope_line(engine.journal_path, POINT_KIND, record)
+        records, skipped, duplicates = engine.completed_records()
+        assert skipped == 0 and duplicates == 1
+        assert records[point.point_id]["result"]["marker"] == "first"
+
+    def test_failure_is_superseded_by_a_later_success(self, tmp_path):
+        from repro.check.artifacts import append_envelope_line
+
+        engine = SweepEngine(TINY, tmp_path / "out")
+        engine.out_dir.mkdir(parents=True)
+        point = TINY.expand()[0]
+        base = {"point_id": point.point_id, "point": point.to_dict(),
+                "result": {}, "elapsed_s": 0.0}
+        for record in (
+            dict(base, ok=False, error="worker died"),
+            dict(base, ok=True, error=None, result={"marker": "retry"}),
+            dict(base, ok=False, error="stale late record"),
+        ):
+            append_envelope_line(engine.journal_path, POINT_KIND, record)
+        records, _, duplicates = engine.completed_records()
+        assert duplicates == 2
+        pinned = records[point.point_id]
+        assert pinned["ok"] and pinned["result"]["marker"] == "retry"
+
+
+class TestRecordsDigest:
+    def test_digest_ignores_volatile_fields(self, tmp_path):
+        from repro.dse.sweep import records_digest
+
+        result = sweep_grid(TINY, tmp_path / "out", store=tmp_path / "store")
+        digest = result.records_digest()
+        mutated = [dict(r) for r in result.records]
+        mutated[0]["elapsed_s"] = 999.0
+        mutated[0]["source"] = "resumed"
+        mutated[0]["result"] = dict(
+            mutated[0]["result"], telemetry={"evaluations": 12345}
+        )
+        assert records_digest(mutated) == digest
+
+    def test_digest_sees_outcome_changes(self, tmp_path):
+        from repro.dse.sweep import records_digest
+
+        result = sweep_grid(TINY, tmp_path / "out")
+        digest = result.records_digest()
+        mutated = [dict(r) for r in result.records]
+        mutated[0] = dict(mutated[0], ok=False, error="tampered")
+        assert records_digest(mutated) != digest
+
+
+class TestInterrupt:
+    """Satellite pin: an interrupt mid-sweep surfaces as a one-line
+    typed SweepInterrupted whose message is the recovery instruction,
+    and --resume then finishes bit-identical."""
+
+    def test_interrupt_raises_typed_error_and_resume_finishes(
+        self, tmp_path
+    ):
+        from repro.errors import SweepInterrupted
+
+        clean = sweep_grid(TINY, tmp_path / "clean")
+        out = tmp_path / "out"
+        engine = SweepEngine(TINY, out)
+
+        def interrupt_after_first_point(line: str) -> None:
+            if line.startswith("  "):  # the first per-point status line
+                raise KeyboardInterrupt
+
+        with pytest.raises(SweepInterrupted) as excinfo:
+            engine.run(log=interrupt_after_first_point)
+        message = str(excinfo.value)
+        assert "1 of 2" in message
+        assert "--resume" in message
+        assert "\n" not in message
+        # The journal kept the finished point; resume does only the rest.
+        resumed = sweep_grid(TINY, out, resume=True)
+        assert resumed.resumed == 1
+        assert resumed.computed == 1
+        assert resumed.records_digest() == clean.records_digest()
+
+
+class TestFaultedSweeps:
+    def test_inline_sweep_strips_lethal_faults(self, tmp_path):
+        clean = sweep_grid(TINY, tmp_path / "clean")
+        faulted = sweep_grid(
+            TINY, tmp_path / "out",
+            faults="kill:p=1.0;fsync-drop:p=1.0", fault_seed=3,
+        )
+        assert faulted.ok
+        assert faulted.records_digest() == clean.records_digest()
+
+    def test_pooled_kills_exhaust_retries_into_failure_records(
+        self, tmp_path
+    ):
+        result = sweep_grid(
+            TINY, tmp_path / "out", workers=2,
+            faults="kill:p=1.0,point=sweep.point_start",
+            fault_seed=1, max_retries=1,
+        )
+        assert result.failed == 2
+        for record in result.records:
+            assert not record["ok"]
+            assert "retries exhausted" in record["error"]
+        assert result.supervision.get("worker_deaths", 0) >= 4
+        assert result.supervision.get("requeues", 0) >= 2
+        assert result.supervision.get("retries_exhausted") == 2
+        assert "supervision" in result.summary()
+
+    def test_bad_fault_spec_is_a_typed_error(self, tmp_path):
+        from repro.faults.spec import FaultError
+
+        with pytest.raises(FaultError):
+            sweep_grid(TINY, tmp_path / "out", faults="haunt:p=0.5")
+
+    def test_journal_write_failure_degrades_not_kills(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.dse import sweep as sweep_module
+
+        def always_fails(path, kind, payload):
+            raise OSError("injected journal failure")
+
+        monkeypatch.setattr(
+            sweep_module, "append_envelope_line", always_fails
+        )
+        engine = SweepEngine(TINY, tmp_path / "out")
+        with pytest.warns(RuntimeWarning, match="journal write failed"):
+            result = engine.run()
+        assert result.ok  # the sweep itself still completed
+        assert result.supervision.get("journal_write_errors") == 2
